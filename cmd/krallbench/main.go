@@ -1,0 +1,146 @@
+// Command krallbench regenerates every table and figure of the paper's
+// evaluation section over the eight substitute workloads.
+//
+// Usage:
+//
+//	krallbench [flags]
+//
+//	-budget N     branch-event budget per workload (default 2000000)
+//	-quick        use the scaled-down quick configuration
+//	-table N      print only table N (1-5); repeatable via comma list
+//	-figures      print the misprediction-vs-size curves
+//	-measured     print the interpreter-verified replication results
+//	-crossdata    print the dataset-sensitivity experiment
+//	-headline     print the §5 headline summary
+//	-all          print everything (default when no selector is given)
+//	-states N     machine size for the measured-replication experiment
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"repro/internal/bench"
+)
+
+func main() {
+	var (
+		budget    = flag.Uint64("budget", 2_000_000, "branch-event budget per workload")
+		quick     = flag.Bool("quick", false, "use the quick configuration")
+		tables    = flag.String("table", "", "comma-separated table numbers (1-5)")
+		figures   = flag.Bool("figures", false, "print figure curves")
+		measured  = flag.Bool("measured", false, "print measured replication results")
+		crossdata = flag.Bool("crossdata", false, "print dataset sensitivity")
+		layoutExp = flag.Bool("layout", false, "print the code-positioning experiment")
+		scopeExp  = flag.Bool("scope", false, "print the scheduler-scope experiment")
+		jointExp  = flag.Bool("joint", false, "print the joint-machine (§6) experiment")
+		headline  = flag.Bool("headline", false, "print headline summary")
+		all       = flag.Bool("all", false, "print everything")
+		states    = flag.Int("states", 5, "machine size for measured replication")
+	)
+	flag.Parse()
+
+	cfg := bench.DefaultConfig()
+	if *quick {
+		cfg = bench.QuickConfig()
+	}
+	if *budget != 0 {
+		cfg.Budget = *budget
+	}
+	sel := map[string]bool{}
+	for _, t := range strings.Split(*tables, ",") {
+		if t != "" {
+			sel["table"+t] = true
+		}
+	}
+	nothing := len(sel) == 0 && !*figures && !*measured && !*crossdata && !*headline && !*layoutExp && !*scopeExp && !*jointExp
+	if *all || nothing {
+		for i := 1; i <= 5; i++ {
+			sel[fmt.Sprintf("table%d", i)] = true
+		}
+		*figures, *measured, *crossdata, *headline, *layoutExp, *scopeExp, *jointExp = true, true, true, true, true, true, true
+	}
+
+	start := time.Now()
+	fmt.Printf("krallbench: profiling %d workloads, budget %d branches each...\n",
+		len(bench.Workloads()), cfg.Budget)
+	suite, err := bench.NewSuite(cfg)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("profiled in %v\n\n", time.Since(start).Round(time.Millisecond))
+
+	section := func(id string, f func() (*bench.Table, error)) {
+		if !sel[id] {
+			return
+		}
+		t, err := f()
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Println(t.Render())
+	}
+	section("table1", func() (*bench.Table, error) { return suite.Table1(), nil })
+	section("table2", func() (*bench.Table, error) { return suite.Table2(), nil })
+	section("table3", func() (*bench.Table, error) { return suite.Table3(), nil })
+	section("table4", func() (*bench.Table, error) { return suite.Table4(), nil })
+	section("table5", func() (*bench.Table, error) { return suite.Table5(), nil })
+
+	var figs []bench.Figure
+	if *figures || *headline {
+		figs = suite.Figures()
+	}
+	if *figures {
+		fmt.Println(bench.FigureTable(figs).Render())
+		for _, f := range figs {
+			fmt.Println(bench.RenderFigure(f))
+		}
+	}
+	if *measured {
+		t, err := suite.MeasuredReplication(*states)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Println(t.Render())
+	}
+	if *crossdata {
+		t, err := suite.CrossDataset()
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Println(t.Render())
+	}
+	if *layoutExp {
+		t, err := suite.LayoutTable()
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Println(t.Render())
+	}
+	if *scopeExp {
+		t, err := suite.ScopeTable()
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Println(t.Render())
+	}
+	if *jointExp {
+		t, err := suite.JointTable()
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Println(t.Render())
+	}
+	if *headline {
+		fmt.Println(bench.RenderHeadlines(bench.Headlines(figs)))
+	}
+	fmt.Printf("total time: %v\n", time.Since(start).Round(time.Millisecond))
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "krallbench:", err)
+	os.Exit(1)
+}

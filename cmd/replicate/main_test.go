@@ -1,0 +1,70 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func runCmd(t *testing.T, args ...string) (int, string, string) {
+	t.Helper()
+	var out, errb bytes.Buffer
+	code := run(args, &out, &errb)
+	return code, out.String(), errb.String()
+}
+
+func TestReplicateSourceFile(t *testing.T) {
+	src := `
+func main() int {
+    var s int = 0;
+    for var i int = 0; i < 5000; i = i + 1 {
+        if i % 2 == 0 { s = s + 1; } else { s = s + 2; }
+    }
+    print(s);
+    return s;
+}`
+	path := filepath.Join(t.TempDir(), "alt.bl")
+	if err := os.WriteFile(path, []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	code, out, errs := runCmd(t, "-states", "2", "-budget", "0", path)
+	if code != 0 {
+		t.Fatalf("exit %d: %s", code, errs)
+	}
+	for _, want := range []string{"profiling", "profile baseline", "replicated:", "semantics verified"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestReplicateWorkloadVerboseAndJoint(t *testing.T) {
+	code, out, errs := runCmd(t, "-workload", "compress", "-budget", "40000", "-v")
+	if code != 0 {
+		t.Fatalf("exit %d: %s", code, errs)
+	}
+	if !strings.Contains(out, "branch") || !strings.Contains(out, "semantics verified") {
+		t.Fatalf("verbose output incomplete:\n%s", out)
+	}
+	code, out, errs = runCmd(t, "-workload", "compress", "-budget", "40000", "-joint")
+	if code != 0 {
+		t.Fatalf("joint exit %d: %s", code, errs)
+	}
+	if !strings.Contains(out, "semantics verified") {
+		t.Fatalf("joint output incomplete:\n%s", out)
+	}
+}
+
+func TestReplicateErrors(t *testing.T) {
+	if code, _, _ := runCmd(t); code != 2 {
+		t.Fatal("no input must exit 2")
+	}
+	if code, _, _ := runCmd(t, "-workload", "nope"); code != 1 {
+		t.Fatal("unknown workload must exit 1")
+	}
+	if code, _, _ := runCmd(t, "/does/not/exist.bl"); code != 1 {
+		t.Fatal("missing file must exit 1")
+	}
+}

@@ -1,0 +1,127 @@
+package bench
+
+import (
+	"repro/internal/ir"
+	"repro/internal/predict"
+	"repro/internal/replicate"
+	"repro/internal/statemachine"
+	"repro/internal/trace"
+)
+
+// CrossDataset runs the paper's §6 / [FF92] sensitivity experiment: train
+// the profile and the replication machines on one dataset, then measure on
+// a different one. The replicated rows are *measured* — the transformed
+// program runs in the interpreter with its static annotations — so they
+// also validate the whole pipeline end to end.
+func (s *Suite) CrossDataset() (*Table, error) {
+	t := &Table{
+		ID:    "crossdataset",
+		Title: "Dataset sensitivity: trained on dataset A, measured on A and on B (%)",
+		Cols:  s.colNames(),
+	}
+	const machineStates = 5
+	var profSelf, profCross, replSelf, replCross Row
+	profSelf.Name = "profile self"
+	profCross.Name = "profile cross"
+	replSelf.Name = "replicated self (measured)"
+	replCross.Name = "replicated cross (measured)"
+
+	for _, d := range s.Data {
+		// Profile self: trained and scored on dataset A.
+		pr := predict.ProfileResult(d.Prof.Counts)
+		profSelf.Cells = append(profSelf.Cells, rateCell(pr.Misses, pr.Total))
+
+		// Profile cross: A-trained majority vector scored on dataset B.
+		static := predict.ProfileStatic(d.Prof.Counts)
+		crossCounts := trace.NewCounts(d.C.NSites)
+		if _, err := d.C.Run(RunConfig{
+			Budget: s.Cfg.Budget, Seed: s.Cfg.CrossSeed, Scale: scaleFor(s.Cfg),
+		}, crossCounts); err != nil {
+			return nil, err
+		}
+		cr := static.Score(crossCounts)
+		profCross.Cells = append(profCross.Cells, rateCell(cr.Misses, cr.Total))
+
+		// Replication trained on A (realizable machines only), measured on
+		// both datasets by running the transformed program.
+		choices := statemachine.Select(d.Prof, d.C.Features, statemachine.Options{
+			MaxStates:  machineStates,
+			MaxPathLen: 1,
+		})
+		clone := ir.CloneProgram(d.C.Prog)
+		if _, err := replicate.ApplyOpts(clone, choices, static.Preds,
+			replicate.Options{MaxSizeFactor: 3}); err != nil {
+			return nil, err
+		}
+		selfCell, err := measuredRate(clone, RunConfig{
+			Budget: s.Cfg.Budget, Seed: s.Cfg.Seed, Scale: scaleFor(s.Cfg),
+		})
+		if err != nil {
+			return nil, err
+		}
+		replSelf.Cells = append(replSelf.Cells, selfCell)
+		crossCell, err := measuredRate(clone, RunConfig{
+			Budget: s.Cfg.Budget, Seed: s.Cfg.CrossSeed, Scale: scaleFor(s.Cfg),
+		})
+		if err != nil {
+			return nil, err
+		}
+		replCross.Cells = append(replCross.Cells, crossCell)
+	}
+	t.Rows = append(t.Rows, profSelf, profCross, replSelf, replCross)
+	return t, nil
+}
+
+// measuredRate runs a statically annotated program and returns its real
+// misprediction rate.
+func measuredRate(prog *ir.Program, cfg RunConfig) (Cell, error) {
+	m, err := runProgram(prog, cfg)
+	if err != nil {
+		return Cell{}, err
+	}
+	return rateCell(m.Mispredicted, m.Predicted), nil
+}
+
+// MeasuredReplication transforms every workload with realizable machines
+// and measures the misprediction rate and size factor of the transformed
+// programs — the end-to-end validation of the paper's headline claim.
+func (s *Suite) MeasuredReplication(maxStates int) (*Table, error) {
+	t := &Table{
+		ID:    "measured",
+		Title: "Measured replication: interpreter-verified rates and sizes",
+		Cols:  s.colNames(),
+	}
+	var base, repl, size Row
+	base.Name = "profile baseline (measured)"
+	repl.Name = "replicated (measured)"
+	size.Name = "size factor"
+	for _, d := range s.Data {
+		static := predict.ProfileStatic(d.Prof.Counts)
+		baseline := ir.CloneProgram(d.C.Prog)
+		replicate.Annotate(baseline, static.Preds)
+		bc, err := measuredRate(baseline, RunConfig{Budget: s.Cfg.Budget, Seed: s.Cfg.Seed, Scale: scaleFor(s.Cfg)})
+		if err != nil {
+			return nil, err
+		}
+		base.Cells = append(base.Cells, bc)
+
+		choices := statemachine.Select(d.Prof, d.C.Features, statemachine.Options{
+			MaxStates:  maxStates,
+			MaxPathLen: 1,
+		})
+		clone := ir.CloneProgram(d.C.Prog)
+		st, err := replicate.ApplyOpts(clone, choices, static.Preds,
+			replicate.Options{MaxSizeFactor: 3})
+		if err != nil {
+			return nil, err
+		}
+		rc, err := measuredRate(clone, RunConfig{Budget: s.Cfg.Budget, Seed: s.Cfg.Seed, Scale: scaleFor(s.Cfg)})
+		if err != nil {
+			return nil, err
+		}
+		repl.Cells = append(repl.Cells, rc)
+		size.Cells = append(size.Cells, Cell{Value: st.SizeFactor(), Valid: true})
+	}
+	t.Rows = append(t.Rows, base, repl, size)
+	return t, nil
+}

@@ -1,0 +1,459 @@
+package bench
+
+import (
+	"fmt"
+
+	"repro/internal/predict"
+	"repro/internal/profile"
+	"repro/internal/statemachine"
+)
+
+// ExpConfig parameterises the experiment suite.
+type ExpConfig struct {
+	// Budget is the branch-event budget per workload run (the paper traced
+	// up to 100M branches; the default here is 2M, which is where the
+	// rates stabilise on these workloads).
+	Budget uint64
+	// Seed/Scale override the workload inputs (0 = program defaults).
+	Seed, Scale int64
+	// CrossSeed is the alternate dataset for the cross-dataset experiment.
+	CrossSeed int64
+	// Table3States / Table4States / Table5States are the machine sizes
+	// swept by the respective tables.
+	Table3States []int
+	Table4States []int
+	Table5States []int
+	// MaxPathLen caps correlated path lengths in Table 5 selection and in
+	// the figures (1 keeps selections realizable by the replicator).
+	MaxPathLen int
+}
+
+// DefaultConfig is the configuration used by cmd/krallbench.
+func DefaultConfig() ExpConfig {
+	return ExpConfig{
+		Budget:       2_000_000,
+		CrossSeed:    424243,
+		Table3States: []int{3, 4, 5, 6, 7, 8, 9, 10},
+		Table4States: []int{2, 3, 4, 5, 6, 7},
+		Table5States: []int{2, 3, 4, 5, 6, 7, 8, 9, 10},
+		MaxPathLen:   3,
+	}
+}
+
+// QuickConfig is a scaled-down configuration for tests and smoke runs.
+func QuickConfig() ExpConfig {
+	return ExpConfig{
+		Budget:       60_000,
+		CrossSeed:    424243,
+		Table3States: []int{3, 5, 8},
+		Table4States: []int{2, 4},
+		Table5States: []int{2, 4, 8},
+		MaxPathLen:   2,
+	}
+}
+
+// Cell is one table entry.
+type Cell struct {
+	Value float64
+	// Count marks integer cells (branch counts) as opposed to percentage
+	// rates.
+	Count bool
+	Valid bool
+}
+
+// Rate makes a percentage cell.
+func rateCell(misses, total uint64) Cell {
+	if total == 0 {
+		return Cell{}
+	}
+	return Cell{Value: 100 * float64(misses) / float64(total), Valid: true}
+}
+
+func countCell(n uint64) Cell { return Cell{Value: float64(n), Count: true, Valid: true} }
+
+// Row is one table row.
+type Row struct {
+	Name  string
+	Cells []Cell
+}
+
+// Table is one reproduced result table.
+type Table struct {
+	ID    string
+	Title string
+	Cols  []string
+	Rows  []Row
+}
+
+// WorkloadData is everything collected from one profiled run of one
+// workload.
+type WorkloadData struct {
+	C    *Compiled
+	Prof *profile.Profile
+	// Local1/Global1 are the 1-bit history tables for Table 1's 1-bit
+	// rows.
+	Local1  *profile.LocalHistory
+	Global1 *profile.GlobalHistory
+	// Dynamic predictor scores.
+	Last, TwoBit, TwoLevel, GShare predict.Eval
+	// Branches is the number of traced events; Steps the executed
+	// instructions (for the [FF92] instructions-per-mispredict metric).
+	Branches uint64
+	Steps    uint64
+}
+
+// Suite holds the profiled data of all workloads plus lazily computed
+// per-size strategy selections shared by Table 5 and the figures.
+type Suite struct {
+	Cfg  ExpConfig
+	Data []*WorkloadData
+
+	selections map[selKey][][]statemachine.Choice // [key][workload][site]
+}
+
+// selKey identifies a cached selection sweep.
+type selKey struct {
+	n     int
+	paper bool
+}
+
+// NewSuite compiles and profiles every workload under the configuration.
+func NewSuite(cfg ExpConfig) (*Suite, error) {
+	s := &Suite{Cfg: cfg, selections: map[selKey][][]statemachine.Choice{}}
+	for _, w := range Workloads() {
+		c, err := Compile(w)
+		if err != nil {
+			return nil, err
+		}
+		d := &WorkloadData{
+			C:       c,
+			Prof:    profile.New(c.NSites, profile.Options{LocalK: 9, GlobalK: 9, PathM: 3}),
+			Local1:  profile.NewLocalHistory(c.NSites, 1),
+			Global1: profile.NewGlobalHistory(c.NSites, 1),
+			Last:    predict.Eval{P: predict.NewLastDirection(c.NSites)},
+			TwoBit:  predict.Eval{P: predict.NewTwoBit(c.NSites)},
+			TwoLevel: predict.Eval{
+				P: predict.NewTwoLevel(predict.PaperTwoLevel()),
+			},
+			GShare: predict.Eval{P: predict.NewGShare(12)},
+		}
+		m, err := c.Run(RunConfig{Budget: cfg.Budget, Seed: cfg.Seed, Scale: scaleFor(cfg)},
+			d.Prof, d.Local1, d.Global1, &d.Last, &d.TwoBit, &d.TwoLevel, &d.GShare)
+		if err != nil {
+			return nil, err
+		}
+		d.Branches = m.Branches
+		d.Steps = m.Steps
+		s.Data = append(s.Data, d)
+	}
+	return s, nil
+}
+
+// scaleFor makes budgeted runs never finish early: with a budget set, the
+// workload scale is raised far beyond it.
+func scaleFor(cfg ExpConfig) int64 {
+	if cfg.Scale != 0 {
+		return cfg.Scale
+	}
+	if cfg.Budget != 0 {
+		return 1 << 30
+	}
+	return 0
+}
+
+// colNames returns the workload column headers.
+func (s *Suite) colNames() []string {
+	out := make([]string, len(s.Data))
+	for i, d := range s.Data {
+		out[i] = d.C.Workload.Name
+	}
+	return out
+}
+
+// Table1 reproduces the paper's Table 1: misprediction rates of the
+// dynamic and semi-static strategies plus the branch population counts.
+func (s *Suite) Table1() *Table {
+	t := &Table{ID: "table1", Title: "Misprediction rates of different branch prediction strategies (%)", Cols: s.colNames()}
+	add := func(name string, f func(d *WorkloadData) Cell) {
+		row := Row{Name: name}
+		for _, d := range s.Data {
+			row.Cells = append(row.Cells, f(d))
+		}
+		t.Rows = append(t.Rows, row)
+	}
+	add("last direction", func(d *WorkloadData) Cell { return rateCell(d.Last.Misses, d.Last.Total) })
+	add("2 bit counter", func(d *WorkloadData) Cell { return rateCell(d.TwoBit.Misses, d.TwoBit.Total) })
+	add("two level 1K/9bit", func(d *WorkloadData) Cell { return rateCell(d.TwoLevel.Misses, d.TwoLevel.Total) })
+	add("profile", func(d *WorkloadData) Cell {
+		r := predict.ProfileResult(d.Prof.Counts)
+		return rateCell(r.Misses, r.Total)
+	})
+	add("1 bit correlation", func(d *WorkloadData) Cell {
+		r := predict.CorrelationResult(d.Global1)
+		return rateCell(r.Misses, r.Total)
+	})
+	add("9 bit correlation", func(d *WorkloadData) Cell {
+		r := predict.CorrelationResult(d.Prof.Global)
+		return rateCell(r.Misses, r.Total)
+	})
+	add("1 bit loop", func(d *WorkloadData) Cell {
+		r := predict.LoopResult(d.Local1)
+		return rateCell(r.Misses, r.Total)
+	})
+	add("9 bit loop", func(d *WorkloadData) Cell {
+		r := predict.LoopResult(d.Prof.Local)
+		return rateCell(r.Misses, r.Total)
+	})
+	add("loop-correlation", func(d *WorkloadData) Cell {
+		r, _ := predict.LoopCorrelationResult(d.Prof.Local, d.Prof.Global, d.Prof.Counts)
+		return rateCell(r.Misses, r.Total)
+	})
+	// Fisher–Freudenberger's alternative metric: executed instructions per
+	// mispredicted branch (higher is better).
+	add("instrs/mispredict (profile)", func(d *WorkloadData) Cell {
+		r := predict.ProfileResult(d.Prof.Counts)
+		if r.Misses == 0 {
+			return Cell{}
+		}
+		return countCell(d.Steps / r.Misses)
+	})
+	add("instrs/mispredict (loop-corr)", func(d *WorkloadData) Cell {
+		r, _ := predict.LoopCorrelationResult(d.Prof.Local, d.Prof.Global, d.Prof.Counts)
+		if r.Misses == 0 {
+			return Cell{}
+		}
+		return countCell(d.Steps / r.Misses)
+	})
+	add("static branches", func(d *WorkloadData) Cell { return countCell(uint64(d.C.NSites)) })
+	add("executed branches", func(d *WorkloadData) Cell { return countCell(uint64(d.Prof.Counts.Executed())) })
+	add("improved branches", func(d *WorkloadData) Cell {
+		_, improved := predict.LoopCorrelationResult(d.Prof.Local, d.Prof.Global, d.Prof.Counts)
+		n := uint64(0)
+		for _, b := range improved {
+			if b {
+				n++
+			}
+		}
+		return countCell(n)
+	})
+	return t
+}
+
+// Table2 reproduces Table 2: fill rates of the pattern tables for history
+// lengths 1..9, over local (loop) histories as in the paper, with the
+// global tables as a companion block.
+func (s *Suite) Table2() *Table {
+	t := &Table{ID: "table2", Title: "Fill rate of the history tables (%)", Cols: s.colNames()}
+	type frs struct{ local, global []profile.FillRate }
+	all := make([]frs, len(s.Data))
+	for i, d := range s.Data {
+		all[i] = frs{local: d.Prof.Local.FillRates(), global: d.Prof.Global.FillRates()}
+	}
+	for j := 0; j < 9; j++ {
+		row := Row{Name: fmt.Sprintf("%d bit local history", j+1)}
+		for i := range s.Data {
+			row.Cells = append(row.Cells, Cell{Value: all[i].local[j].Rate(), Valid: true})
+		}
+		t.Rows = append(t.Rows, row)
+	}
+	for j := 0; j < 9; j++ {
+		row := Row{Name: fmt.Sprintf("%d bit global history", j+1)}
+		for i := range s.Data {
+			row.Cells = append(row.Cells, Cell{Value: all[i].global[j].Rate(), Valid: true})
+		}
+		t.Rows = append(t.Rows, row)
+	}
+	return t
+}
+
+// siteClass partitions a workload's branch sites the way section 4 does.
+type siteClass struct {
+	intra []int32 // inside a loop, neither edge leaves it
+	exit  []int32 // inside a loop, an edge leaves it
+	other []int32
+}
+
+func classify(d *WorkloadData) siteClass {
+	var sc siteClass
+	for i := 0; i < d.C.NSites; i++ {
+		if d.Prof.Counts.Total(int32(i)) == 0 {
+			continue
+		}
+		ft := d.C.Features[i]
+		switch {
+		case ft.InLoop && !ft.TakenExits && !ft.ElseExits:
+			sc.intra = append(sc.intra, int32(i))
+		case ft.InLoop:
+			sc.exit = append(sc.exit, int32(i))
+		default:
+			sc.other = append(sc.other, int32(i))
+		}
+	}
+	return sc
+}
+
+// Table3 reproduces Table 3: misprediction rates of intra-loop and
+// loop-exit branches under full (n-1)-bit histories versus n-state
+// machines, using the paper's pattern-table counting.
+func (s *Suite) Table3() *Table {
+	t := &Table{ID: "table3", Title: "Misprediction rates of loop and loop exit branches (%)", Cols: s.colNames()}
+	classes := make([]siteClass, len(s.Data))
+	for i, d := range s.Data {
+		classes[i] = classify(d)
+	}
+	addRow := func(name string, f func(i int, d *WorkloadData) Cell) {
+		row := Row{Name: name}
+		for i, d := range s.Data {
+			row.Cells = append(row.Cells, f(i, d))
+		}
+		t.Rows = append(t.Rows, row)
+	}
+	profMisses := func(d *WorkloadData, sites []int32) (uint64, uint64) {
+		var m, tot uint64
+		for _, site := range sites {
+			p := profile.Pair{Taken: d.Prof.Counts.Taken[site], NotTaken: d.Prof.Counts.NotTaken[site]}
+			m += p.Misses()
+			tot += p.Total()
+		}
+		return m, tot
+	}
+	histMisses := func(d *WorkloadData, sites []int32, bits int) (uint64, uint64) {
+		var m, tot uint64
+		for _, site := range sites {
+			if d.Prof.Local.Table(site) == nil {
+				continue
+			}
+			for _, p := range d.Prof.Local.Project(site, bits) {
+				m += p.Misses()
+				tot += p.Total()
+			}
+		}
+		return m, tot
+	}
+	addRow("profile (loop)", func(i int, d *WorkloadData) Cell {
+		return rateCell(profMisses(d, classes[i].intra))
+	})
+	addRow("profile (exit)", func(i int, d *WorkloadData) Cell {
+		return rateCell(profMisses(d, classes[i].exit))
+	})
+	for _, n := range s.Cfg.Table3States {
+		bits := n - 1
+		if bits > 9 {
+			bits = 9
+		}
+		n := n
+		addRow(fmt.Sprintf("%d bit hist (loop)", bits), func(i int, d *WorkloadData) Cell {
+			return rateCell(histMisses(d, classes[i].intra, bits))
+		})
+		addRow(fmt.Sprintf("%d states (loop)", n), func(i int, d *WorkloadData) Cell {
+			var m, tot uint64
+			for _, site := range classes[i].intra {
+				lm := statemachine.BestLoopMachine(d.Prof.Local.Table(site), 9, n)
+				m += lm.Misses()
+				tot += lm.Total
+			}
+			return rateCell(m, tot)
+		})
+		addRow(fmt.Sprintf("%d bit hist (exit)", bits), func(i int, d *WorkloadData) Cell {
+			return rateCell(histMisses(d, classes[i].exit, bits))
+		})
+		addRow(fmt.Sprintf("%d states (exit)", n), func(i int, d *WorkloadData) Cell {
+			var m, tot uint64
+			for _, site := range classes[i].exit {
+				ft := d.C.Features[site]
+				em := statemachine.NewExitMachine(d.Prof.Local.Table(site), 9, n, ft.TakenExits)
+				m += em.Misses()
+				tot += em.Total
+			}
+			return rateCell(m, tot)
+		})
+	}
+	return t
+}
+
+// Table4 reproduces Table 4: misprediction rates of correlated branches —
+// all executed branches predicted by path machines of increasing size,
+// with path length capped at the state count as in the paper.
+func (s *Suite) Table4() *Table {
+	t := &Table{ID: "table4", Title: "Misprediction rates of correlated branches (%)", Cols: s.colNames()}
+	addRow := func(name string, f func(d *WorkloadData) Cell) {
+		row := Row{Name: name}
+		for _, d := range s.Data {
+			row.Cells = append(row.Cells, f(d))
+		}
+		t.Rows = append(t.Rows, row)
+	}
+	addRow("profile", func(d *WorkloadData) Cell {
+		r := predict.ProfileResult(d.Prof.Counts)
+		return rateCell(r.Misses, r.Total)
+	})
+	addRow("full path table", func(d *WorkloadData) Cell {
+		var m, tot uint64
+		for i := 0; i < d.C.NSites; i++ {
+			sm, st := d.Prof.Path.SiteMisses(int32(i))
+			m += sm
+			tot += st
+		}
+		return rateCell(m, tot)
+	})
+	for _, n := range s.Cfg.Table4States {
+		n := n
+		addRow(fmt.Sprintf("%d states", n), func(d *WorkloadData) Cell {
+			var m, tot uint64
+			for i := 0; i < d.C.NSites; i++ {
+				if d.Prof.Counts.Total(int32(i)) == 0 {
+					continue
+				}
+				pm := statemachine.BestPathMachine(d.Prof.Path, int32(i), n, n)
+				m += pm.Misses()
+				tot += pm.Total
+			}
+			return rateCell(m, tot)
+		})
+	}
+	return t
+}
+
+// Selections computes (and caches) the per-branch best strategies at a
+// given machine size for every workload. With paperCounting, loop machines
+// are scored with the paper's pattern counting (used by Table 5 and the
+// figures, like the paper's own numbers); otherwise exact stream replay is
+// used (what the measured experiments need).
+func (s *Suite) Selections(n int, paperCounting bool) [][]statemachine.Choice {
+	key := selKey{n: n, paper: paperCounting}
+	if got, ok := s.selections[key]; ok {
+		return got
+	}
+	out := make([][]statemachine.Choice, len(s.Data))
+	for i, d := range s.Data {
+		out[i] = statemachine.Select(d.Prof, d.C.Features, statemachine.Options{
+			MaxStates:     n,
+			MaxPathLen:    s.Cfg.MaxPathLen,
+			PaperCounting: paperCounting,
+		})
+	}
+	s.selections[key] = out
+	return out
+}
+
+// Table5 reproduces Table 5: best achievable misprediction rates when every
+// branch uses its best strategy under a state budget.
+func (s *Suite) Table5() *Table {
+	t := &Table{ID: "table5", Title: "Best achievable misprediction rates (%)", Cols: s.colNames()}
+	prow := Row{Name: "profile"}
+	for _, d := range s.Data {
+		r := predict.ProfileResult(d.Prof.Counts)
+		prow.Cells = append(prow.Cells, rateCell(r.Misses, r.Total))
+	}
+	t.Rows = append(t.Rows, prow)
+	for _, n := range s.Cfg.Table5States {
+		sel := s.Selections(n, true)
+		row := Row{Name: fmt.Sprintf("%d states", n)}
+		for i := range s.Data {
+			m, tot := statemachine.Aggregate(sel[i])
+			row.Cells = append(row.Cells, rateCell(m, tot))
+		}
+		t.Rows = append(t.Rows, row)
+	}
+	return t
+}

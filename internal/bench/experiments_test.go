@@ -1,0 +1,411 @@
+package bench
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// The suite is expensive to build; share one across experiment tests.
+var (
+	suiteOnce sync.Once
+	suite     *Suite
+	suiteErr  error
+)
+
+func testSuite(t *testing.T) *Suite {
+	t.Helper()
+	suiteOnce.Do(func() {
+		suite, suiteErr = NewSuite(QuickConfig())
+	})
+	if suiteErr != nil {
+		t.Fatalf("suite: %v", suiteErr)
+	}
+	return suite
+}
+
+func rowByName(t *testing.T, tab *Table, name string) Row {
+	t.Helper()
+	for _, r := range tab.Rows {
+		if r.Name == name {
+			return r
+		}
+	}
+	t.Fatalf("table %s has no row %q", tab.ID, name)
+	return Row{}
+}
+
+func TestSuiteCollects(t *testing.T) {
+	s := testSuite(t)
+	if len(s.Data) != 8 {
+		t.Fatalf("suite has %d workloads", len(s.Data))
+	}
+	for _, d := range s.Data {
+		if d.Branches != s.Cfg.Budget {
+			t.Fatalf("%s traced %d branches, want %d", d.C.Workload.Name, d.Branches, s.Cfg.Budget)
+		}
+		if d.Prof.Counts.Executed() < 5 {
+			t.Fatalf("%s exercised too few branch sites", d.C.Workload.Name)
+		}
+	}
+}
+
+func TestTable1Shape(t *testing.T) {
+	s := testSuite(t)
+	tab := s.Table1()
+	if len(tab.Cols) != 8 || len(tab.Rows) != 14 {
+		t.Fatalf("table1 is %dx%d", len(tab.Rows), len(tab.Cols))
+	}
+	prof := rowByName(t, tab, "profile")
+	lc := rowByName(t, tab, "loop-correlation")
+	l9 := rowByName(t, tab, "9 bit loop")
+	l1 := rowByName(t, tab, "1 bit loop")
+	for i := range tab.Cols {
+		if !prof.Cells[i].Valid || !lc.Cells[i].Valid {
+			t.Fatalf("col %s missing rates", tab.Cols[i])
+		}
+		// The paper's central ordering: history strategies beat plain
+		// profile, and the combination beats (or matches) each component.
+		if lc.Cells[i].Value > prof.Cells[i].Value+0.2 {
+			t.Errorf("%s: loop-correlation %.2f worse than profile %.2f",
+				tab.Cols[i], lc.Cells[i].Value, prof.Cells[i].Value)
+		}
+		if l9.Cells[i].Value > l1.Cells[i].Value+0.5 {
+			t.Errorf("%s: 9-bit loop %.2f worse than 1-bit loop %.2f",
+				tab.Cols[i], l9.Cells[i].Value, l1.Cells[i].Value)
+		}
+	}
+	// Branch-count rows must be integers > 0.
+	for _, name := range []string{"static branches", "executed branches"} {
+		r := rowByName(t, tab, name)
+		for i := range tab.Cols {
+			if !r.Cells[i].Count || r.Cells[i].Value <= 0 {
+				t.Fatalf("%s/%s not a positive count", name, tab.Cols[i])
+			}
+		}
+	}
+}
+
+func TestTable1AggregateHierarchy(t *testing.T) {
+	// Across the whole suite the paper's hierarchy must hold:
+	// loop-correlation < profile, two-level < 2-bit counter.
+	s := testSuite(t)
+	tab := s.Table1()
+	avg := func(name string) float64 {
+		r := rowByName(t, tab, name)
+		sum, n := 0.0, 0
+		for _, c := range r.Cells {
+			if c.Valid {
+				sum += c.Value
+				n++
+			}
+		}
+		return sum / float64(n)
+	}
+	profile := avg("profile")
+	lc := avg("loop-correlation")
+	if lc >= profile {
+		t.Fatalf("loop-correlation %.2f >= profile %.2f on average", lc, profile)
+	}
+	// The paper reports roughly halving; allow a generous band but demand
+	// a real improvement.
+	if lc > 0.8*profile {
+		t.Errorf("loop-correlation %.2f is less than a 20%% improvement over profile %.2f", lc, profile)
+	}
+	twoBit := avg("2 bit counter")
+	twoLevel := avg("two level 1K/9bit")
+	if twoLevel >= twoBit+0.5 {
+		t.Errorf("two-level %.2f not better than 2-bit %.2f", twoLevel, twoBit)
+	}
+}
+
+func TestTable2FillRatesDecrease(t *testing.T) {
+	s := testSuite(t)
+	tab := s.Table2()
+	if len(tab.Rows) != 18 {
+		t.Fatalf("table2 rows = %d", len(tab.Rows))
+	}
+	// Within the local block, fill rate must not increase with history
+	// length (the tables get sparser — the paper's key observation).
+	for col := range tab.Cols {
+		for j := 1; j < 9; j++ {
+			prev := tab.Rows[j-1].Cells[col].Value
+			cur := tab.Rows[j].Cells[col].Value
+			if cur > prev+1e-9 {
+				t.Fatalf("%s: local fill rate grew from %d to %d bits (%.2f -> %.2f)",
+					tab.Cols[col], j, j+1, prev, cur)
+			}
+		}
+	}
+	// 9-bit tables must be much sparser than 1-bit ones (the paper's
+	// observation that motivates compacting them into state machines).
+	// Synthetic inputs are noisier than the paper's real programs, so the
+	// bound is loose.
+	for col := range tab.Cols {
+		if v := tab.Rows[8].Cells[col].Value; v > 80 {
+			t.Errorf("%s: 9-bit fill rate %.2f%% not sparse", tab.Cols[col], v)
+		}
+	}
+}
+
+func TestTable3MachinesApproachTables(t *testing.T) {
+	s := testSuite(t)
+	tab := s.Table3()
+	// For each swept n, the n-state machine cannot beat the full
+	// (n-1)-bit history it compresses, but must stay close (the paper's
+	// point: compaction loses almost nothing).
+	for _, n := range s.Cfg.Table3States {
+		bits := n - 1
+		if bits > 9 {
+			bits = 9
+		}
+		hist := rowByName(t, tab, sprintf("%d bit hist (loop)", bits))
+		mach := rowByName(t, tab, sprintf("%d states (loop)", n))
+		for i := range tab.Cols {
+			if !hist.Cells[i].Valid || !mach.Cells[i].Valid {
+				continue
+			}
+			if mach.Cells[i].Value+1e-6 < hist.Cells[i].Value-0.5 {
+				t.Errorf("%s n=%d: machine %.2f%% beats full table %.2f%% by too much",
+					tab.Cols[i], n, mach.Cells[i].Value, hist.Cells[i].Value)
+			}
+		}
+	}
+}
+
+func sprintf(format string, args ...any) string {
+	return fmt.Sprintf(format, args...)
+}
+
+func TestTable4MoreStatesHelp(t *testing.T) {
+	s := testSuite(t)
+	tab := s.Table4()
+	ns := s.Cfg.Table4States
+	for i := range tab.Cols {
+		prev := rowByName(t, tab, sprintf("%d states", ns[0])).Cells[i].Value
+		for _, n := range ns[1:] {
+			cur := rowByName(t, tab, sprintf("%d states", n)).Cells[i].Value
+			if cur > prev+0.3 {
+				t.Errorf("%s: %d-state path machine %.2f worse than smaller %.2f",
+					tab.Cols[i], n, cur, prev)
+			}
+			prev = cur
+		}
+		// Path machines of any size must not lose to plain profile.
+		prof := rowByName(t, tab, "profile").Cells[i].Value
+		last := prev
+		if last > prof+0.3 {
+			t.Errorf("%s: path machines %.2f worse than profile %.2f", tab.Cols[i], last, prof)
+		}
+	}
+}
+
+func TestTable5Monotone(t *testing.T) {
+	s := testSuite(t)
+	tab := s.Table5()
+	for i := range tab.Cols {
+		prof := rowByName(t, tab, "profile").Cells[i].Value
+		prev := prof + 1e-9
+		for _, n := range s.Cfg.Table5States {
+			cur := rowByName(t, tab, sprintf("%d states", n)).Cells[i].Value
+			if cur > prof+1e-6 {
+				t.Errorf("%s: best-achievable at %d states (%.2f) worse than profile (%.2f)",
+					tab.Cols[i], n, cur, prof)
+			}
+			if cur > prev+0.3 {
+				t.Errorf("%s: best-achievable grew from %.2f to %.2f at %d states",
+					tab.Cols[i], prev, cur, n)
+			}
+			prev = cur
+		}
+	}
+}
+
+func TestFiguresShape(t *testing.T) {
+	s := testSuite(t)
+	figs := s.Figures()
+	if len(figs) != 8 {
+		t.Fatalf("figures = %d", len(figs))
+	}
+	for _, f := range figs {
+		if len(f.Points) == 0 {
+			t.Fatalf("%s: empty curve", f.Workload)
+		}
+		if f.Points[0].SizeFactor != 1.0 {
+			t.Fatalf("%s: curve starts at size %.3f", f.Workload, f.Points[0].SizeFactor)
+		}
+		for i := 1; i < len(f.Points); i++ {
+			if f.Points[i].MissRate > f.Points[i-1].MissRate+1e-9 {
+				t.Fatalf("%s: miss rate increased along the greedy curve", f.Workload)
+			}
+			// Size usually grows, but a step can switch a branch to a
+			// cheaper machine family (a Pareto improvement), so size
+			// monotonicity is not asserted.
+		}
+	}
+	hs := Headlines(figs)
+	if len(hs) != 8 {
+		t.Fatalf("headlines = %d", len(hs))
+	}
+	for _, h := range hs {
+		if h.At133Rate > h.ProfileRate+1e-9 {
+			t.Fatalf("%s: 1.33x point worse than profile", h.Workload)
+		}
+		if h.BestRate > h.At133Rate+1e-9 {
+			t.Fatalf("%s: best-anywhere worse than best-at-1.33x", h.Workload)
+		}
+	}
+}
+
+func TestRenderOutputs(t *testing.T) {
+	s := testSuite(t)
+	tab := s.Table1()
+	out := tab.Render()
+	for _, want := range []string{"abalone", "doduc", "profile", "loop-correlation"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("render missing %q:\n%s", want, out)
+		}
+	}
+	figs := s.Figures()
+	fo := RenderFigure(figs[0])
+	if !strings.Contains(fo, "size") || !strings.Contains(fo, figs[0].Workload) {
+		t.Fatalf("figure render: %s", fo)
+	}
+	ho := RenderHeadlines(Headlines(figs))
+	if !strings.Contains(ho, "1.33x") {
+		t.Fatalf("headline render: %s", ho)
+	}
+	ft := FigureTable(figs)
+	if len(ft.Rows) == 0 || len(ft.Cols) != 8 {
+		t.Fatal("figure table malformed")
+	}
+}
+
+func TestMeasuredReplicationImproves(t *testing.T) {
+	s := testSuite(t)
+	tab, err := s.MeasuredReplication(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := rowByName(t, tab, "profile baseline (measured)")
+	repl := rowByName(t, tab, "replicated (measured)")
+	size := rowByName(t, tab, "size factor")
+	var sumBase, sumRepl float64
+	for i := range tab.Cols {
+		sumBase += base.Cells[i].Value
+		sumRepl += repl.Cells[i].Value
+		if repl.Cells[i].Value > base.Cells[i].Value+1.5 {
+			t.Errorf("%s: measured replication regressed %.2f -> %.2f",
+				tab.Cols[i], base.Cells[i].Value, repl.Cells[i].Value)
+		}
+		if size.Cells[i].Value < 1.0 {
+			t.Errorf("%s: size factor %.2f < 1", tab.Cols[i], size.Cells[i].Value)
+		}
+	}
+	if sumRepl >= sumBase {
+		t.Fatalf("measured replication did not improve on average: %.2f vs %.2f",
+			sumRepl/8, sumBase/8)
+	}
+}
+
+func TestLayoutTable(t *testing.T) {
+	s := testSuite(t)
+	tab, err := s.LayoutTable()
+	if err != nil {
+		t.Fatal(err)
+	}
+	on := rowByName(t, tab, "original, naive layout")
+	op := rowByName(t, tab, "original, PH layout")
+	rp := rowByName(t, tab, "replicated, PH layout")
+	for i := range tab.Cols {
+		if !on.Cells[i].Valid || !op.Cells[i].Valid || !rp.Cells[i].Valid {
+			t.Fatalf("%s: missing layout cells", tab.Cols[i])
+		}
+		// Pettis-Hansen must beat the naive layout decisively.
+		if op.Cells[i].Value >= on.Cells[i].Value {
+			t.Errorf("%s: PH layout (%.2f) not better than naive (%.2f)",
+				tab.Cols[i], op.Cells[i].Value, on.Cells[i].Value)
+		}
+	}
+	// On average, replication should improve the laid-out taken rate (its
+	// per-copy branches are more biased).
+	var sumOrig, sumRepl float64
+	for i := range tab.Cols {
+		sumOrig += op.Cells[i].Value
+		sumRepl += rp.Cells[i].Value
+	}
+	if sumRepl > sumOrig+2 {
+		t.Errorf("replication hurt layout on average: %.2f vs %.2f", sumRepl/8, sumOrig/8)
+	}
+}
+
+func TestScopeTable(t *testing.T) {
+	s := testSuite(t)
+	tab, err := s.ScopeTable()
+	if err != nil {
+		t.Fatal(err)
+	}
+	orig := rowByName(t, tab, "original")
+	repl := rowByName(t, tab, "replicated")
+	var sumOrig, sumRepl float64
+	for i := range tab.Cols {
+		if !orig.Cells[i].Valid || !repl.Cells[i].Valid {
+			t.Fatalf("%s: missing scope cells", tab.Cols[i])
+		}
+		sumOrig += orig.Cells[i].Value
+		sumRepl += repl.Cells[i].Value
+	}
+	// Replication must lengthen the average dynamic trace (that is the
+	// point of feeding the scheduler better predictions).
+	if sumRepl <= sumOrig {
+		t.Fatalf("replication shortened traces: %.1f vs %.1f", sumRepl/8, sumOrig/8)
+	}
+}
+
+func TestJointTable(t *testing.T) {
+	s := testSuite(t)
+	tab, err := s.JointTable()
+	if err != nil {
+		t.Fatal(err)
+	}
+	seqR := rowByName(t, tab, "sequential rate")
+	jR := rowByName(t, tab, "joint rate")
+	seqS := rowByName(t, tab, "sequential size factor")
+	jS := rowByName(t, tab, "joint size factor")
+	var sumSeqS, sumJS, sumSeqR, sumJR float64
+	for i := range tab.Cols {
+		sumSeqS += seqS.Cells[i].Value
+		sumJS += jS.Cells[i].Value
+		sumSeqR += seqR.Cells[i].Value
+		sumJR += jR.Cells[i].Value
+	}
+	// Joint must be no larger on average and in the same accuracy band.
+	if sumJS > sumSeqS+0.5 {
+		t.Fatalf("joint larger on average: %.2f vs %.2f", sumJS/8, sumSeqS/8)
+	}
+	if sumJR > sumSeqR+8 {
+		t.Fatalf("joint much worse on average: %.2f vs %.2f", sumJR/8, sumSeqR/8)
+	}
+}
+
+func TestCrossDataset(t *testing.T) {
+	s := testSuite(t)
+	tab, err := s.CrossDataset()
+	if err != nil {
+		t.Fatal(err)
+	}
+	self := rowByName(t, tab, "profile self")
+	cross := rowByName(t, tab, "profile cross")
+	var sumSelf, sumCross float64
+	for i := range tab.Cols {
+		sumSelf += self.Cells[i].Value
+		sumCross += cross.Cells[i].Value
+	}
+	// Training on the evaluation set cannot be worse than cross-dataset
+	// prediction on average (FF92's observation).
+	if sumCross < sumSelf-0.2 {
+		t.Fatalf("cross-dataset average %.2f better than self %.2f — suspicious",
+			sumCross/8, sumSelf/8)
+	}
+}

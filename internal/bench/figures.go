@@ -1,0 +1,284 @@
+package bench
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/cfg"
+	"repro/internal/ir"
+	"repro/internal/profile"
+	"repro/internal/statemachine"
+)
+
+// FigPoint is one point of a misprediction-vs-code-size curve.
+type FigPoint struct {
+	// SizeFactor is program size relative to the original (1.0 = no
+	// replication).
+	SizeFactor float64
+	// MissRate is the predicted misprediction rate in percent.
+	MissRate float64
+	// Steps is the number of greedy state additions taken so far.
+	Steps int
+}
+
+// Figure is one workload's curve (the paper's Figures 6–13).
+type Figure struct {
+	Workload string
+	Points   []FigPoint
+}
+
+// sizeModel captures the analytic code-size model of section 5: a branch
+// replicated with an n-state loop/exit machine multiplies its innermost
+// natural loop by n (so same-loop branches multiply and different-loop
+// branches add), and a correlated branch adds n-1 copies of its block.
+type sizeModel struct {
+	baseSize float64
+	// blocks[i] is the weight of block i; blockSites[i] lists the sites
+	// whose innermost loop contains block i.
+	blockWeight []float64
+	blockSites  [][]int32
+	// siteBlockWeight is the branch block weight per site (for path
+	// machines).
+	siteBlockWeight map[int32]float64
+}
+
+func buildSizeModel(c *Compiled) *sizeModel {
+	m := &sizeModel{siteBlockWeight: map[int32]float64{}}
+	for _, f := range c.Prog.Funcs {
+		g := cfg.Build(f)
+		lf := cfg.FindLoops(g)
+		// innermost loop per site in this function
+		loopOf := map[int32]*cfg.Loop{}
+		for _, b := range f.Blocks {
+			if b.Term.Op == ir.TermBr {
+				loopOf[b.Term.Site] = lf.InnermostLoop(b)
+				m.siteBlockWeight[b.Term.Site] = float64(len(b.Instrs) + 1)
+			}
+		}
+		for _, b := range f.Blocks {
+			w := float64(len(b.Instrs) + 1)
+			m.baseSize += w
+			var sites []int32
+			for s, l := range loopOf {
+				if l != nil && l.Contains(b) {
+					sites = append(sites, s)
+				}
+			}
+			m.blockWeight = append(m.blockWeight, w)
+			m.blockSites = append(m.blockSites, sites)
+		}
+	}
+	return m
+}
+
+// size evaluates the model for a state assignment: states[s] is the machine
+// size of site s (1 = unreplicated) and kinds[s] its family.
+func (m *sizeModel) size(states map[int32]int, kinds map[int32]statemachine.Kind) float64 {
+	total := 0.0
+	for i, w := range m.blockWeight {
+		mult := 1.0
+		for _, s := range m.blockSites[i] {
+			n := states[s]
+			if n > 1 && (kinds[s] == statemachine.KindLoop || kinds[s] == statemachine.KindExit) {
+				mult *= float64(n)
+			}
+		}
+		total += w * mult
+	}
+	for s, n := range states {
+		if n > 1 && kinds[s] == statemachine.KindPath {
+			total += float64(n-1) * m.siteBlockWeight[s]
+		}
+	}
+	return total
+}
+
+// Figures computes the greedy misprediction-vs-size curve for every
+// workload: states are added one branch at a time, choosing the step with
+// the best (misprediction reduction / size increase) ratio, exactly the
+// ordering rule of section 5.
+func (s *Suite) Figures() []Figure {
+	levels := append([]int{1}, s.Cfg.Table5States...)
+	// Pre-pull selections for every level > 1.
+	selAt := map[int][][]statemachine.Choice{}
+	for _, n := range levels[1:] {
+		selAt[n] = s.Selections(n, true)
+	}
+	var figs []Figure
+	for wi, d := range s.Data {
+		model := buildSizeModel(d.C)
+		nSites := d.C.NSites
+		// missEvents[levelIdx][site], normalised to the profile totals.
+		miss := make([][]float64, len(levels))
+		kind := make([][]statemachine.Kind, len(levels))
+		profTotal := make([]float64, nSites)
+		var totalEvents float64
+		for site := 0; site < nSites; site++ {
+			p := profile.Pair{Taken: d.Prof.Counts.Taken[site], NotTaken: d.Prof.Counts.NotTaken[site]}
+			profTotal[site] = float64(p.Total())
+			totalEvents += float64(p.Total())
+		}
+		for li, n := range levels {
+			miss[li] = make([]float64, nSites)
+			kind[li] = make([]statemachine.Kind, nSites)
+			for site := 0; site < nSites; site++ {
+				p := profile.Pair{Taken: d.Prof.Counts.Taken[site], NotTaken: d.Prof.Counts.NotTaken[site]}
+				if li == 0 {
+					miss[li][site] = float64(p.Misses())
+					kind[li][site] = statemachine.KindProfile
+					continue
+				}
+				c := &selAt[n][wi][site]
+				if c.Total == 0 {
+					miss[li][site] = float64(p.Misses())
+					kind[li][site] = statemachine.KindProfile
+					continue
+				}
+				rate := float64(c.Misses()) / float64(c.Total)
+				miss[li][site] = rate * profTotal[site]
+				kind[li][site] = c.Kind
+			}
+		}
+
+		level := make([]int, nSites) // index into levels
+		states := map[int32]int{}
+		kinds := map[int32]statemachine.Kind{}
+		curMiss := 0.0
+		for site := 0; site < nSites; site++ {
+			curMiss += miss[0][site]
+		}
+		curSize := model.size(states, kinds)
+		fig := Figure{Workload: d.C.Workload.Name}
+		point := func(steps int) {
+			fig.Points = append(fig.Points, FigPoint{
+				SizeFactor: curSize / model.baseSize,
+				MissRate:   100 * curMiss / math.Max(totalEvents, 1),
+				Steps:      steps,
+			})
+		}
+		point(0)
+		const maxSizeFactor = 1000.0
+		for step := 1; ; step++ {
+			bestSite := -1
+			bestRatio := 0.0
+			var bestSize float64
+			for site := 0; site < nSites; site++ {
+				li := level[site]
+				if li+1 >= len(levels) {
+					continue
+				}
+				dm := miss[li][site] - miss[li+1][site]
+				if dm <= 0 {
+					continue
+				}
+				n := levels[li+1]
+				old, oldOK := states[int32(site)]
+				oldKind := kinds[int32(site)]
+				states[int32(site)] = n
+				kinds[int32(site)] = kind[li+1][site]
+				sz := model.size(states, kinds)
+				if oldOK {
+					states[int32(site)] = old
+					kinds[int32(site)] = oldKind
+				} else {
+					delete(states, int32(site))
+					delete(kinds, int32(site))
+				}
+				ds := sz - curSize
+				if ds < 0.0001 {
+					ds = 0.0001
+				}
+				ratio := dm / ds
+				if ratio > bestRatio {
+					bestRatio = ratio
+					bestSite = site
+					bestSize = sz
+				}
+			}
+			if bestSite < 0 || curSize/model.baseSize > maxSizeFactor {
+				break
+			}
+			li := level[bestSite]
+			level[bestSite] = li + 1
+			curMiss += miss[li+1][bestSite] - miss[li][bestSite]
+			states[int32(bestSite)] = levels[li+1]
+			kinds[int32(bestSite)] = kind[li+1][bestSite]
+			curSize = bestSize
+			point(step)
+		}
+		figs = append(figs, fig)
+	}
+	return figs
+}
+
+// Headline summarises the figures at the paper's operating point: the best
+// misprediction achievable within a 4/3 size budget, versus plain profile.
+type Headline struct {
+	Workload      string
+	ProfileRate   float64
+	BestRate      float64 // anywhere on the curve
+	At133Rate     float64 // best within size factor 1.33
+	At133Size     float64
+	ReductionPct  float64 // 100*(1 - At133Rate/ProfileRate)
+	SizeIncrease  float64 // At133Size - 1
+	CurveExplored int
+}
+
+// Headlines derives the §5 headline numbers from the figures.
+func Headlines(figs []Figure) []Headline {
+	var out []Headline
+	for _, f := range figs {
+		h := Headline{Workload: f.Workload, CurveExplored: len(f.Points)}
+		if len(f.Points) == 0 {
+			out = append(out, h)
+			continue
+		}
+		h.ProfileRate = f.Points[0].MissRate
+		h.BestRate = h.ProfileRate
+		h.At133Rate = h.ProfileRate
+		h.At133Size = 1
+		for _, p := range f.Points {
+			if p.MissRate < h.BestRate {
+				h.BestRate = p.MissRate
+			}
+			if p.SizeFactor <= 4.0/3.0 && p.MissRate < h.At133Rate {
+				h.At133Rate = p.MissRate
+				h.At133Size = p.SizeFactor
+			}
+		}
+		if h.ProfileRate > 0 {
+			h.ReductionPct = 100 * (1 - h.At133Rate/h.ProfileRate)
+		}
+		h.SizeIncrease = h.At133Size - 1
+		out = append(out, h)
+	}
+	return out
+}
+
+// FigureTable renders the curves in tabular form for EXPERIMENTS.md: a
+// fixed grid of size factors with the best rate achieved within each.
+func FigureTable(figs []Figure) *Table {
+	grid := []float64{1.0, 1.05, 1.1, 1.2, 1.33, 1.5, 2, 3, 5, 10, 100, 1000}
+	t := &Table{ID: "figures", Title: "Misprediction rate (%) vs code size factor (Figures 6-13)"}
+	for _, f := range figs {
+		t.Cols = append(t.Cols, f.Workload)
+	}
+	for _, g := range grid {
+		row := Row{Name: fmt.Sprintf("size ≤ %.2fx", g)}
+		for _, f := range figs {
+			best := math.Inf(1)
+			for _, p := range f.Points {
+				if p.SizeFactor <= g+1e-9 && p.MissRate < best {
+					best = p.MissRate
+				}
+			}
+			if math.IsInf(best, 1) {
+				row.Cells = append(row.Cells, Cell{})
+			} else {
+				row.Cells = append(row.Cells, Cell{Value: best, Valid: true})
+			}
+		}
+		t.Rows = append(t.Rows, row)
+	}
+	return t
+}

@@ -1,0 +1,61 @@
+package bench
+
+import (
+	"repro/internal/ir"
+	"repro/internal/predict"
+	"repro/internal/replicate"
+	"repro/internal/statemachine"
+)
+
+// JointTable runs the §6 joint-machine experiment: the same strategy
+// selection applied sequentially (per-branch machines, same-loop branches
+// multiply copies) versus jointly (one minimised machine per loop), both
+// measured by executing the transformed programs. Joint replication should
+// match the sequential misprediction rate at equal or lower code size.
+func (s *Suite) JointTable() (*Table, error) {
+	t := &Table{
+		ID:    "joint",
+		Title: "Sequential vs joint (§6) replication: measured rate and size factor",
+		Cols:  s.colNames(),
+	}
+	var seqRate, seqSize, jointRate, jointSize Row
+	seqRate.Name = "sequential rate"
+	jointRate.Name = "joint rate"
+	seqSize.Name = "sequential size factor"
+	jointSize.Name = "joint size factor"
+	const maxStates = 4
+	for _, d := range s.Data {
+		static := predict.ProfileStatic(d.Prof.Counts)
+		choices := statemachine.Select(d.Prof, d.C.Features, statemachine.Options{
+			MaxStates:  maxStates,
+			MaxPathLen: 1,
+		})
+		runCfg := RunConfig{Budget: s.Cfg.Budget, Seed: s.Cfg.Seed, Scale: scaleFor(s.Cfg)}
+
+		seq := ir.CloneProgram(d.C.Prog)
+		seqStats, err := replicate.ApplyOpts(seq, choices, static.Preds, replicate.Options{MaxSizeFactor: 4})
+		if err != nil {
+			return nil, err
+		}
+		sc, err := measuredRate(seq, runCfg)
+		if err != nil {
+			return nil, err
+		}
+		seqRate.Cells = append(seqRate.Cells, sc)
+		seqSize.Cells = append(seqSize.Cells, Cell{Value: seqStats.SizeFactor(), Valid: true})
+
+		joint := ir.CloneProgram(d.C.Prog)
+		jointStats, err := replicate.ApplyJoint(joint, choices, static.Preds, replicate.Options{MaxSizeFactor: 4})
+		if err != nil {
+			return nil, err
+		}
+		jc, err := measuredRate(joint, runCfg)
+		if err != nil {
+			return nil, err
+		}
+		jointRate.Cells = append(jointRate.Cells, jc)
+		jointSize.Cells = append(jointSize.Cells, Cell{Value: jointStats.SizeFactor(), Valid: true})
+	}
+	t.Rows = append(t.Rows, seqRate, jointRate, seqSize, jointSize)
+	return t, nil
+}

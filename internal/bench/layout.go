@@ -1,0 +1,95 @@
+package bench
+
+import (
+	"errors"
+
+	"repro/internal/interp"
+	"repro/internal/ir"
+	"repro/internal/layout"
+	"repro/internal/predict"
+	"repro/internal/replicate"
+	"repro/internal/statemachine"
+	"repro/internal/trace"
+)
+
+// LayoutTable runs the code-positioning extension experiment: the dynamic
+// taken-transfer rate (the [PH90] objective; lower is better for the
+// instruction cache and fetch unit) for the original program and for the
+// replicated one, each under the naive block order and under
+// Pettis–Hansen positioning. It quantifies §5's remark that a cost
+// function must weigh replication's cache impact: replication adds code,
+// but its biased per-state branches lay out into longer fall-through runs.
+func (s *Suite) LayoutTable() (*Table, error) {
+	t := &Table{
+		ID:    "layout",
+		Title: "Dynamic taken-transfer rate (%) under code positioning [PH90]",
+		Cols:  s.colNames(),
+	}
+	rows := map[string]*Row{}
+	for _, name := range []string{
+		"original, naive layout",
+		"original, PH layout",
+		"replicated, naive layout",
+		"replicated, PH layout",
+	} {
+		rows[name] = &Row{Name: name}
+	}
+
+	for _, d := range s.Data {
+		origNaive, origPH, err := layoutRates(d.C.Prog, s.Cfg)
+		if err != nil {
+			return nil, err
+		}
+		rows["original, naive layout"].Cells = append(rows["original, naive layout"].Cells, origNaive)
+		rows["original, PH layout"].Cells = append(rows["original, PH layout"].Cells, origPH)
+
+		static := predict.ProfileStatic(d.Prof.Counts)
+		choices := statemachine.Select(d.Prof, d.C.Features, statemachine.Options{
+			MaxStates:  5,
+			MaxPathLen: 1,
+		})
+		clone := ir.CloneProgram(d.C.Prog)
+		if _, err := replicate.ApplyOpts(clone, choices, static.Preds,
+			replicate.Options{MaxSizeFactor: 3}); err != nil {
+			return nil, err
+		}
+		replNaive, replPH, err := layoutRates(clone, s.Cfg)
+		if err != nil {
+			return nil, err
+		}
+		rows["replicated, naive layout"].Cells = append(rows["replicated, naive layout"].Cells, replNaive)
+		rows["replicated, PH layout"].Cells = append(rows["replicated, PH layout"].Cells, replPH)
+	}
+	t.Rows = append(t.Rows,
+		*rows["original, naive layout"], *rows["original, PH layout"],
+		*rows["replicated, naive layout"], *rows["replicated, PH layout"])
+	return t, nil
+}
+
+// layoutRates profiles one program (block counts + branch counts) and
+// evaluates both layouts.
+func layoutRates(prog *ir.Program, cfg ExpConfig) (naive, ph Cell, err error) {
+	n := prog.NumberBranches(false)
+	counts := trace.NewCounts(n)
+	m := interp.New(prog)
+	m.EnableBlockCounts()
+	m.Hook = counts.Branch
+	m.MaxBranches = cfg.Budget
+	if cfg.Seed != 0 {
+		if err := m.SetGlobal("wseed", cfg.Seed); err != nil {
+			return Cell{}, Cell{}, err
+		}
+	}
+	if sc := scaleFor(cfg); sc != 0 {
+		if err := m.SetGlobal("wscale", sc); err != nil {
+			return Cell{}, Cell{}, err
+		}
+	}
+	if _, err := m.Run(); err != nil && !errors.Is(err, interp.ErrLimit) {
+		return Cell{}, Cell{}, err
+	}
+	bc := m.BlockCounts()
+	nv := layout.EvaluateProgram(prog, bc, counts, false)
+	pv := layout.EvaluateProgram(prog, bc, counts, true)
+	return Cell{Value: nv.TakenRate(), Valid: true}, Cell{Value: pv.TakenRate(), Valid: true}, nil
+}

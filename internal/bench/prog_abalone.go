@@ -1,0 +1,190 @@
+package bench
+
+// abaloneSrc is the stand-in for the paper's "abalone" benchmark: a board
+// game played by alpha-beta (negamax) search. The game is a four-pile
+// subtraction game with a positional evaluation, searched to a fixed depth
+// with cut-offs and move ordering — the same highly data-dependent,
+// recursion-heavy branch behaviour as a real game program.
+const abaloneSrc = `
+// abalone: alpha-beta game search workload.
+
+var wseed int = 12345;
+var wscale int = 8;
+
+var seed int;
+
+func rand() int {
+    seed = (seed * 1103515245 + 12345) & 1073741823;
+    return seed;
+}
+
+var piles [4]int;
+var nodes int;
+var cutoffs int;
+var evals int;
+
+// eval scores the position for the side to move: pile parity and nim-sum
+// flavoured heuristics, full of data-dependent branches.
+func eval() int {
+    evals = evals + 1;
+    var x int = piles[0] ^ piles[1] ^ piles[2] ^ piles[3];
+    var score int = 0;
+    if x == 0 {
+        score = -20;
+    } else {
+        score = 10;
+    }
+    var odd int = 0;
+    for var i int = 0; i < 4; i = i + 1 {
+        if piles[i] % 2 == 1 {
+            odd = odd + 1;
+        }
+        if piles[i] > 6 {
+            score = score + 2;
+        }
+    }
+    if odd >= 2 {
+        score = score + odd;
+    }
+    return score;
+}
+
+func gameOver() bool {
+    return piles[0] == 0 && piles[1] == 0 && piles[2] == 0 && piles[3] == 0;
+}
+
+// Killer-move tables per search depth and a history heuristic over
+// (pile, take) move coordinates: both standard alpha-beta move-ordering
+// devices, full of data-dependent branches.
+var killerP [16]int;
+var killerT [16]int;
+var hist [16]int; // indexed p*4 + take
+
+func moveScore(p int, take int, depth int) int {
+    var s int = hist[p * 4 + take];
+    if depth >= 0 && depth < 16 {
+        if killerP[depth] == p && killerT[depth] == take {
+            s = s + 1000000;
+        }
+    }
+    return s;
+}
+
+func recordCutoff(p int, take int, depth int) {
+    cutoffs = cutoffs + 1;
+    if depth >= 0 && depth < 16 {
+        killerP[depth] = p;
+        killerT[depth] = take;
+    }
+    hist[p * 4 + take] = hist[p * 4 + take] + depth * depth + 1;
+    if hist[p * 4 + take] > 100000000 {
+        // Age the history table so it keeps discriminating.
+        for var i int = 0; i < 16; i = i + 1 {
+            hist[i] = hist[i] / 2;
+        }
+    }
+}
+
+// negamax searches taking 1..3 stones from any non-empty pile, visiting
+// moves in decreasing ordering score.
+func negamax(depth int, alpha int, beta int) int {
+    nodes = nodes + 1;
+    if gameOver() {
+        return -100 - depth; // previous player took the last stone and won
+    }
+    if depth == 0 {
+        return eval();
+    }
+    var best int = -10000;
+    var done bool = false;
+    // Visit the 12 possible moves best-ordered: repeatedly pick the
+    // unvisited legal move with the highest ordering score.
+    var visited int = 0; // bitmask over p*3 + (take-1)
+    while !done {
+        var bp int = -1;
+        var bt int = 0;
+        var bs int = -1;
+        for var p int = 0; p < 4; p = p + 1 {
+            var avail int = min(piles[p], 3);
+            for var take int = 1; take <= avail; take = take + 1 {
+                var bit int = 1 << (p * 3 + take - 1);
+                if (visited & bit) == 0 {
+                    var s int = moveScore(p, take, depth);
+                    if s > bs {
+                        bs = s;
+                        bp = p;
+                        bt = take;
+                    }
+                }
+            }
+        }
+        if bp < 0 {
+            done = true;
+        } else {
+            visited = visited | (1 << (bp * 3 + bt - 1));
+            piles[bp] = piles[bp] - bt;
+            var v int = -negamax(depth - 1, -beta, -alpha);
+            piles[bp] = piles[bp] + bt;
+            if v > best {
+                best = v;
+            }
+            if best > alpha {
+                alpha = best;
+            }
+            if alpha >= beta {
+                recordCutoff(bp, bt, depth);
+                done = true;
+            }
+        }
+    }
+    return best;
+}
+
+// playGame plays one full game with both sides using search.
+func playGame(depth int) int {
+    var moves int = 0;
+    while !gameOver() && moves < 64 {
+        // Choose the best root move by one-ply-deeper search.
+        var bestP int = -1;
+        var bestT int = 0;
+        var bestV int = -10000;
+        for var p int = 0; p < 4; p = p + 1 {
+            var avail int = min(piles[p], 3);
+            for var take int = 1; take <= avail; take = take + 1 {
+                piles[p] = piles[p] - take;
+                var v int = -negamax(depth, -10000, 10000);
+                piles[p] = piles[p] + take;
+                if v > bestV {
+                    bestV = v;
+                    bestP = p;
+                    bestT = take;
+                }
+            }
+        }
+        if bestP < 0 {
+            moves = 64;
+        } else {
+            piles[bestP] = piles[bestP] - bestT;
+            moves = moves + 1;
+        }
+    }
+    return moves;
+}
+
+func main() int {
+    seed = wseed;
+    var total int = 0;
+    for var g int = 0; g < wscale; g = g + 1 {
+        for var i int = 0; i < 4; i = i + 1 {
+            piles[i] = 3 + rand() % 7;
+        }
+        var depth int = 3;
+        total = total + playGame(depth);
+    }
+    print(total);
+    print(nodes);
+    print(cutoffs);
+    print(evals);
+    return nodes;
+}
+`

@@ -1,0 +1,341 @@
+package bench
+
+// ccSrc is the stand-in for the paper's "c-compiler" benchmark (the lcc
+// front end): a complete miniature compiler pipeline over a generated
+// source text — character-level lexer, recursive-descent parser with a
+// symbol table, constant folding, stack-machine code generation, a
+// peephole pass, and evaluation of the emitted code on a tiny VM. Its
+// branch profile is dominated by character-class and token-kind dispatch,
+// the classic front-end behaviour.
+const ccSrc = `
+// cc: miniature compiler pipeline workload.
+
+var wseed int = 54321;
+var wscale int = 260;
+
+var seed int;
+
+func rand() int {
+    seed = (seed * 1103515245 + 12345) & 1073741823;
+    return seed;
+}
+
+// ---------------------------------------------------------------- source
+// Character codes: 0..9 digits, 10..19 identifier letters a..j,
+// 20 '+', 21 '-', 22 '*', 23 '(', 24 ')', 25 '=', 26 ';', 27 space, 28 end.
+var src [8192]int;
+var nsrc int;
+
+func emitChar(c int) {
+    if nsrc < 8100 {
+        src[nsrc] = c;
+        nsrc = nsrc + 1;
+    }
+}
+
+func emitNumber() {
+    var digits int = 1 + rand() % 3;
+    for var i int = 0; i < digits; i = i + 1 {
+        emitChar(rand() % 10);
+    }
+}
+
+func emitIdent() {
+    emitChar(10 + rand() % 10);
+    if rand() % 3 == 0 {
+        emitChar(10 + rand() % 10);
+    }
+}
+
+// genExprSrc writes a random well-formed expression as characters.
+func genExprSrc(depth int) {
+    var r int = rand() % 10;
+    if depth <= 0 || r < 3 {
+        if rand() % 3 == 0 {
+            emitIdent();
+        } else {
+            emitNumber();
+        }
+        return;
+    }
+    if r < 5 {
+        emitChar(23); // (
+        genExprSrc(depth - 1);
+        emitChar(24); // )
+        return;
+    }
+    genExprSrc(depth - 1);
+    emitChar(20 + rand() % 3); // + - *
+    if rand() % 4 == 0 {
+        emitChar(27); // occasional space
+    }
+    genExprSrc(depth - 1);
+}
+
+// genProgramSrc writes a sequence of assignment statements "ident = expr;".
+func genProgramSrc() {
+    nsrc = 0;
+    while nsrc < 7800 {
+        emitIdent();
+        emitChar(25); // =
+        genExprSrc(2 + rand() % 4);
+        emitChar(26); // ;
+        if rand() % 2 == 0 {
+            emitChar(27);
+        }
+    }
+    emitChar(28); // end marker
+}
+
+// ----------------------------------------------------------------- lexer
+// Tokens: 0=num 1=ident 2=plus 3=minus 4=star 5=lparen 6=rparen
+// 7=assign 8=semi 9=end
+var toks [4096]int;
+var vals [4096]int;
+var ntok int;
+var lexErrs int;
+
+func lex() {
+    ntok = 0;
+    var i int = 0;
+    while i < nsrc && ntok < 4000 {
+        var c int = src[i];
+        if c < 10 {
+            var v int = 0;
+            while i < nsrc && src[i] < 10 {
+                v = (v * 10 + src[i]) % 100000;
+                i = i + 1;
+            }
+            toks[ntok] = 0;
+            vals[ntok] = v;
+            ntok = ntok + 1;
+        } else if c < 20 {
+            var h int = 0;
+            while i < nsrc && src[i] >= 10 && src[i] < 20 {
+                h = (h * 11 + src[i]) % 64;
+                i = i + 1;
+            }
+            toks[ntok] = 1;
+            vals[ntok] = h;
+            ntok = ntok + 1;
+        } else if c == 20 {
+            toks[ntok] = 2; vals[ntok] = 0; ntok = ntok + 1; i = i + 1;
+        } else if c == 21 {
+            toks[ntok] = 3; vals[ntok] = 0; ntok = ntok + 1; i = i + 1;
+        } else if c == 22 {
+            toks[ntok] = 4; vals[ntok] = 0; ntok = ntok + 1; i = i + 1;
+        } else if c == 23 {
+            toks[ntok] = 5; vals[ntok] = 0; ntok = ntok + 1; i = i + 1;
+        } else if c == 24 {
+            toks[ntok] = 6; vals[ntok] = 0; ntok = ntok + 1; i = i + 1;
+        } else if c == 25 {
+            toks[ntok] = 7; vals[ntok] = 0; ntok = ntok + 1; i = i + 1;
+        } else if c == 26 {
+            toks[ntok] = 8; vals[ntok] = 0; ntok = ntok + 1; i = i + 1;
+        } else if c == 27 {
+            i = i + 1; // whitespace
+        } else {
+            toks[ntok] = 9; vals[ntok] = 0; ntok = ntok + 1;
+            i = nsrc;
+        }
+    }
+    toks[ntok] = 9;
+    ntok = ntok + 1;
+}
+
+// ---------------------------------------------------------- symbol table
+var symVal [64]int;
+var symDef [64]int;
+var undefinedUses int;
+
+func symLookup(h int) int {
+    if symDef[h] == 1 {
+        return symVal[h];
+    }
+    undefinedUses = undefinedUses + 1;
+    return 0;
+}
+
+// ---------------------------------------------------- parser + code gen
+// Opcodes: 0=pushconst 1=pushvar 2=add 3=sub 4=mul 5=store
+var code [8192]int;
+var carg [8192]int;
+var ncode int;
+var parseErrs int;
+var pos int;
+
+func emit(op int, arg int) {
+    if ncode < 8100 {
+        code[ncode] = op;
+        carg[ncode] = arg;
+        ncode = ncode + 1;
+    }
+}
+
+func parsePrimary() {
+    var k int = toks[pos];
+    if k == 0 {
+        emit(0, vals[pos]);
+        pos = pos + 1;
+        return;
+    }
+    if k == 1 {
+        emit(1, vals[pos]);
+        pos = pos + 1;
+        return;
+    }
+    if k == 5 {
+        pos = pos + 1;
+        parseExpr();
+        if toks[pos] == 6 {
+            pos = pos + 1;
+        } else {
+            parseErrs = parseErrs + 1;
+        }
+        return;
+    }
+    parseErrs = parseErrs + 1;
+    if k != 9 {
+        pos = pos + 1; // never consume the end marker
+    }
+}
+
+func parseTerm() {
+    parsePrimary();
+    while toks[pos] == 4 {
+        pos = pos + 1;
+        parsePrimary();
+        emit(4, 0);
+    }
+}
+
+func parseExpr() {
+    parseTerm();
+    while toks[pos] == 2 || toks[pos] == 3 {
+        var op int = toks[pos];
+        pos = pos + 1;
+        parseTerm();
+        if op == 2 {
+            emit(2, 0);
+        } else {
+            emit(3, 0);
+        }
+    }
+}
+
+// parseProgram handles "ident = expr ;" statements.
+func parseProgram() {
+    pos = 0;
+    ncode = 0;
+    while pos < ntok - 1 && toks[pos] != 9 {
+        if toks[pos] != 1 {
+            parseErrs = parseErrs + 1;
+            pos = pos + 1;
+        } else {
+            var target int = vals[pos];
+            pos = pos + 1;
+            if toks[pos] == 7 {
+                pos = pos + 1;
+                parseExpr();
+                emit(5, target);
+            } else {
+                parseErrs = parseErrs + 1;
+            }
+            if toks[pos] == 8 {
+                pos = pos + 1;
+            } else {
+                parseErrs = parseErrs + 1;
+            }
+        }
+    }
+}
+
+// ------------------------------------------------------------- peephole
+// Folds pushconst/pushconst/op triples, the same constant folding a real
+// front end performs on the fly.
+var folded int;
+
+func peephole() {
+    var out int = 0;
+    for var i int = 0; i < ncode; i = i + 1 {
+        var isFold bool = false;
+        if out >= 2 && (code[i] == 2 || code[i] == 3 || code[i] == 4) {
+            if code[out-1] == 0 && code[out-2] == 0 {
+                isFold = true;
+            }
+        }
+        if isFold {
+            var b int = carg[out-1];
+            var a int = carg[out-2];
+            var v int = 0;
+            if code[i] == 2 {
+                v = a + b;
+            } else if code[i] == 3 {
+                v = a - b;
+            } else {
+                v = (a * b) % 100000;
+            }
+            out = out - 1;
+            code[out-1] = 0;
+            carg[out-1] = v;
+            folded = folded + 1;
+        } else {
+            code[out] = code[i];
+            carg[out] = carg[i];
+            out = out + 1;
+        }
+    }
+    ncode = out;
+}
+
+// ------------------------------------------------------------------- vm
+var stack [256]int;
+var checksum int;
+
+func runCode() {
+    var sp int = 0;
+    for var i int = 0; i < ncode; i = i + 1 {
+        var op int = code[i];
+        if op == 0 {
+            if sp < 256 { stack[sp] = carg[i]; sp = sp + 1; }
+        } else if op == 1 {
+            if sp < 256 { stack[sp] = symLookup(carg[i]); sp = sp + 1; }
+        } else if op == 2 {
+            if sp >= 2 { stack[sp-2] = stack[sp-2] + stack[sp-1]; sp = sp - 1; }
+        } else if op == 3 {
+            if sp >= 2 { stack[sp-2] = stack[sp-2] - stack[sp-1]; sp = sp - 1; }
+        } else if op == 4 {
+            if sp >= 2 { stack[sp-2] = (stack[sp-2] * stack[sp-1]) % 100000; sp = sp - 1; }
+        } else {
+            if sp >= 1 {
+                sp = sp - 1;
+                symVal[carg[i]] = stack[sp];
+                symDef[carg[i]] = 1;
+                checksum = (checksum * 31 + stack[sp]) % 1000000007;
+                if checksum < 0 { checksum = -checksum; }
+            }
+        }
+    }
+}
+
+func main() int {
+    seed = wseed;
+    checksum = 0; folded = 0; parseErrs = 0; lexErrs = 0; undefinedUses = 0;
+    for var round int = 0; round < wscale; round = round + 1 {
+        for var h int = 0; h < 64; h = h + 1 {
+            symVal[h] = 0;
+            symDef[h] = 0;
+        }
+        genProgramSrc();
+        lex();
+        parseProgram();
+        peephole();
+        runCode();
+    }
+    print(checksum);
+    print(folded);
+    print(parseErrs);
+    print(undefinedUses);
+    return checksum;
+}
+`

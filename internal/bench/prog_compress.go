@@ -1,0 +1,277 @@
+package bench
+
+// compressSrc is the stand-in for SPEC "compress": LZW compression with a
+// hashed dictionary over a skewed synthetic byte stream, followed by a
+// decompression check. Hash-probe hit/miss branches and the skewed symbol
+// distribution give the classic compress branch profile.
+const compressSrc = `
+// compress: LZW compression workload.
+
+var wseed int = 2024;
+var wscale int = 24;
+
+var seed int;
+
+func rand() int {
+    seed = (seed * 1103515245 + 12345) & 1073741823;
+    return seed;
+}
+
+// Skewed source: small alphabet with repeats, runs, and occasional noise.
+var input [8192]int;
+var ninput int;
+
+func genInput() {
+    ninput = 0;
+    var last int = 0;
+    while ninput < 8000 {
+        var r int = rand() % 100;
+        if r < 40 {
+            input[ninput] = last;          // repeat previous symbol
+        } else if r < 70 {
+            input[ninput] = rand() % 4;    // very common symbols
+        } else if r < 90 {
+            input[ninput] = 4 + rand() % 12;
+        } else {
+            input[ninput] = rand() % 64;   // rare noise
+        }
+        last = input[ninput];
+        ninput = ninput + 1;
+    }
+}
+
+// LZW dictionary: code -> (prefix code, appended symbol), probed through an
+// open-addressing hash table.
+var dprefix [12288]int;
+var dsymbol [12288]int;
+var htKey [32768]int;
+var htVal [32768]int;
+var nextCode int;
+
+var output [8192]int;
+var noutput int;
+
+func htClear() {
+    for var i int = 0; i < 32768; i = i + 1 {
+        htKey[i] = -1;
+    }
+}
+
+func htLookup(prefix int, sym int) int {
+    var key int = prefix * 64 + sym;
+    var h int = (key * 2654435761) & 32767;
+    if h < 0 { h = -h; }
+    while htKey[h] != -1 {
+        if htKey[h] == key {
+            return htVal[h];
+        }
+        h = (h + 1) & 32767;
+    }
+    return -1;
+}
+
+func htInsert(prefix int, sym int, code int) {
+    var key int = prefix * 64 + sym;
+    var h int = (key * 2654435761) & 32767;
+    if h < 0 { h = -h; }
+    while htKey[h] != -1 {
+        h = (h + 1) & 32767;
+    }
+    htKey[h] = key;
+    htVal[h] = code;
+}
+
+func resetDict() {
+    htClear();
+    nextCode = 64; // codes 0..63 are the literals
+}
+
+func compress() {
+    resetDict();
+    noutput = 0;
+    var w int = input[0];
+    for var i int = 1; i < ninput; i = i + 1 {
+        var c int = input[i];
+        var wc int = htLookup(w, c);
+        if wc != -1 {
+            w = wc;
+        } else {
+            output[noutput] = w;
+            noutput = noutput + 1;
+            if nextCode < 12288 {
+                dprefix[nextCode] = w;
+                dsymbol[nextCode] = c;
+                htInsert(w, c, nextCode);
+                nextCode = nextCode + 1;
+            } else {
+                resetDict();
+            }
+            w = c;
+        }
+    }
+    output[noutput] = w;
+    noutput = noutput + 1;
+}
+
+// expandCode walks a code's prefix chain and returns its length while
+// checksumming the symbols (decompression-style verification without
+// buffering strings).
+var expandSum int;
+
+func expandCode(code int) int {
+    var len int = 0;
+    var c int = code;
+    while c >= 64 {
+        expandSum = (expandSum * 31 + dsymbol[c]) % 1000000007;
+        c = dprefix[c];
+        len = len + 1;
+        if len > 4096 {
+            c = 0; // corrupt chain guard; never happens
+        }
+    }
+    expandSum = (expandSum * 31 + c) % 1000000007;
+    return len + 1;
+}
+
+// ------------------------------------------------------------- Huffman
+// A second, entropy-coding stage over the LZW output codes: frequency
+// count, then Huffman tree construction with an array-based min-heap, then
+// a bit-size estimate for the coded stream. Heap sift operations are the
+// classic data-dependent branch source.
+var freq [512]int;
+var heapNode [1024]int;
+var heapW [1024]int;
+var heapN int;
+var nodeLeft [1024]int;
+var nodeRight [1024]int;
+var nodeW [1024]int;
+var nnodes int;
+var stackNode [1024]int;
+var stackDepth [1024]int;
+
+func heapPush(node int, w int) {
+    var i int = heapN;
+    heapNode[i] = node;
+    heapW[i] = w;
+    heapN = heapN + 1;
+    while i > 0 {
+        var parent int = (i - 1) / 2;
+        if heapW[parent] > heapW[i] {
+            var tn int = heapNode[parent]; heapNode[parent] = heapNode[i]; heapNode[i] = tn;
+            var tw int = heapW[parent]; heapW[parent] = heapW[i]; heapW[i] = tw;
+            i = parent;
+        } else {
+            i = 0;
+        }
+    }
+}
+
+func heapPop() int {
+    var top int = heapNode[0];
+    heapN = heapN - 1;
+    heapNode[0] = heapNode[heapN];
+    heapW[0] = heapW[heapN];
+    var i int = 0;
+    var moving bool = true;
+    while moving {
+        var l int = 2 * i + 1;
+        var r int = 2 * i + 2;
+        var m int = i;
+        if l < heapN && heapW[l] < heapW[m] { m = l; }
+        if r < heapN && heapW[r] < heapW[m] { m = r; }
+        if m == i {
+            moving = false;
+        } else {
+            var tn int = heapNode[m]; heapNode[m] = heapNode[i]; heapNode[i] = tn;
+            var tw int = heapW[m]; heapW[m] = heapW[i]; heapW[i] = tw;
+            i = m;
+        }
+    }
+    return top;
+}
+
+// huffmanBits estimates the entropy-coded size of the LZW output by
+// building a Huffman tree over the low 9 bits of each code and summing
+// depth*freq.
+func huffmanBits() int {
+    for var i int = 0; i < 512; i = i + 1 {
+        freq[i] = 0;
+    }
+    for var i int = 0; i < noutput; i = i + 1 {
+        var sym int = output[i] & 511;
+        freq[sym] = freq[sym] + 1;
+    }
+    heapN = 0;
+    nnodes = 0;
+    for var s int = 0; s < 512; s = s + 1 {
+        if freq[s] > 0 {
+            nodeLeft[nnodes] = -1;
+            nodeRight[nnodes] = -1;
+            nodeW[nnodes] = freq[s];
+            heapPush(nnodes, freq[s]);
+            nnodes = nnodes + 1;
+        }
+    }
+    if heapN == 1 {
+        return noutput; // degenerate single-symbol stream: 1 bit each
+    }
+    while heapN > 1 {
+        var a int = heapPop();
+        var b int = heapPop();
+        nodeLeft[nnodes] = a;
+        nodeRight[nnodes] = b;
+        nodeW[nnodes] = nodeW[a] + nodeW[b];
+        heapPush(nnodes, nodeW[nnodes]);
+        nnodes = nnodes + 1;
+    }
+    // Sum weighted depths iteratively with an explicit stack.
+    var sp int = 0;
+    stackNode[0] = heapNode[0];
+    stackDepth[0] = 0;
+    sp = 1;
+    var bits int = 0;
+    while sp > 0 {
+        sp = sp - 1;
+        var nd int = stackNode[sp];
+        var d int = stackDepth[sp];
+        if nodeLeft[nd] == -1 {
+            bits = bits + nodeW[nd] * d;
+        } else {
+            stackNode[sp] = nodeLeft[nd];
+            stackDepth[sp] = d + 1;
+            sp = sp + 1;
+            stackNode[sp] = nodeRight[nd];
+            stackDepth[sp] = d + 1;
+            sp = sp + 1;
+        }
+    }
+    return bits;
+}
+
+func main() int {
+    seed = wseed;
+    var totalIn int = 0;
+    var totalOut int = 0;
+    var totalBits int = 0;
+    expandSum = 0;
+    for var round int = 0; round < wscale; round = round + 1 {
+        genInput();
+        compress();
+        totalIn = totalIn + ninput;
+        totalOut = totalOut + noutput;
+        var decoded int = 0;
+        for var i int = 0; i < noutput; i = i + 1 {
+            decoded = decoded + expandCode(output[i]);
+        }
+        if decoded != ninput {
+            print(-1); // compression invariant broken
+        }
+        totalBits = totalBits + huffmanBits();
+    }
+    print(totalIn);
+    print(totalOut);
+    print(totalBits);
+    print(expandSum);
+    return totalOut;
+}
+`

@@ -1,0 +1,184 @@
+package bench
+
+// doducSrc is the stand-in for SPEC "doduc" (a Monte-Carlo hydrocode): a
+// one-dimensional Lagrangian hydrodynamics kernel — pressure/velocity
+// updates, artificial viscosity on compression, adaptive timestep from a
+// CFL condition — the paper's single floating-point benchmark. Branches
+// come from shock detection, boundary handling, and convergence tests.
+const doducSrc = `
+// doduc: 1-D hydrodynamics simulation workload.
+
+var wseed int = 161803;
+var wscale int = 12;
+
+var seed int;
+
+func rand() int {
+    seed = (seed * 1103515245 + 12345) & 1073741823;
+    return seed;
+}
+
+// Cell-centred state over 256 cells (+ node velocities).
+var rho [258]float;
+var p [258]float;
+var e [258]float;
+var q [258]float;
+var u [259]float;
+var mass [258]float;
+var xlen [258]float;
+
+var gammaMinus float = 0.4;
+var shockCells int;
+var steps int;
+var rebalances int;
+
+func setup() {
+    for var i int = 0; i < 258; i = i + 1 {
+        rho[i] = 1.0;
+        xlen[i] = 1.0;
+        e[i] = 2.5;
+        q[i] = 0.0;
+        u[i] = 0.0;
+    }
+    u[258] = 0.0;
+    // A random hot region drives a shock.
+    var lo int = 20 + rand() % 100;
+    var hi int = lo + 10 + rand() % 40;
+    for var i int = lo; i <= hi; i = i + 1 {
+        e[i] = 25.0 + float(rand() % 100) * 0.25;
+        rho[i] = 2.0;
+    }
+    for var i int = 0; i < 258; i = i + 1 {
+        mass[i] = rho[i] * xlen[i];
+        p[i] = gammaMinus * rho[i] * e[i];
+    }
+}
+
+// step advances one timestep; returns the next dt from the CFL condition.
+func step(dt float) float {
+    // Artificial viscosity: only on compressing cells (the shock branch).
+    shockCells = shockCells + 0;
+    for var i int = 1; i < 257; i = i + 1 {
+        var du float = u[i+1] - u[i];
+        if du < 0.0 {
+            q[i] = 2.0 * rho[i] * du * du;
+            shockCells = shockCells + 1;
+        } else {
+            q[i] = 0.0;
+        }
+    }
+    // Node acceleration from pressure gradient.
+    for var i int = 1; i < 257; i = i + 1 {
+        var m float = 0.5 * (mass[i-1] + mass[i]);
+        if m > 0.0001 {
+            var a float = (p[i-1] + q[i-1] - p[i] - q[i]) / m;
+            u[i] = u[i] + dt * a;
+        }
+    }
+    // Reflecting boundaries.
+    u[0] = 0.0;
+    u[257] = 0.0;
+    u[258] = 0.0;
+    // Cell updates: length, density, energy, pressure.
+    var maxc float = 0.000001;
+    for var i int = 1; i < 257; i = i + 1 {
+        var du float = u[i+1] - u[i];
+        xlen[i] = xlen[i] + dt * du;
+        if xlen[i] < 0.01 {
+            xlen[i] = 0.01;
+            rebalances = rebalances + 1;
+        }
+        rho[i] = mass[i] / xlen[i];
+        var work float = (p[i] + q[i]) * du * dt;
+        e[i] = e[i] - work / mass[i];
+        if e[i] < 0.1 {
+            e[i] = 0.1;
+        }
+        p[i] = gammaMinus * rho[i] * e[i];
+        var c float = sqrt((gammaMinus + 1.0) * p[i] / rho[i]) + abs(u[i]);
+        if c > maxc {
+            maxc = c;
+        }
+    }
+    var dtNext float = 0.25 / maxc;
+    if dtNext > 0.05 {
+        dtNext = 0.05;
+    }
+    if dtNext < 0.0001 {
+        dtNext = 0.0001;
+    }
+    return dtNext;
+}
+
+// totalEnergy checks conservation-ish diagnostics.
+func totalEnergy() float {
+    var sum float = 0.0;
+    for var i int = 1; i < 257; i = i + 1 {
+        var kin float = 0.25 * mass[i] * (u[i] * u[i] + u[i+1] * u[i+1]);
+        sum = sum + mass[i] * e[i] + kin;
+    }
+    return sum;
+}
+
+// ------------------------------------------------------- heat diffusion
+// A second kernel: implicit-flavoured Jacobi iteration for heat diffusion
+// with a convergence test — the iterate-until-converged branch behaviour
+// typical of the original doduc.
+var temp [258]float;
+var tnew [258]float;
+var jacobiIters int;
+
+func diffuse() float {
+    for var i int = 0; i < 258; i = i + 1 {
+        temp[i] = e[i]; // seed from the hydro state
+    }
+    var converged bool = false;
+    var iters int = 0;
+    while !converged && iters < 200 {
+        var maxd float = 0.0;
+        for var i int = 1; i < 257; i = i + 1 {
+            tnew[i] = 0.25 * temp[i-1] + 0.5 * temp[i] + 0.25 * temp[i+1];
+            var d float = abs(tnew[i] - temp[i]);
+            if d > maxd {
+                maxd = d;
+            }
+        }
+        for var i int = 1; i < 257; i = i + 1 {
+            temp[i] = tnew[i];
+        }
+        iters = iters + 1;
+        if maxd < 0.005 {
+            converged = true;
+        }
+    }
+    jacobiIters = jacobiIters + iters;
+    var sum float = 0.0;
+    for var i int = 1; i < 257; i = i + 1 {
+        sum = sum + temp[i];
+    }
+    return sum;
+}
+
+func main() int {
+    seed = wseed;
+    shockCells = 0; steps = 0; rebalances = 0; jacobiIters = 0;
+    var probe float = 0.0;
+    for var run int = 0; run < wscale; run = run + 1 {
+        setup();
+        var dt float = 0.01;
+        var t float = 0.0;
+        while t < 3.0 {
+            dt = step(dt);
+            t = t + dt;
+            steps = steps + 1;
+        }
+        probe = probe + totalEnergy() + diffuse();
+    }
+    print(steps);
+    print(shockCells);
+    print(rebalances);
+    print(jacobiIters);
+    print(int(probe));
+    return steps;
+}
+`

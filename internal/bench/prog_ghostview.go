@@ -1,0 +1,257 @@
+package bench
+
+// ghostviewSrc is the stand-in for the paper's "ghostview" (a PostScript
+// previewer): a stack-machine interpreter executing a synthetic page
+// description — path construction, transforms, clipping tests, and fills —
+// whose dispatch chain produces long sequences of correlated branches.
+const ghostviewSrc = `
+// ghostview: stack-machine page interpreter workload.
+
+var wseed int = 777;
+var wscale int = 40;
+
+var seed int;
+
+func rand() int {
+    seed = (seed * 1103515245 + 12345) & 1073741823;
+    return seed;
+}
+
+// Operators: 0=push 1=add 2=sub 3=mul 4=dup 5=swap 6=pop
+// 7=moveto 8=lineto 9=closepath 10=fill 11=translate 12=scale
+var prog [16384]int;
+var parg [16384]int;
+var nprog int;
+
+// Motif library: real pages repeat a small set of glyph/path shapes, so
+// page programs are highly repetitive. Each motif is a short op sequence;
+// genPage emits whole motifs chosen from a skewed distribution, which
+// gives the interpreter's dispatch branches the strong inter-branch
+// correlation real PostScript has.
+var motifOps [64]int;
+var motifArgs [64]int;
+var motifStart [9]int;
+var motifLen [8]int;
+var nmotifs int;
+
+func emitMotifOp(op int, arg int) {
+    motifOps[motifStart[nmotifs] + motifLen[nmotifs]] = op;
+    motifArgs[motifStart[nmotifs] + motifLen[nmotifs]] = arg;
+    motifLen[nmotifs] = motifLen[nmotifs] + 1;
+}
+
+func endMotif() {
+    motifStart[nmotifs + 1] = motifStart[nmotifs] + motifLen[nmotifs];
+    nmotifs = nmotifs + 1;
+}
+
+func buildMotifs() {
+    nmotifs = 0;
+    motifStart[0] = 0;
+    for var i int = 0; i < 8; i = i + 1 {
+        motifLen[i] = 0;
+    }
+    // Motif 0: a box outline (moveto + 4 linetos + close).
+    emitMotifOp(0, 100); emitMotifOp(0, 100); emitMotifOp(7, 0);
+    emitMotifOp(0, 300); emitMotifOp(0, 100); emitMotifOp(8, 0);
+    emitMotifOp(0, 300); emitMotifOp(0, 200); emitMotifOp(8, 0);
+    emitMotifOp(9, 0);
+    endMotif();
+    // Motif 1: a filled glyph stroke.
+    emitMotifOp(0, 40); emitMotifOp(0, 60); emitMotifOp(7, 0);
+    emitMotifOp(0, 45); emitMotifOp(0, 90); emitMotifOp(8, 0);
+    emitMotifOp(10, 0);
+    endMotif();
+    // Motif 2: arithmetic positioning burst.
+    emitMotifOp(0, 12); emitMotifOp(4, 0); emitMotifOp(3, 0);
+    emitMotifOp(0, 7); emitMotifOp(1, 0); emitMotifOp(6, 0);
+    endMotif();
+    // Motif 3: long polyline segment.
+    emitMotifOp(0, 500); emitMotifOp(0, 120); emitMotifOp(8, 0);
+    endMotif();
+    // Motif 4: transform change.
+    emitMotifOp(11, 2); emitMotifOp(12, 1);
+    endMotif();
+    // Motif 5: stack housekeeping.
+    emitMotifOp(0, 3); emitMotifOp(4, 0); emitMotifOp(5, 0); emitMotifOp(6, 0);
+    endMotif();
+    // Motif 6: fill what was built.
+    emitMotifOp(10, 0);
+    endMotif();
+    // Motif 7: cursor reset.
+    emitMotifOp(0, 0); emitMotifOp(0, 0); emitMotifOp(7, 0);
+    endMotif();
+}
+
+// genPage emits a page as a stream of motifs with a skewed, bursty
+// distribution (polylines repeat many times in a row), plus occasional
+// random coordinates to vary the data without changing the op structure.
+func genPage() {
+    nprog = 0;
+    var burst int = 0;
+    var cur int = 0;
+    while nprog < 15800 {
+        if burst <= 0 {
+            var r int = rand() % 100;
+            if r < 45 {
+                cur = 3; // polyline runs dominate
+                burst = 3 + rand() % 12;
+            } else if r < 60 {
+                cur = 1;
+                burst = 1 + rand() % 3;
+            } else if r < 70 {
+                cur = 0;
+                burst = 1;
+            } else if r < 80 {
+                cur = 2;
+                burst = 1 + rand() % 2;
+            } else if r < 88 {
+                cur = 5;
+                burst = 1;
+            } else if r < 93 {
+                cur = 7;
+                burst = 1;
+            } else if r < 97 {
+                cur = 6;
+                burst = 1;
+            } else {
+                cur = 4;
+                burst = 1;
+            }
+        }
+        var s int = motifStart[cur];
+        for var j int = 0; j < motifLen[cur]; j = j + 1 {
+            prog[nprog] = motifOps[s + j];
+            if motifOps[s + j] == 0 {
+                // Perturb pushed coordinates so the data varies.
+                parg[nprog] = (motifArgs[s + j] + rand() % 50) % 1000;
+            } else {
+                parg[nprog] = motifArgs[s + j];
+            }
+            nprog = nprog + 1;
+        }
+        burst = burst - 1;
+    }
+}
+
+var stack [256]int;
+var sp int;
+
+func push(v int) {
+    if sp < 256 {
+        stack[sp] = v;
+        sp = sp + 1;
+    }
+}
+
+func pop() int {
+    if sp > 0 {
+        sp = sp - 1;
+        return stack[sp];
+    }
+    return 0;
+}
+
+// Path and raster state.
+var curX int; var curY int;
+var startX int; var startY int;
+var tx int; var ty int; var sc int;
+var minX int; var minY int; var maxX int; var maxY int;
+var segments int;
+var fills int;
+var clipped int;
+var area int;
+
+func clampPt() {
+    if curX < 0 { curX = 0; clipped = clipped + 1; }
+    if curY < 0 { curY = 0; clipped = clipped + 1; }
+    if curX > 4095 { curX = 4095; clipped = clipped + 1; }
+    if curY > 4095 { curY = 4095; clipped = clipped + 1; }
+}
+
+func extendBBox() {
+    if curX < minX { minX = curX; }
+    if curY < minY { minY = curY; }
+    if curX > maxX { maxX = curX; }
+    if curY > maxY { maxY = curY; }
+}
+
+func interpret() {
+    sp = 0;
+    curX = 0; curY = 0; startX = 0; startY = 0;
+    tx = 0; ty = 0; sc = 1;
+    minX = 4095; minY = 4095; maxX = 0; maxY = 0;
+    for var pc int = 0; pc < nprog; pc = pc + 1 {
+        var op int = prog[pc];
+        if op == 0 {
+            push(parg[pc]);
+        } else if op == 1 {
+            var b int = pop(); var a int = pop();
+            push(a + b);
+        } else if op == 2 {
+            var b int = pop(); var a int = pop();
+            push(a - b);
+        } else if op == 3 {
+            var b int = pop(); var a int = pop();
+            push((a * b) % 65536);
+        } else if op == 4 {
+            var a int = pop();
+            push(a); push(a);
+        } else if op == 5 {
+            var b int = pop(); var a int = pop();
+            push(b); push(a);
+        } else if op == 6 {
+            var a int = pop();
+            area = (area + a) % 1000000007;
+        } else if op == 7 {
+            curY = (pop() * sc + ty) % 8192;
+            curX = (pop() * sc + tx) % 8192;
+            if curX < 0 { curX = -curX; }
+            if curY < 0 { curY = -curY; }
+            clampPt();
+            startX = curX; startY = curY;
+        } else if op == 8 {
+            var oldX int = curX; var oldY int = curY;
+            curY = (pop() * sc + ty) % 8192;
+            curX = (pop() * sc + tx) % 8192;
+            if curX < 0 { curX = -curX; }
+            if curY < 0 { curY = -curY; }
+            clampPt();
+            extendBBox();
+            segments = segments + 1;
+            area = (area + abs(curX - oldX) + abs(curY - oldY)) % 1000000007;
+        } else if op == 9 {
+            if curX != startX || curY != startY {
+                segments = segments + 1;
+                curX = startX; curY = startY;
+            }
+        } else if op == 10 {
+            fills = fills + 1;
+            if maxX > minX && maxY > minY {
+                area = (area + (maxX - minX) * (maxY - minY)) % 1000000007;
+            }
+            minX = 4095; minY = 4095; maxX = 0; maxY = 0;
+        } else if op == 11 {
+            tx = (tx + parg[pc] * 16) % 4096;
+            ty = (ty + parg[pc] * 8) % 4096;
+        } else {
+            sc = 1 + parg[pc] % 3;
+        }
+    }
+}
+
+func main() int {
+    seed = wseed;
+    segments = 0; fills = 0; clipped = 0; area = 0;
+    buildMotifs();
+    for var page int = 0; page < wscale; page = page + 1 {
+        genPage();
+        interpret();
+    }
+    print(segments);
+    print(fills);
+    print(clipped);
+    print(area);
+    return area;
+}
+`

@@ -1,0 +1,150 @@
+package bench
+
+// predictSrc is the stand-in for the paper's own "predict" benchmark (its
+// profiling and trace tool): it synthesises a branch trace from a Markov
+// model and runs three predictors over it — last-direction, 2-bit
+// counters, and a two-level table — comparing their misprediction counts.
+// The tool analysing branches is itself a branchy table-driven workload.
+const predictSrc = `
+// predict: branch-trace analyser workload.
+
+var wseed int = 31415;
+var wscale int = 30;
+
+var seed int;
+
+func rand() int {
+    seed = (seed * 1103515245 + 12345) & 1073741823;
+    return seed;
+}
+
+// Synthetic trace: 64 branch sites with per-site behaviour classes:
+// 0 = strongly biased, 1 = alternating, 2 = correlated with previous
+// outcome, 3 = random.
+var class [64]int;
+var bias [64]int;
+var siteSeq [16384]int;
+var outSeq [16384]int;
+var ntrace int;
+var lastOutcome int;
+var phase [64]int;
+
+func genTrace() {
+    for var s int = 0; s < 64; s = s + 1 {
+        class[s] = rand() % 4;
+        bias[s] = 50 + rand() % 45;
+        phase[s] = 0;
+    }
+    ntrace = 0;
+    lastOutcome = 0;
+    // Real traces have temporal locality: a few hot sites fire in bursts
+    // (loop iterations) rather than uniformly at random.
+    var cur int = 0;
+    var burst int = 0;
+    while ntrace < 16000 {
+        if burst <= 0 {
+            if rand() % 100 < 70 {
+                cur = rand() % 8;          // hot sites
+                burst = 4 + rand() % 24;   // loop-like bursts
+            } else {
+                cur = rand() % 64;
+                burst = 1 + rand() % 3;
+            }
+        }
+        burst = burst - 1;
+        var s int = cur;
+        var out int = 0;
+        var c int = class[s];
+        if c == 0 {
+            if rand() % 100 < bias[s] { out = 1; }
+        } else if c == 1 {
+            out = phase[s];
+            phase[s] = 1 - phase[s];
+        } else if c == 2 {
+            out = lastOutcome;
+            if rand() % 100 < 10 { out = 1 - out; }
+        } else {
+            out = rand() % 2;
+        }
+        siteSeq[ntrace] = s;
+        outSeq[ntrace] = out;
+        lastOutcome = out;
+        ntrace = ntrace + 1;
+    }
+}
+
+// Predictor state.
+var lastDir [64]int;
+var counter [64]int;
+var history [64]int;
+var pattern [1024]int;
+
+var missLast int;
+var missCtr int;
+var missTwoLevel int;
+
+func resetPredictors() {
+    for var s int = 0; s < 64; s = s + 1 {
+        lastDir[s] = 0;
+        counter[s] = 1;
+        history[s] = 0;
+    }
+    for var p int = 0; p < 1024; p = p + 1 {
+        pattern[p] = 1;
+    }
+}
+
+func simulate() {
+    for var i int = 0; i < ntrace; i = i + 1 {
+        var s int = siteSeq[i];
+        var out int = outSeq[i];
+
+        // last direction
+        if lastDir[s] != out {
+            missLast = missLast + 1;
+        }
+        lastDir[s] = out;
+
+        // 2-bit counter
+        var predC int = 0;
+        if counter[s] >= 2 { predC = 1; }
+        if predC != out {
+            missCtr = missCtr + 1;
+        }
+        if out == 1 {
+            if counter[s] < 3 { counter[s] = counter[s] + 1; }
+        } else {
+            if counter[s] > 0 { counter[s] = counter[s] - 1; }
+        }
+
+        // two-level: 4-bit local history, shared pattern table indexed by
+        // (site low bits, history).
+        var idx int = ((s & 63) * 16 + history[s]) & 1023;
+        var predT int = 0;
+        if pattern[idx] >= 2 { predT = 1; }
+        if predT != out {
+            missTwoLevel = missTwoLevel + 1;
+        }
+        if out == 1 {
+            if pattern[idx] < 3 { pattern[idx] = pattern[idx] + 1; }
+        } else {
+            if pattern[idx] > 0 { pattern[idx] = pattern[idx] - 1; }
+        }
+        history[s] = ((history[s] * 2) + out) & 15;
+    }
+}
+
+func main() int {
+    seed = wseed;
+    missLast = 0; missCtr = 0; missTwoLevel = 0;
+    for var round int = 0; round < wscale; round = round + 1 {
+        genTrace();
+        resetPredictors();
+        simulate();
+    }
+    print(missLast);
+    print(missCtr);
+    print(missTwoLevel);
+    return missLast + missCtr + missTwoLevel;
+}
+`

@@ -1,0 +1,133 @@
+package bench
+
+// prologSrc is the stand-in for the paper's "prolog" benchmark (the
+// minivip interpreter): a propositional Horn-clause solver with depth-first
+// backtracking over randomly generated rule bases and queries. Choice-point
+// iteration, clause-match failure, and recursion depth give the
+// backtracking branch profile of a logic-programming system.
+const prologSrc = `
+// prolog: Horn-clause backtracking solver workload.
+
+var wseed int = 99991;
+var wscale int = 25;
+
+var seed int;
+
+func rand() int {
+    seed = (seed * 1103515245 + 12345) & 1073741823;
+    return seed;
+}
+
+// Rule base: up to 512 rules over 128 propositions. Rule r derives
+// ruleHead[r] from ruleBody[r*3 .. r*3+ruleLen[r]-1].
+var ruleHead [512]int;
+var ruleLen [512]int;
+var ruleBody [1536]int;
+var nrules int;
+var factSet [128]int;
+
+// Per-query state.
+var onStack [128]int; // loop check
+var solveCalls int;
+var backtracks int;
+var depthLimitHits int;
+
+func genBase() {
+    nrules = 0;
+    for var p int = 0; p < 128; p = p + 1 {
+        factSet[p] = 0;
+        if rand() % 100 < 18 {
+            factSet[p] = 1; // base fact
+        }
+    }
+    // Layered rules so derivations usually ground out: heads in layer k
+    // depend on propositions from lower layers.
+    for var r int = 0; r < 512; r = r + 1 {
+        var head int = 16 + rand() % 112;
+        var len int = 1 + rand() % 3;
+        ruleHead[r] = head;
+        ruleLen[r] = len;
+        for var j int = 0; j < len; j = j + 1 {
+            // Bias body atoms below the head to bound recursion.
+            var b int = rand() % 128;
+            if b >= head {
+                b = b % head;
+            }
+            ruleBody[r*3 + j] = b;
+        }
+        nrules = nrules + 1;
+    }
+}
+
+var work int;
+
+// solve proves proposition p by fact lookup, then by trying each rule whose
+// head matches, backtracking on failure. A per-query work budget bounds
+// pathological rule bases, like a real system's inference limit.
+func solve(p int, depth int) bool {
+    solveCalls = solveCalls + 1;
+    work = work + 1;
+    if work > 20000 {
+        depthLimitHits = depthLimitHits + 1;
+        return false;
+    }
+    if factSet[p] == 1 {
+        return true;
+    }
+    if depth <= 0 {
+        depthLimitHits = depthLimitHits + 1;
+        return false;
+    }
+    if onStack[p] == 1 {
+        return false; // loop check: already trying to prove p
+    }
+    onStack[p] = 1;
+    for var r int = 0; r < nrules; r = r + 1 {
+        if ruleHead[r] == p {
+            var ok bool = true;
+            for var j int = 0; j < ruleLen[r]; j = j + 1 {
+                if ok {
+                    if !solve(ruleBody[r*3 + j], depth - 1) {
+                        ok = false;
+                        backtracks = backtracks + 1;
+                    }
+                }
+            }
+            if ok {
+                onStack[p] = 0;
+                return true;
+            }
+        }
+    }
+    onStack[p] = 0;
+    return false;
+}
+
+func main() int {
+    seed = wseed;
+    solveCalls = 0; backtracks = 0; depthLimitHits = 0;
+    var proved int = 0;
+    var failed int = 0;
+    for var round int = 0; round < wscale; round = round + 1 {
+        genBase();
+        for var p int = 0; p < 128; p = p + 1 {
+            onStack[p] = 0;
+        }
+        for var q int = 0; q < 24; q = q + 1 {
+            var goal int = rand() % 128;
+            work = 0;
+            if solve(goal, 8) {
+                proved = proved + 1;
+            } else {
+                failed = failed + 1;
+            }
+        }
+    }
+    print(proved);
+    print(failed);
+    print(solveCalls);
+    print(backtracks);
+    print(depthLimitHits);
+    return solveCalls;
+}
+`

@@ -1,0 +1,246 @@
+package bench
+
+// schedulerSrc is the stand-in for the paper's "scheduler" benchmark (an
+// instruction scheduler): it generates random dependence DAGs, computes
+// critical-path priorities, and list-schedules them onto two asymmetric
+// functional units cycle by cycle. Ready-list scans, structural-hazard
+// checks, and priority comparisons drive the branches.
+const schedulerSrc = `
+// scheduler: list instruction scheduler workload.
+
+var wseed int = 4242;
+var wscale int = 60;
+
+var seed int;
+
+func rand() int {
+    seed = (seed * 1103515245 + 12345) & 1073741823;
+    return seed;
+}
+
+// DAG over up to 256 instructions; edges in a flat successor array.
+var nInstr int;
+var opClass [256]int;    // 0 = ALU (either unit), 1 = MEM (unit 0 only), 2 = MUL (unit 1, 3 cycles)
+var latency [256]int;
+var nsucc [256]int;
+var succs [2048]int;     // succ list segment per instruction (8 slots each)
+var npred [256]int;
+
+var prio [256]int;       // critical-path priority
+var readyAt [256]int;    // earliest issue cycle from scheduled predecessors
+var pendingPreds [256]int;
+var issued [256]int;
+
+func genDAG() {
+    nInstr = 128 + rand() % 128;
+    for var i int = 0; i < nInstr; i = i + 1 {
+        var r int = rand() % 100;
+        if r < 55 {
+            opClass[i] = 0;
+            latency[i] = 1;
+        } else if r < 85 {
+            opClass[i] = 1;
+            latency[i] = 2;
+        } else {
+            opClass[i] = 2;
+            latency[i] = 3;
+        }
+        nsucc[i] = 0;
+        npred[i] = 0;
+    }
+    // Edges only forward, short-range, like real basic-block dependences.
+    for var i int = 0; i < nInstr; i = i + 1 {
+        var tries int = rand() % 3;
+        for var t int = 0; t <= tries; t = t + 1 {
+            var d int = i + 1 + rand() % 8;
+            if d < nInstr && nsucc[i] < 8 {
+                succs[i * 8 + nsucc[i]] = d;
+                nsucc[i] = nsucc[i] + 1;
+                npred[d] = npred[d] + 1;
+            }
+        }
+    }
+}
+
+// computePrio walks backwards: priority = latency + max over successors.
+func computePrio() {
+    for var i int = nInstr - 1; i >= 0; i = i - 1 {
+        var best int = 0;
+        for var j int = 0; j < nsucc[i]; j = j + 1 {
+            var s int = succs[i * 8 + j];
+            if prio[s] > best {
+                best = prio[s];
+            }
+        }
+        prio[i] = latency[i] + best;
+    }
+}
+
+var cycles int;
+var stalls int;
+var issuedTotal int;
+var issueCycle [256]int;
+
+// schedule issues up to two instructions per cycle subject to unit
+// constraints, picking ready instructions by priority.
+func schedule() {
+    for var i int = 0; i < nInstr; i = i + 1 {
+        pendingPreds[i] = npred[i];
+        readyAt[i] = 0;
+        issued[i] = 0;
+    }
+    var done int = 0;
+    var cycle int = 0;
+    var mulBusy int = 0;
+    while done < nInstr && cycle < 10000 {
+        // Unit 0: ALU or MEM. Unit 1: ALU or MUL (if not busy).
+        var pick0 int = -1;
+        var pick1 int = -1;
+        for var i int = 0; i < nInstr; i = i + 1 {
+            if issued[i] == 0 && pendingPreds[i] == 0 && readyAt[i] <= cycle {
+                if opClass[i] != 2 {
+                    if pick0 == -1 || prio[i] > prio[pick0] {
+                        pick0 = i;
+                    }
+                }
+                if opClass[i] != 1 && mulBusy <= cycle {
+                    if pick1 == -1 || prio[i] > prio[pick1] {
+                        pick1 = i;
+                    }
+                }
+            }
+        }
+        if pick0 == pick1 && pick1 != -1 {
+            pick1 = -1; // same instruction picked twice: keep unit 0
+        }
+        if pick0 == -1 && pick1 == -1 {
+            stalls = stalls + 1;
+        }
+        if pick0 != -1 {
+            issued[pick0] = 1;
+            issueCycle[pick0] = cycle;
+            done = done + 1;
+            issuedTotal = issuedTotal + 1;
+            for var j int = 0; j < nsucc[pick0]; j = j + 1 {
+                var s int = succs[pick0 * 8 + j];
+                pendingPreds[s] = pendingPreds[s] - 1;
+                if readyAt[s] < cycle + latency[pick0] {
+                    readyAt[s] = cycle + latency[pick0];
+                }
+            }
+        }
+        if pick1 != -1 {
+            issued[pick1] = 1;
+            issueCycle[pick1] = cycle;
+            done = done + 1;
+            issuedTotal = issuedTotal + 1;
+            if opClass[pick1] == 2 {
+                mulBusy = cycle + 3;
+            }
+            for var j int = 0; j < nsucc[pick1]; j = j + 1 {
+                var s int = succs[pick1 * 8 + j];
+                pendingPreds[s] = pendingPreds[s] - 1;
+                if readyAt[s] < cycle + latency[pick1] {
+                    readyAt[s] = cycle + latency[pick1];
+                }
+            }
+        }
+        cycle = cycle + 1;
+    }
+    cycles = cycles + cycle;
+}
+
+// ------------------------------------------------- register allocation
+// Linear-scan allocation over the issue schedule: each instruction defines
+// a value live until its last consumer issues. 12 physical registers;
+// exhaustion spills the interval that ends furthest away (Poletto-Sarkar
+// style). Interval scans and spill decisions are branch-rich.
+var liveEnd [256]int;
+var order [256]int;
+var regFree [12]int;
+var regUntil [12]int;
+var spills int;
+var allocated int;
+
+func regalloc() {
+    for var i int = 0; i < nInstr; i = i + 1 {
+        liveEnd[i] = issueCycle[i];
+        for var j int = 0; j < nsucc[i]; j = j + 1 {
+            var s int = succs[i * 8 + j];
+            if issueCycle[s] > liveEnd[i] {
+                liveEnd[i] = issueCycle[s];
+            }
+        }
+        order[i] = i;
+    }
+    // Insertion sort by issue cycle (starts).
+    for var i int = 1; i < nInstr; i = i + 1 {
+        var v int = order[i];
+        var j int = i - 1;
+        var placing bool = true;
+        while placing {
+            if j >= 0 && issueCycle[order[j]] > issueCycle[v] {
+                order[j + 1] = order[j];
+                j = j - 1;
+            } else {
+                placing = false;
+            }
+        }
+        order[j + 1] = v;
+    }
+    for var r int = 0; r < 12; r = r + 1 {
+        regFree[r] = 1;
+        regUntil[r] = 0;
+    }
+    for var k int = 0; k < nInstr; k = k + 1 {
+        var ins int = order[k];
+        var start int = issueCycle[ins];
+        // Expire finished intervals.
+        for var r int = 0; r < 12; r = r + 1 {
+            if regFree[r] == 0 && regUntil[r] < start {
+                regFree[r] = 1;
+            }
+        }
+        var got int = -1;
+        for var r int = 0; r < 12; r = r + 1 {
+            if got == -1 && regFree[r] == 1 {
+                got = r;
+            }
+        }
+        if got >= 0 {
+            regFree[got] = 0;
+            regUntil[got] = liveEnd[ins];
+            allocated = allocated + 1;
+        } else {
+            // Spill the register with the furthest end if it outlives us.
+            var worst int = 0;
+            for var r int = 1; r < 12; r = r + 1 {
+                if regUntil[r] > regUntil[worst] {
+                    worst = r;
+                }
+            }
+            if regUntil[worst] > liveEnd[ins] {
+                regUntil[worst] = liveEnd[ins];
+            }
+            spills = spills + 1;
+        }
+    }
+}
+
+func main() int {
+    seed = wseed;
+    cycles = 0; stalls = 0; issuedTotal = 0; spills = 0; allocated = 0;
+    for var round int = 0; round < wscale; round = round + 1 {
+        genDAG();
+        computePrio();
+        schedule();
+        regalloc();
+    }
+    print(cycles);
+    print(stalls);
+    print(issuedTotal);
+    print(spills);
+    print(allocated);
+    return cycles;
+}
+`

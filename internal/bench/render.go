@@ -1,0 +1,88 @@
+package bench
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Render formats a table as fixed-width text (also valid as a Markdown
+// code block for EXPERIMENTS.md).
+func (t *Table) Render() string {
+	var sb strings.Builder
+	sb.WriteString(t.Title)
+	sb.WriteByte('\n')
+	nameW := 4
+	for _, r := range t.Rows {
+		if len(r.Name) > nameW {
+			nameW = len(r.Name)
+		}
+	}
+	colW := make([]int, len(t.Cols))
+	cells := make([][]string, len(t.Rows))
+	for ri, r := range t.Rows {
+		cells[ri] = make([]string, len(t.Cols))
+		for ci := range t.Cols {
+			s := "-"
+			if ci < len(r.Cells) && r.Cells[ci].Valid {
+				c := r.Cells[ci]
+				if c.Count {
+					s = fmt.Sprintf("%.0f", c.Value)
+				} else {
+					s = fmt.Sprintf("%.2f", c.Value)
+				}
+			}
+			cells[ri][ci] = s
+		}
+	}
+	for ci, col := range t.Cols {
+		w := len(col)
+		for ri := range t.Rows {
+			if len(cells[ri][ci]) > w {
+				w = len(cells[ri][ci])
+			}
+		}
+		colW[ci] = w
+	}
+	fmt.Fprintf(&sb, "%-*s", nameW, "")
+	for ci, col := range t.Cols {
+		fmt.Fprintf(&sb, "  %*s", colW[ci], col)
+	}
+	sb.WriteByte('\n')
+	for ri, r := range t.Rows {
+		fmt.Fprintf(&sb, "%-*s", nameW, r.Name)
+		for ci := range t.Cols {
+			fmt.Fprintf(&sb, "  %*s", colW[ci], cells[ri][ci])
+		}
+		sb.WriteByte('\n')
+	}
+	return sb.String()
+}
+
+// RenderFigure formats one curve as two columns.
+func RenderFigure(f Figure) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "figure %s: misprediction rate vs code size\n", f.Workload)
+	fmt.Fprintf(&sb, "  %10s  %10s  %6s\n", "size", "miss%", "steps")
+	last := -1.0
+	for _, p := range f.Points {
+		// Thin out: only print points that changed the rate visibly.
+		if last >= 0 && p.MissRate > last-0.005 && p.Steps != 0 && p.Steps != len(f.Points)-1 {
+			continue
+		}
+		fmt.Fprintf(&sb, "  %10.3f  %10.3f  %6d\n", p.SizeFactor, p.MissRate, p.Steps)
+		last = p.MissRate
+	}
+	return sb.String()
+}
+
+// RenderHeadlines formats the §5 headline summary.
+func RenderHeadlines(hs []Headline) string {
+	var sb strings.Builder
+	sb.WriteString("headline: best rate within a 1.33x size budget vs plain profile\n")
+	fmt.Fprintf(&sb, "  %-10s  %9s  %9s  %9s  %10s\n", "workload", "profile%", "at1.33x%", "best%", "reduction%")
+	for _, h := range hs {
+		fmt.Fprintf(&sb, "  %-10s  %9.2f  %9.2f  %9.2f  %10.1f\n",
+			h.Workload, h.ProfileRate, h.At133Rate, h.BestRate, h.ReductionPct)
+	}
+	return sb.String()
+}

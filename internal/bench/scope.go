@@ -1,0 +1,80 @@
+package bench
+
+import (
+	"errors"
+
+	"repro/internal/interp"
+	"repro/internal/ir"
+	"repro/internal/predict"
+	"repro/internal/replicate"
+	"repro/internal/statemachine"
+	"repro/internal/superblock"
+	"repro/internal/trace"
+)
+
+// ScopeTable runs the §6 future-work experiment: how much straight-line
+// scope a trace scheduler gets, before and after replication. Traces are
+// formed along mutually-most-likely edges; the metric is the average
+// number of instructions executed between dynamic trace exits. Replicated
+// branch copies are strongly biased, so traces run longer through them.
+func (s *Suite) ScopeTable() (*Table, error) {
+	t := &Table{
+		ID:    "scope",
+		Title: "Scheduler scope: average dynamic trace length (instructions between trace exits)",
+		Cols:  s.colNames(),
+	}
+	var orig, repl, traces Row
+	orig.Name = "original"
+	repl.Name = "replicated"
+	traces.Name = "traces formed (replicated)"
+	for _, d := range s.Data {
+		so, _, err := scopeStats(d.C.Prog, s.Cfg)
+		if err != nil {
+			return nil, err
+		}
+		orig.Cells = append(orig.Cells, Cell{Value: so.AvgDynamicLength(), Valid: true})
+
+		static := predict.ProfileStatic(d.Prof.Counts)
+		choices := statemachine.Select(d.Prof, d.C.Features, statemachine.Options{
+			MaxStates:  5,
+			MaxPathLen: 1,
+		})
+		clone := ir.CloneProgram(d.C.Prog)
+		if _, err := replicate.ApplyOpts(clone, choices, static.Preds,
+			replicate.Options{MaxSizeFactor: 3}); err != nil {
+			return nil, err
+		}
+		sr, nt, err := scopeStats(clone, s.Cfg)
+		if err != nil {
+			return nil, err
+		}
+		repl.Cells = append(repl.Cells, Cell{Value: sr.AvgDynamicLength(), Valid: true})
+		traces.Cells = append(traces.Cells, countCell(uint64(nt)))
+	}
+	t.Rows = append(t.Rows, orig, repl, traces)
+	return t, nil
+}
+
+func scopeStats(prog *ir.Program, cfg ExpConfig) (superblock.Stats, int, error) {
+	n := prog.NumberBranches(false)
+	counts := trace.NewCounts(n)
+	m := interp.New(prog)
+	m.EnableBlockCounts()
+	m.Hook = counts.Branch
+	m.MaxBranches = cfg.Budget
+	if cfg.Seed != 0 {
+		if err := m.SetGlobal("wseed", cfg.Seed); err != nil {
+			return superblock.Stats{}, 0, err
+		}
+	}
+	if sc := scaleFor(cfg); sc != 0 {
+		if err := m.SetGlobal("wscale", sc); err != nil {
+			return superblock.Stats{}, 0, err
+		}
+	}
+	if _, err := m.Run(); err != nil && !errors.Is(err, interp.ErrLimit) {
+		return superblock.Stats{}, 0, err
+	}
+	st := superblock.MeasureProgram(prog, m.BlockCounts(), counts)
+	return st, st.Traces, nil
+}

@@ -1,0 +1,361 @@
+// Package cfg provides the control-flow analyses the paper's pipeline needs:
+// predecessor maps, reverse postorder, dominator trees (the Cooper–Harvey–
+// Kennedy iterative algorithm), and natural-loop detection with a loop
+// nesting forest, following the classical construction the paper cites
+// ([ASU86], "Natural loop analysis").
+package cfg
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/ir"
+)
+
+// Graph is the analysed view of one function's CFG. It is immutable with
+// respect to the function it was built from: rebuilding after a transform is
+// the caller's job.
+type Graph struct {
+	Func *ir.Func
+
+	// Preds maps each block to its predecessors, in block order.
+	Preds map[*ir.Block][]*ir.Block
+
+	// RPO is the blocks reachable from the entry in reverse postorder.
+	RPO []*ir.Block
+
+	// rpoIndex maps each reachable block to its position in RPO.
+	rpoIndex map[*ir.Block]int
+
+	// idom maps each reachable block (except the entry) to its immediate
+	// dominator.
+	idom map[*ir.Block]*ir.Block
+}
+
+// Build computes predecessors, reverse postorder, and dominators for f.
+func Build(f *ir.Func) *Graph {
+	g := &Graph{
+		Func:     f,
+		Preds:    make(map[*ir.Block][]*ir.Block, len(f.Blocks)),
+		rpoIndex: make(map[*ir.Block]int, len(f.Blocks)),
+		idom:     make(map[*ir.Block]*ir.Block, len(f.Blocks)),
+	}
+	g.computeRPO()
+	g.computePreds()
+	g.computeDominators()
+	return g
+}
+
+func (g *Graph) computeRPO() {
+	f := g.Func
+	seen := make(map[*ir.Block]bool, len(f.Blocks))
+	var post []*ir.Block
+	// Iterative DFS with an explicit stack of (block, nextSuccIndex).
+	type frame struct {
+		b     *ir.Block
+		succs []*ir.Block
+		next  int
+	}
+	var stack []frame
+	push := func(b *ir.Block) {
+		seen[b] = true
+		stack = append(stack, frame{b: b, succs: b.Succs(nil)})
+	}
+	push(f.Entry)
+	for len(stack) > 0 {
+		top := &stack[len(stack)-1]
+		if top.next < len(top.succs) {
+			s := top.succs[top.next]
+			top.next++
+			if !seen[s] {
+				push(s)
+			}
+			continue
+		}
+		post = append(post, top.b)
+		stack = stack[:len(stack)-1]
+	}
+	g.RPO = make([]*ir.Block, len(post))
+	for i, b := range post {
+		g.RPO[len(post)-1-i] = b
+	}
+	for i, b := range g.RPO {
+		g.rpoIndex[b] = i
+	}
+}
+
+func (g *Graph) computePreds() {
+	var succs []*ir.Block
+	for _, b := range g.RPO {
+		succs = b.Succs(succs[:0])
+		for _, s := range succs {
+			g.Preds[s] = append(g.Preds[s], b)
+		}
+	}
+}
+
+// computeDominators runs the Cooper–Harvey–Kennedy iterative dominator
+// algorithm over the reverse postorder.
+func (g *Graph) computeDominators() {
+	entry := g.Func.Entry
+	g.idom[entry] = entry
+	changed := true
+	for changed {
+		changed = false
+		for _, b := range g.RPO {
+			if b == entry {
+				continue
+			}
+			var newIdom *ir.Block
+			for _, p := range g.Preds[b] {
+				if g.idom[p] == nil {
+					continue // not yet processed
+				}
+				if newIdom == nil {
+					newIdom = p
+				} else {
+					newIdom = g.intersect(p, newIdom)
+				}
+			}
+			if newIdom != nil && g.idom[b] != newIdom {
+				g.idom[b] = newIdom
+				changed = true
+			}
+		}
+	}
+	g.idom[entry] = nil // the entry has no immediate dominator
+}
+
+func (g *Graph) intersect(a, b *ir.Block) *ir.Block {
+	for a != b {
+		for g.rpoIndex[a] > g.rpoIndex[b] {
+			a = g.idom[a]
+		}
+		for g.rpoIndex[b] > g.rpoIndex[a] {
+			b = g.idom[b]
+		}
+	}
+	return a
+}
+
+// Idom returns the immediate dominator of b, or nil for the entry block and
+// unreachable blocks.
+func (g *Graph) Idom(b *ir.Block) *ir.Block { return g.idom[b] }
+
+// Dominates reports whether a dominates b (reflexively).
+func (g *Graph) Dominates(a, b *ir.Block) bool {
+	if _, ok := g.rpoIndex[b]; !ok {
+		return false
+	}
+	for {
+		if a == b {
+			return true
+		}
+		next := g.idom[b]
+		if next == nil {
+			return false
+		}
+		b = next
+	}
+}
+
+// Reachable reports whether b is reachable from the entry.
+func (g *Graph) Reachable(b *ir.Block) bool {
+	_, ok := g.rpoIndex[b]
+	return ok
+}
+
+// RPOIndex returns b's reverse-postorder index; blocks earlier in RPO come
+// first on any path from the entry in a reducible region.
+func (g *Graph) RPOIndex(b *ir.Block) (int, bool) {
+	i, ok := g.rpoIndex[b]
+	return i, ok
+}
+
+// IsBackEdge reports whether the edge from→to is a back edge, i.e. its
+// target dominates its source. Natural loops are grown from back edges.
+func (g *Graph) IsBackEdge(from, to *ir.Block) bool {
+	return g.Reachable(from) && g.Dominates(to, from)
+}
+
+// String renders a compact summary for diagnostics.
+func (g *Graph) String() string {
+	s := fmt.Sprintf("cfg %s: %d reachable blocks\n", g.Func.Name, len(g.RPO))
+	for _, b := range g.RPO {
+		s += fmt.Sprintf("  %s idom=%v preds=%v\n", b, g.idom[b], g.Preds[b])
+	}
+	return s
+}
+
+// Loop is one natural loop: a header plus the set of blocks that can reach a
+// back edge into the header without leaving the loop.
+type Loop struct {
+	Header *ir.Block
+	// Blocks contains every block of the loop, header included, in
+	// deterministic (block ID) order.
+	Blocks []*ir.Block
+	// Parent is the innermost enclosing loop, or nil.
+	Parent *Loop
+	// Children are the loops directly nested inside this one.
+	Children []*Loop
+	// Depth is 1 for outermost loops.
+	Depth int
+
+	members map[*ir.Block]bool
+}
+
+// Contains reports whether b belongs to the loop.
+func (l *Loop) Contains(b *ir.Block) bool { return l.members[b] }
+
+// NumInstrs is the loop body size in IR instructions (terminators count 1).
+func (l *Loop) NumInstrs() int {
+	n := 0
+	for _, b := range l.Blocks {
+		n += len(b.Instrs) + 1
+	}
+	return n
+}
+
+func (l *Loop) String() string {
+	return fmt.Sprintf("loop(header=%s blocks=%d depth=%d)", l.Header, len(l.Blocks), l.Depth)
+}
+
+// LoopForest is the set of natural loops of one function, with the
+// containment hierarchy resolved.
+type LoopForest struct {
+	// Loops holds every loop, outermost-first within each tree,
+	// deterministically ordered by header RPO index.
+	Loops []*Loop
+	// Roots are the outermost loops.
+	Roots []*Loop
+
+	innermost map[*ir.Block]*Loop
+}
+
+// InnermostLoop returns the innermost loop containing b, or nil.
+func (lf *LoopForest) InnermostLoop(b *ir.Block) *Loop { return lf.innermost[b] }
+
+// FindLoops detects all natural loops of g. Back edges sharing a header are
+// merged into a single loop, as in the classical construction.
+func FindLoops(g *Graph) *LoopForest {
+	// Collect back edges grouped by header.
+	backEdges := make(map[*ir.Block][]*ir.Block)
+	var headers []*ir.Block
+	var succs []*ir.Block
+	for _, b := range g.RPO {
+		succs = b.Succs(succs[:0])
+		for _, s := range succs {
+			if g.IsBackEdge(b, s) {
+				if backEdges[s] == nil {
+					headers = append(headers, s)
+				}
+				backEdges[s] = append(backEdges[s], b)
+			}
+		}
+	}
+	lf := &LoopForest{innermost: make(map[*ir.Block]*Loop)}
+	for _, h := range headers {
+		l := &Loop{Header: h, members: map[*ir.Block]bool{h: true}}
+		// Grow the loop body backwards from each back-edge source.
+		var stack []*ir.Block
+		for _, src := range backEdges[h] {
+			if !l.members[src] {
+				l.members[src] = true
+				stack = append(stack, src)
+			}
+		}
+		for len(stack) > 0 {
+			b := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			for _, p := range g.Preds[b] {
+				if !l.members[p] && g.Reachable(p) {
+					l.members[p] = true
+					stack = append(stack, p)
+				}
+			}
+		}
+		for b := range l.members {
+			l.Blocks = append(l.Blocks, b)
+		}
+		sort.Slice(l.Blocks, func(i, j int) bool { return l.Blocks[i].ID < l.Blocks[j].ID })
+		lf.Loops = append(lf.Loops, l)
+	}
+	// Deterministic order: headers by RPO index.
+	sort.Slice(lf.Loops, func(i, j int) bool {
+		a, _ := g.RPOIndex(lf.Loops[i].Header)
+		b, _ := g.RPOIndex(lf.Loops[j].Header)
+		return a < b
+	})
+	// Resolve nesting: the parent of loop L is the smallest loop that
+	// properly contains L's header and is not L itself.
+	for _, l := range lf.Loops {
+		var parent *Loop
+		for _, cand := range lf.Loops {
+			if cand == l || !cand.members[l.Header] {
+				continue
+			}
+			// cand contains l's header; is it the tightest so far?
+			if cand.members[l.Header] && len(cand.Blocks) > len(l.Blocks) {
+				if parent == nil || len(cand.Blocks) < len(parent.Blocks) {
+					parent = cand
+				}
+			}
+		}
+		l.Parent = parent
+		if parent != nil {
+			parent.Children = append(parent.Children, l)
+		} else {
+			lf.Roots = append(lf.Roots, l)
+		}
+	}
+	// Depths and innermost map.
+	var setDepth func(l *Loop, d int)
+	setDepth = func(l *Loop, d int) {
+		l.Depth = d
+		for _, c := range l.Children {
+			setDepth(c, d+1)
+		}
+	}
+	for _, r := range lf.Roots {
+		setDepth(r, 1)
+	}
+	// A block's innermost loop is the smallest loop containing it.
+	for _, l := range lf.Loops {
+		for _, b := range l.Blocks {
+			cur := lf.innermost[b]
+			if cur == nil || len(l.Blocks) < len(cur.Blocks) {
+				lf.innermost[b] = l
+			}
+		}
+	}
+	return lf
+}
+
+// ExitEdge is an edge leaving a loop: From is inside, To is outside.
+type ExitEdge struct {
+	From, To *ir.Block
+	// Taken reports whether the exit is the taken side of From's branch
+	// (false for fall-through or unconditional exits).
+	Taken bool
+}
+
+// Exits returns the loop's exit edges in deterministic order.
+func (l *Loop) Exits() []ExitEdge {
+	var out []ExitEdge
+	for _, b := range l.Blocks {
+		switch b.Term.Op {
+		case ir.TermJmp:
+			if !l.members[b.Term.Then] {
+				out = append(out, ExitEdge{From: b, To: b.Term.Then})
+			}
+		case ir.TermBr:
+			if !l.members[b.Term.Then] {
+				out = append(out, ExitEdge{From: b, To: b.Term.Then, Taken: true})
+			}
+			if !l.members[b.Term.Else] {
+				out = append(out, ExitEdge{From: b, To: b.Term.Else})
+			}
+		}
+	}
+	return out
+}

@@ -1,0 +1,157 @@
+package ir
+
+import "fmt"
+
+// Builder is a convenience layer for constructing IR by appending
+// instructions to a current block. The lowering pass (internal/lang) and
+// many tests use it; it keeps the raw IR structs free of construction
+// helpers.
+type Builder struct {
+	Func *Func
+	Cur  *Block
+}
+
+// NewBuilder returns a builder positioned at the function's entry block,
+// creating one when the function has no blocks yet.
+func NewBuilder(f *Func) *Builder {
+	b := &Builder{Func: f}
+	if len(f.Blocks) == 0 {
+		f.Entry = f.NewBlock("entry")
+	}
+	if f.Entry == nil {
+		f.Entry = f.Blocks[0]
+	}
+	b.Cur = f.Entry
+	return b
+}
+
+// Block creates a new detached block (not yet a jump target).
+func (b *Builder) Block(name string) *Block { return b.Func.NewBlock(name) }
+
+// SetBlock repositions the builder.
+func (b *Builder) SetBlock(blk *Block) { b.Cur = blk }
+
+// sealed reports whether the current block already has a terminator, in
+// which case further appends would be dead; the builder drops them, matching
+// the usual "unreachable code after return" lowering behaviour.
+func (b *Builder) sealed() bool { return b.Cur == nil || b.Cur.Term.Op != TermInvalid }
+
+// emit appends an instruction to the current block unless it is sealed.
+func (b *Builder) emit(in Instr) {
+	if b.sealed() {
+		return
+	}
+	b.Cur.Instrs = append(b.Cur.Instrs, in)
+}
+
+// ConstI materialises an integer constant into a fresh register.
+func (b *Builder) ConstI(v int64) Reg {
+	d := b.Func.NewReg()
+	b.emit(Instr{Op: OpConstI, Dst: d, Imm: v})
+	return d
+}
+
+// ConstF materialises a float constant into a fresh register.
+func (b *Builder) ConstF(v float64) Reg {
+	d := b.Func.NewReg()
+	in := Instr{Op: OpConstF, Dst: d}
+	in.SetFloatImm(v)
+	b.emit(in)
+	return d
+}
+
+// Mov copies src into dst.
+func (b *Builder) Mov(dst, src Reg) {
+	b.emit(Instr{Op: OpMov, Dst: dst, A: src})
+}
+
+// Unary emits a one-source instruction into a fresh register.
+func (b *Builder) Unary(op Op, a Reg) Reg {
+	if op.NumSrc() != 1 || !op.HasDst() {
+		panic(fmt.Sprintf("ir: Unary called with %v", op))
+	}
+	d := b.Func.NewReg()
+	b.emit(Instr{Op: op, Dst: d, A: a})
+	return d
+}
+
+// Binary emits a two-source instruction into a fresh register.
+func (b *Builder) Binary(op Op, a, c Reg) Reg {
+	if op.NumSrc() != 2 || !op.HasDst() {
+		panic(fmt.Sprintf("ir: Binary called with %v", op))
+	}
+	d := b.Func.NewReg()
+	b.emit(Instr{Op: op, Dst: d, A: a, B: c})
+	return d
+}
+
+// LoadG loads a scalar global.
+func (b *Builder) LoadG(g *Global) Reg {
+	d := b.Func.NewReg()
+	b.emit(Instr{Op: OpLoadG, Dst: d, Imm: int64(g.ID)})
+	return d
+}
+
+// StoreG stores into a scalar global.
+func (b *Builder) StoreG(g *Global, src Reg) {
+	b.emit(Instr{Op: OpStoreG, A: src, Imm: int64(g.ID)})
+}
+
+// LoadElem loads an array element.
+func (b *Builder) LoadElem(g *Global, idx Reg) Reg {
+	d := b.Func.NewReg()
+	b.emit(Instr{Op: OpLoadElem, Dst: d, A: idx, Imm: int64(g.ID)})
+	return d
+}
+
+// StoreElem stores an array element.
+func (b *Builder) StoreElem(g *Global, idx, src Reg) {
+	b.emit(Instr{Op: OpStoreElem, A: idx, B: src, Imm: int64(g.ID)})
+}
+
+// Call emits a call; dst may be NoReg for value-discarding calls, in which
+// case a scratch register is still allocated so the interpreter has a place
+// to write.
+func (b *Builder) Call(callee *Func, args ...Reg) Reg {
+	d := b.Func.NewReg()
+	as := make([]Reg, len(args))
+	copy(as, args)
+	b.emit(Instr{Op: OpCall, Dst: d, Imm: int64(callee.ID), Args: as})
+	return d
+}
+
+// Print emits the checksum sink.
+func (b *Builder) Print(a Reg) { b.emit(Instr{Op: OpPrint, A: a}) }
+
+// Jmp terminates the current block with an unconditional jump.
+func (b *Builder) Jmp(to *Block) {
+	if b.sealed() {
+		return
+	}
+	b.Cur.Term = Term{Op: TermJmp, Then: to}
+}
+
+// Br terminates the current block with a conditional branch: cond != 0
+// transfers to then (taken), otherwise to els.
+func (b *Builder) Br(cond Reg, then, els *Block) {
+	if b.sealed() {
+		return
+	}
+	b.Cur.Term = Term{Op: TermBr, Cond: cond, Then: then, Else: els, Site: -1, Orig: -1}
+}
+
+// Ret terminates the current block with a void return.
+func (b *Builder) Ret() {
+	if b.sealed() {
+		return
+	}
+	b.Cur.Term = Term{Op: TermRet}
+}
+
+// RetVal terminates the current block returning register a.
+func (b *Builder) RetVal(a Reg) {
+	if b.sealed() {
+		return
+	}
+	b.Cur.Term = Term{Op: TermRet, A: a, HasVal: true}
+}

@@ -1,0 +1,83 @@
+package ir
+
+import "testing"
+
+func TestBuilderFullSurface(t *testing.T) {
+	p := NewProgram()
+	if err := p.AddGlobal(&Global{Name: "s", Type: TInt, Len: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.AddGlobal(&Global{Name: "arr", Type: TFloat, Len: 8, Array: true}); err != nil {
+		t.Fatal(err)
+	}
+	callee := &Func{Name: "id", NParams: 1, NRegs: 1, RetType: TInt}
+	if err := p.AddFunc(callee); err != nil {
+		t.Fatal(err)
+	}
+	cb := NewBuilder(callee)
+	cb.RetVal(0)
+
+	f := &Func{Name: "main", RetType: TInt}
+	if err := p.AddFunc(f); err != nil {
+		t.Fatal(err)
+	}
+	b := NewBuilder(f)
+	fl := b.ConstF(2.5)
+	neg := b.Unary(OpNegF, fl)
+	g := p.Global("s")
+	arr := p.Global("arr")
+	iv := b.ConstI(3)
+	b.StoreG(g, iv)
+	ld := b.LoadG(g)
+	b.StoreElem(arr, ld, neg)
+	el := b.LoadElem(arr, ld)
+	b.Print(el)
+	r := b.Call(callee, iv)
+	b.RetVal(r)
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if p.Global("arr") != arr || p.Global("nope") != nil {
+		t.Fatal("global lookup wrong")
+	}
+	if p.Func("nope") != nil {
+		t.Fatal("func lookup wrong")
+	}
+}
+
+func TestBuilderPanicsOnWrongShape(t *testing.T) {
+	p := NewProgram()
+	f := &Func{Name: "f", RetType: TVoid}
+	if err := p.AddFunc(f); err != nil {
+		t.Fatal(err)
+	}
+	b := NewBuilder(f)
+	mustPanic := func(fn func()) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Fatal("want panic")
+			}
+		}()
+		fn()
+	}
+	mustPanic(func() { b.Unary(OpAddI, 0) })     // binary op via Unary
+	mustPanic(func() { b.Binary(OpNegI, 0, 0) }) // unary op via Binary
+}
+
+func TestNewBuilderReusesEntry(t *testing.T) {
+	p := NewProgram()
+	f := &Func{Name: "f", RetType: TVoid}
+	if err := p.AddFunc(f); err != nil {
+		t.Fatal(err)
+	}
+	b1 := NewBuilder(f)
+	b1.Ret()
+	// Second builder over a function that has blocks but no Entry pointer.
+	f2 := &Func{Name: "g", RetType: TVoid}
+	f2.NewBlock("first")
+	b2 := NewBuilder(f2)
+	if f2.Entry != f2.Blocks[0] || b2.Cur != f2.Entry {
+		t.Fatal("builder did not adopt existing first block")
+	}
+}

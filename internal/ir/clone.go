@@ -1,0 +1,137 @@
+package ir
+
+// CloneFunc returns a deep copy of f. Blocks, instruction slices, and call
+// argument slices are fresh; branch Site/Orig/Pred annotations are preserved
+// (callers renumber sites afterwards when needed). The block map from
+// original to copy is returned so transforms can follow references.
+func CloneFunc(f *Func) (*Func, map[*Block]*Block) {
+	nf := &Func{
+		Name:    f.Name,
+		ID:      f.ID,
+		NParams: f.NParams,
+		NRegs:   f.NRegs,
+		RetType: f.RetType,
+	}
+	m := make(map[*Block]*Block, len(f.Blocks))
+	for _, b := range f.Blocks {
+		nb := &Block{ID: b.ID, Name: b.Name}
+		nb.Instrs = cloneInstrs(b.Instrs)
+		nb.Term = b.Term // targets fixed below
+		m[b] = nb
+		nf.Blocks = append(nf.Blocks, nb)
+	}
+	for _, b := range f.Blocks {
+		nb := m[b]
+		if nb.Term.Then != nil {
+			nb.Term.Then = m[nb.Term.Then]
+		}
+		if nb.Term.Else != nil {
+			nb.Term.Else = m[nb.Term.Else]
+		}
+	}
+	nf.Entry = m[f.Entry]
+	return nf, m
+}
+
+// CloneBlocks deep-copies a set of blocks inside f, appending the copies to
+// f.Blocks with the given name suffix. Terminator targets that point inside
+// the set are redirected to the corresponding copies; targets outside the
+// set are left pointing at the originals. The original→copy map is returned.
+//
+// This is the primitive the replicator uses to materialise one state copy of
+// a loop.
+func CloneBlocks(f *Func, set []*Block, suffix string) map[*Block]*Block {
+	m := make(map[*Block]*Block, len(set))
+	for _, b := range set {
+		nb := &Block{ID: len(f.Blocks), Name: b.Name + suffix}
+		nb.Instrs = cloneInstrs(b.Instrs)
+		nb.Term = b.Term
+		f.Blocks = append(f.Blocks, nb)
+		m[b] = nb
+	}
+	for _, b := range set {
+		nb := m[b]
+		if t, ok := m[nb.Term.Then]; ok {
+			nb.Term.Then = t
+		}
+		if t, ok := m[nb.Term.Else]; ok {
+			nb.Term.Else = t
+		}
+	}
+	return m
+}
+
+func cloneInstrs(ins []Instr) []Instr {
+	if len(ins) == 0 {
+		return nil
+	}
+	out := make([]Instr, len(ins))
+	copy(out, ins)
+	for i := range out {
+		if out[i].Args != nil {
+			args := make([]Reg, len(out[i].Args))
+			copy(args, out[i].Args)
+			out[i].Args = args
+		}
+	}
+	return out
+}
+
+// CloneProgram returns a deep copy of the program, including globals (their
+// Init slices are copied so interpreter runs cannot alias).
+func CloneProgram(p *Program) *Program {
+	np := NewProgram()
+	for _, g := range p.Globals {
+		ng := &Global{Name: g.Name, Type: g.Type, Len: g.Len, Array: g.Array}
+		if g.Init != nil {
+			ng.Init = make([]int64, len(g.Init))
+			copy(ng.Init, g.Init)
+		}
+		if err := np.AddGlobal(ng); err != nil {
+			panic("ir: CloneProgram: " + err.Error()) // source was valid
+		}
+	}
+	for _, f := range p.Funcs {
+		nf, _ := CloneFunc(f)
+		if err := np.AddFunc(nf); err != nil {
+			panic("ir: CloneProgram: " + err.Error())
+		}
+	}
+	return np
+}
+
+// RemoveUnreachable drops blocks not reachable from the entry, renumbers the
+// survivors, and returns how many blocks were removed. The replicator calls
+// it after rewiring state copies (the paper's discarded "2b"/"3a" blocks).
+func RemoveUnreachable(f *Func) int {
+	reach := make(map[*Block]bool, len(f.Blocks))
+	stack := []*Block{f.Entry}
+	reach[f.Entry] = true
+	var succs []*Block
+	for len(stack) > 0 {
+		b := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		succs = b.Succs(succs[:0])
+		for _, s := range succs {
+			if !reach[s] {
+				reach[s] = true
+				stack = append(stack, s)
+			}
+		}
+	}
+	if len(reach) == len(f.Blocks) {
+		return 0
+	}
+	kept := f.Blocks[:0]
+	removed := 0
+	for _, b := range f.Blocks {
+		if reach[b] {
+			kept = append(kept, b)
+		} else {
+			removed++
+		}
+	}
+	f.Blocks = kept
+	f.Renumber()
+	return removed
+}

@@ -1,0 +1,347 @@
+package ir
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+// buildCountdown constructs the canonical test function:
+//
+//	func countdown(n int) int {
+//	    s := 0
+//	    while n > 0 { s += n; n-- }
+//	    return s
+//	}
+func buildCountdown(p *Program) *Func {
+	f := &Func{Name: "countdown", NParams: 1, NRegs: 1, RetType: TInt}
+	if err := p.AddFunc(f); err != nil {
+		panic(err)
+	}
+	b := NewBuilder(f)
+	n := Reg(0)
+	s := f.NewReg()
+	zero := b.ConstI(0)
+	b.Mov(s, zero)
+	head := b.Block("head")
+	body := b.Block("body")
+	exit := b.Block("exit")
+	b.Jmp(head)
+	b.SetBlock(head)
+	cond := b.Binary(OpGtI, n, zero)
+	b.Br(cond, body, exit)
+	b.SetBlock(body)
+	sum := b.Binary(OpAddI, s, n)
+	b.Mov(s, sum)
+	one := b.ConstI(1)
+	dec := b.Binary(OpSubI, n, one)
+	b.Mov(n, dec)
+	b.Jmp(head)
+	b.SetBlock(exit)
+	b.RetVal(s)
+	return f
+}
+
+func TestBuildAndValidate(t *testing.T) {
+	p := NewProgram()
+	f := buildCountdown(p)
+	if err := p.Validate(); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+	if got := len(f.Blocks); got != 4 {
+		t.Fatalf("blocks = %d, want 4", got)
+	}
+	if f.Entry != f.Blocks[0] {
+		t.Fatalf("entry is not first block")
+	}
+	n := p.NumberBranches(true)
+	if n != 1 {
+		t.Fatalf("NumberBranches = %d, want 1", n)
+	}
+	sites := p.BranchSites()
+	if len(sites) != 1 || sites[0].Site != 0 || sites[0].Orig != 0 {
+		t.Fatalf("BranchSites = %+v", sites)
+	}
+	if sites[0].Func != f {
+		t.Fatalf("site func mismatch")
+	}
+}
+
+func TestValidateCatchesErrors(t *testing.T) {
+	mk := func() (*Program, *Func) {
+		p := NewProgram()
+		return p, buildCountdown(p)
+	}
+
+	t.Run("badRegister", func(t *testing.T) {
+		p, f := mk()
+		f.Blocks[1].Instrs = append(f.Blocks[1].Instrs, Instr{Op: OpMov, Dst: 999, A: 0})
+		if err := p.Validate(); err == nil {
+			t.Fatal("want error for out-of-frame register")
+		}
+	})
+	t.Run("missingTerminator", func(t *testing.T) {
+		p, f := mk()
+		f.Blocks[2].Term = Term{}
+		if err := p.Validate(); err == nil {
+			t.Fatal("want error for missing terminator")
+		}
+	})
+	t.Run("foreignTarget", func(t *testing.T) {
+		p, f := mk()
+		f.Blocks[1].Term.Then = &Block{ID: 77, Name: "alien"}
+		if err := p.Validate(); err == nil {
+			t.Fatal("want error for foreign branch target")
+		}
+	})
+	t.Run("badGlobal", func(t *testing.T) {
+		p, f := mk()
+		f.Blocks[0].Instrs = append(f.Blocks[0].Instrs, Instr{Op: OpLoadG, Dst: 0, Imm: 5})
+		if err := p.Validate(); err == nil {
+			t.Fatal("want error for out-of-range global")
+		}
+	})
+	t.Run("badCallArity", func(t *testing.T) {
+		p, f := mk()
+		f.Blocks[0].Instrs = append(f.Blocks[0].Instrs, Instr{Op: OpCall, Dst: 0, Imm: 0, Args: nil})
+		if err := p.Validate(); err == nil {
+			t.Fatal("want error for wrong call arity")
+		}
+	})
+	t.Run("elementAccessToScalar", func(t *testing.T) {
+		p, f := mk()
+		if err := p.AddGlobal(&Global{Name: "x", Type: TInt, Len: 1}); err != nil {
+			t.Fatal(err)
+		}
+		f.Blocks[0].Instrs = append(f.Blocks[0].Instrs, Instr{Op: OpLoadElem, Dst: 0, A: 0, Imm: 0})
+		if err := p.Validate(); err == nil {
+			t.Fatal("want error for element access to scalar")
+		}
+	})
+	t.Run("dupFunc", func(t *testing.T) {
+		p, _ := mk()
+		if err := p.AddFunc(&Func{Name: "countdown"}); err == nil {
+			t.Fatal("want duplicate-function error")
+		}
+	})
+	t.Run("dupGlobal", func(t *testing.T) {
+		p, _ := mk()
+		if err := p.AddGlobal(&Global{Name: "g", Type: TInt, Len: 1}); err != nil {
+			t.Fatal(err)
+		}
+		if err := p.AddGlobal(&Global{Name: "g", Type: TInt, Len: 1}); err == nil {
+			t.Fatal("want duplicate-global error")
+		}
+	})
+}
+
+func TestFloatImmRoundTrip(t *testing.T) {
+	check := func(f float64) bool {
+		var in Instr
+		in.SetFloatImm(f)
+		got := in.FloatImm()
+		return got == f || (math.IsNaN(got) && math.IsNaN(f))
+	}
+	if err := quick.Check(check, nil); err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range []float64{0, math.Copysign(0, -1), math.Inf(1), math.Inf(-1), math.NaN(), 3.5e-300} {
+		if !check(f) {
+			t.Fatalf("round trip failed for %v", f)
+		}
+	}
+}
+
+func TestOpMetadata(t *testing.T) {
+	for op := OpNop; op < opMax; op++ {
+		if !op.Valid() {
+			t.Fatalf("op %d should be valid", op)
+		}
+		if strings.HasPrefix(op.String(), "op(") {
+			t.Fatalf("op %d has no name", op)
+		}
+	}
+	if OpInvalid.Valid() {
+		t.Fatal("OpInvalid must not be valid")
+	}
+	if !OpLtF.IsCompare() || !OpLtF.IsFloat() {
+		t.Fatal("OpLtF metadata wrong")
+	}
+	if OpAddI.IsCompare() || OpAddI.IsFloat() {
+		t.Fatal("OpAddI metadata wrong")
+	}
+	if OpCall.NumSrc() != 0 || !OpCall.HasImm() || !OpCall.HasDst() {
+		t.Fatal("OpCall metadata wrong")
+	}
+}
+
+func TestCloneFuncIsDeep(t *testing.T) {
+	p := NewProgram()
+	f := buildCountdown(p)
+	p.NumberBranches(true)
+	nf, m := CloneFunc(f)
+	if nf == f || nf.Entry == f.Entry {
+		t.Fatal("clone aliases original")
+	}
+	if len(nf.Blocks) != len(f.Blocks) {
+		t.Fatalf("clone has %d blocks, want %d", len(nf.Blocks), len(f.Blocks))
+	}
+	for _, b := range f.Blocks {
+		nb := m[b]
+		if nb == nil || nb == b {
+			t.Fatalf("bad mapping for %s", b)
+		}
+		if nb.Term.Then != nil && nb.Term.Then == b.Term.Then {
+			t.Fatalf("%s: clone terminator aliases original target", b)
+		}
+	}
+	// Mutating the clone must not affect the original.
+	nf.Blocks[1].Instrs = append(nf.Blocks[1].Instrs, Instr{Op: OpNop})
+	origLen := len(f.Blocks[1].Instrs)
+	if len(nf.Blocks[1].Instrs) != origLen+1 {
+		t.Fatal("append to clone did not extend clone")
+	}
+	// Branch identity preserved.
+	if nf.Blocks[1].Term.Site != 0 || nf.Blocks[1].Term.Orig != 0 {
+		t.Fatalf("clone lost branch identity: %+v", nf.Blocks[1].Term)
+	}
+}
+
+func TestCloneProgramIndependentGlobals(t *testing.T) {
+	p := NewProgram()
+	if err := p.AddGlobal(&Global{Name: "a", Type: TInt, Len: 3, Array: true, Init: []int64{1, 2, 3}}); err != nil {
+		t.Fatal(err)
+	}
+	buildCountdown(p)
+	np := CloneProgram(p)
+	np.Globals[0].Init[0] = 99
+	if p.Globals[0].Init[0] != 1 {
+		t.Fatal("clone shares Init slice with original")
+	}
+	if np.Func("countdown") == nil {
+		t.Fatal("clone lost function index")
+	}
+	if err := np.Validate(); err != nil {
+		t.Fatalf("cloned program invalid: %v", err)
+	}
+}
+
+func TestCloneBlocksRedirectsInsideSet(t *testing.T) {
+	p := NewProgram()
+	f := buildCountdown(p)
+	head, body := f.Blocks[1], f.Blocks[2]
+	m := CloneBlocks(f, []*Block{head, body}, ".s1")
+	nh, nb := m[head], m[body]
+	if nh.Term.Then != nb {
+		t.Fatal("in-set target not redirected to copy")
+	}
+	if nh.Term.Else != f.Blocks[3] {
+		t.Fatal("out-of-set target should stay original")
+	}
+	if nb.Term.Then != nh {
+		t.Fatal("back edge not redirected")
+	}
+	f.Renumber()
+	if err := p.Validate(); err != nil {
+		t.Fatalf("after CloneBlocks: %v", err)
+	}
+}
+
+func TestRemoveUnreachable(t *testing.T) {
+	p := NewProgram()
+	f := buildCountdown(p)
+	dead := f.NewBlock("dead")
+	dead.Term = Term{Op: TermRet}
+	dead2 := f.NewBlock("dead2")
+	dead2.Term = Term{Op: TermJmp, Then: dead}
+	f.Renumber()
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	removed := RemoveUnreachable(f)
+	if removed != 2 {
+		t.Fatalf("removed = %d, want 2", removed)
+	}
+	if len(f.Blocks) != 4 {
+		t.Fatalf("blocks = %d, want 4", len(f.Blocks))
+	}
+	if err := p.Validate(); err != nil {
+		t.Fatalf("after removal: %v", err)
+	}
+	if RemoveUnreachable(f) != 0 {
+		t.Fatal("second pass should remove nothing")
+	}
+}
+
+func TestNumInstrsCountsTerminators(t *testing.T) {
+	p := NewProgram()
+	f := buildCountdown(p)
+	want := 0
+	for _, b := range f.Blocks {
+		want += len(b.Instrs) + 1
+	}
+	if got := f.NumInstrs(); got != want {
+		t.Fatalf("NumInstrs = %d, want %d", got, want)
+	}
+	if got := p.NumInstrs(); got != want {
+		t.Fatalf("Program.NumInstrs = %d, want %d", got, want)
+	}
+}
+
+func TestPrintRendersEverything(t *testing.T) {
+	p := NewProgram()
+	if err := p.AddGlobal(&Global{Name: "tab", Type: TInt, Len: 8, Array: true}); err != nil {
+		t.Fatal(err)
+	}
+	buildCountdown(p)
+	p.NumberBranches(true)
+	s := p.String()
+	for _, want := range []string{"global tab [8]int", "func countdown", "br r", "site=0", "ret r"} {
+		if !strings.Contains(s, want) {
+			t.Fatalf("program dump missing %q:\n%s", want, s)
+		}
+	}
+}
+
+func TestBuilderSealedBlockDropsCode(t *testing.T) {
+	p := NewProgram()
+	f := &Func{Name: "f", RetType: TVoid}
+	if err := p.AddFunc(f); err != nil {
+		t.Fatal(err)
+	}
+	b := NewBuilder(f)
+	b.Ret()
+	before := len(b.Cur.Instrs)
+	b.ConstI(5)  // dead: must be dropped
+	b.Jmp(b.Cur) // dead: must not overwrite the ret
+	if len(b.Cur.Instrs) != before {
+		t.Fatal("builder appended to sealed block")
+	}
+	if b.Cur.Term.Op != TermRet {
+		t.Fatal("builder overwrote terminator of sealed block")
+	}
+}
+
+func TestNumberBranchesPreservesOrig(t *testing.T) {
+	p := NewProgram()
+	f := buildCountdown(p)
+	p.NumberBranches(true)
+	// Simulate replication: clone the branch block, keep Orig.
+	m := CloneBlocks(f, []*Block{f.Blocks[1]}, ".copy")
+	_ = m
+	f.Renumber()
+	n := p.NumberBranches(false)
+	if n != 2 {
+		t.Fatalf("NumberBranches = %d, want 2", n)
+	}
+	sites := p.BranchSites()
+	if len(sites) != 2 {
+		t.Fatalf("len(sites) = %d", len(sites))
+	}
+	for _, s := range sites {
+		if s.Orig != 0 {
+			t.Fatalf("site %d lost Orig: %d", s.Site, s.Orig)
+		}
+	}
+}

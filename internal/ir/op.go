@@ -1,0 +1,187 @@
+package ir
+
+import "fmt"
+
+// Op is an instruction opcode. Opcodes are typed: integer and float
+// arithmetic are distinct families so the interpreter can reinterpret the
+// 64-bit register cells without tag bits.
+type Op uint16
+
+const (
+	// OpInvalid is the zero opcode; validation rejects it.
+	OpInvalid Op = iota
+
+	// OpNop does nothing. It exists so transforms can blank out
+	// instructions without reslicing.
+	OpNop
+
+	// Constants and moves.
+	OpConstI // Dst = Imm
+	OpConstF // Dst = float64frombits(Imm)
+	OpMov    // Dst = A
+
+	// Integer arithmetic. Division and modulo by zero are runtime errors.
+	OpAddI
+	OpSubI
+	OpMulI
+	OpDivI
+	OpModI
+	OpAndI
+	OpOrI
+	OpXorI
+	OpShlI // Dst = A << (B & 63)
+	OpShrI // Dst = A >> (B & 63), arithmetic
+	OpNegI
+	OpNotI // logical not: Dst = (A == 0)
+
+	// Float arithmetic.
+	OpAddF
+	OpSubF
+	OpMulF
+	OpDivF
+	OpNegF
+
+	// Comparisons produce 0 or 1.
+	OpEqI
+	OpNeI
+	OpLtI
+	OpLeI
+	OpGtI
+	OpGeI
+	OpEqF
+	OpNeF
+	OpLtF
+	OpLeF
+	OpGtF
+	OpGeF
+
+	// Conversions.
+	OpItoF // Dst = float(A)
+	OpFtoI // Dst = int(A), truncating toward zero
+
+	// Intrinsics used by the BL builtins.
+	OpSqrtF
+	OpAbsI
+	OpAbsF
+	OpMinI
+	OpMaxI
+	OpMinF
+	OpMaxF
+
+	// Globals. Imm is the global ID. For element access A is the index
+	// register; out-of-bounds access is a runtime error.
+	OpLoadG     // Dst = globals[Imm]
+	OpStoreG    // globals[Imm] = A
+	OpLoadElem  // Dst = globals[Imm][A]
+	OpStoreElem // globals[Imm][A] = B
+
+	// OpCall invokes function Imm with Args; Dst receives the return value
+	// (ignored when Dst == NoReg).
+	OpCall
+
+	// OpPrint feeds register A into the interpreter's output checksum.
+	// It is the observable effect that keeps workloads honest.
+	OpPrint
+
+	opMax
+)
+
+// opInfo describes the operand shape of an opcode.
+type opInfo struct {
+	name    string
+	hasDst  bool
+	nSrc    int  // number of register sources (A, then B)
+	hasImm  bool // meaningful Imm field
+	isFloat bool // operates on float bit patterns
+}
+
+var opTable = [opMax]opInfo{
+	OpInvalid:   {name: "invalid"},
+	OpNop:       {name: "nop"},
+	OpConstI:    {name: "consti", hasDst: true, hasImm: true},
+	OpConstF:    {name: "constf", hasDst: true, hasImm: true, isFloat: true},
+	OpMov:       {name: "mov", hasDst: true, nSrc: 1},
+	OpAddI:      {name: "addi", hasDst: true, nSrc: 2},
+	OpSubI:      {name: "subi", hasDst: true, nSrc: 2},
+	OpMulI:      {name: "muli", hasDst: true, nSrc: 2},
+	OpDivI:      {name: "divi", hasDst: true, nSrc: 2},
+	OpModI:      {name: "modi", hasDst: true, nSrc: 2},
+	OpAndI:      {name: "andi", hasDst: true, nSrc: 2},
+	OpOrI:       {name: "ori", hasDst: true, nSrc: 2},
+	OpXorI:      {name: "xori", hasDst: true, nSrc: 2},
+	OpShlI:      {name: "shli", hasDst: true, nSrc: 2},
+	OpShrI:      {name: "shri", hasDst: true, nSrc: 2},
+	OpNegI:      {name: "negi", hasDst: true, nSrc: 1},
+	OpNotI:      {name: "noti", hasDst: true, nSrc: 1},
+	OpAddF:      {name: "addf", hasDst: true, nSrc: 2, isFloat: true},
+	OpSubF:      {name: "subf", hasDst: true, nSrc: 2, isFloat: true},
+	OpMulF:      {name: "mulf", hasDst: true, nSrc: 2, isFloat: true},
+	OpDivF:      {name: "divf", hasDst: true, nSrc: 2, isFloat: true},
+	OpNegF:      {name: "negf", hasDst: true, nSrc: 1, isFloat: true},
+	OpEqI:       {name: "eqi", hasDst: true, nSrc: 2},
+	OpNeI:       {name: "nei", hasDst: true, nSrc: 2},
+	OpLtI:       {name: "lti", hasDst: true, nSrc: 2},
+	OpLeI:       {name: "lei", hasDst: true, nSrc: 2},
+	OpGtI:       {name: "gti", hasDst: true, nSrc: 2},
+	OpGeI:       {name: "gei", hasDst: true, nSrc: 2},
+	OpEqF:       {name: "eqf", hasDst: true, nSrc: 2, isFloat: true},
+	OpNeF:       {name: "nef", hasDst: true, nSrc: 2, isFloat: true},
+	OpLtF:       {name: "ltf", hasDst: true, nSrc: 2, isFloat: true},
+	OpLeF:       {name: "lef", hasDst: true, nSrc: 2, isFloat: true},
+	OpGtF:       {name: "gtf", hasDst: true, nSrc: 2, isFloat: true},
+	OpGeF:       {name: "gef", hasDst: true, nSrc: 2, isFloat: true},
+	OpItoF:      {name: "itof", hasDst: true, nSrc: 1},
+	OpFtoI:      {name: "ftoi", hasDst: true, nSrc: 1},
+	OpSqrtF:     {name: "sqrtf", hasDst: true, nSrc: 1, isFloat: true},
+	OpAbsI:      {name: "absi", hasDst: true, nSrc: 1},
+	OpAbsF:      {name: "absf", hasDst: true, nSrc: 1, isFloat: true},
+	OpMinI:      {name: "mini", hasDst: true, nSrc: 2},
+	OpMaxI:      {name: "maxi", hasDst: true, nSrc: 2},
+	OpMinF:      {name: "minf", hasDst: true, nSrc: 2, isFloat: true},
+	OpMaxF:      {name: "maxf", hasDst: true, nSrc: 2, isFloat: true},
+	OpLoadG:     {name: "loadg", hasDst: true, hasImm: true},
+	OpStoreG:    {name: "storeg", nSrc: 1, hasImm: true},
+	OpLoadElem:  {name: "loadelem", hasDst: true, nSrc: 1, hasImm: true},
+	OpStoreElem: {name: "storeelem", nSrc: 2, hasImm: true},
+	OpCall:      {name: "call", hasDst: true, hasImm: true},
+	OpPrint:     {name: "print", nSrc: 1},
+}
+
+// String returns the assembler mnemonic of the opcode.
+func (op Op) String() string {
+	if op < opMax && opTable[op].name != "" {
+		return opTable[op].name
+	}
+	return fmt.Sprintf("op(%d)", uint16(op))
+}
+
+// Valid reports whether the opcode is a defined instruction opcode.
+func (op Op) Valid() bool { return op > OpInvalid && op < opMax }
+
+// HasDst reports whether the opcode writes a destination register.
+func (op Op) HasDst() bool { return op.Valid() && opTable[op].hasDst }
+
+// NumSrc reports how many register sources (A, then B) the opcode reads.
+func (op Op) NumSrc() int {
+	if !op.Valid() {
+		return 0
+	}
+	return opTable[op].nSrc
+}
+
+// HasImm reports whether the Imm field is meaningful for the opcode.
+func (op Op) HasImm() bool { return op.Valid() && opTable[op].hasImm }
+
+// IsFloat reports whether the opcode interprets its operands as float bit
+// patterns.
+func (op Op) IsFloat() bool { return op.Valid() && opTable[op].isFloat }
+
+// IsCompare reports whether the opcode is a comparison producing 0/1.
+func (op Op) IsCompare() bool {
+	switch op {
+	case OpEqI, OpNeI, OpLtI, OpLeI, OpGtI, OpGeI,
+		OpEqF, OpNeF, OpLtF, OpLeF, OpGtF, OpGeF:
+		return true
+	}
+	return false
+}

@@ -1,0 +1,110 @@
+package ir
+
+import (
+	"fmt"
+	"strings"
+)
+
+// String renders the whole program as readable pseudo-assembly. The format
+// is for diagnostics and golden tests; it is not parsed back.
+func (p *Program) String() string {
+	var sb strings.Builder
+	for _, g := range p.Globals {
+		if g.Array {
+			fmt.Fprintf(&sb, "global %s [%d]%s\n", g.Name, g.Len, g.Type)
+		} else {
+			fmt.Fprintf(&sb, "global %s %s\n", g.Name, g.Type)
+		}
+	}
+	for i, f := range p.Funcs {
+		if i > 0 || len(p.Globals) > 0 {
+			sb.WriteByte('\n')
+		}
+		f.write(&sb)
+	}
+	return sb.String()
+}
+
+// String renders one function.
+func (f *Func) String() string {
+	var sb strings.Builder
+	f.write(&sb)
+	return sb.String()
+}
+
+func (f *Func) write(sb *strings.Builder) {
+	fmt.Fprintf(sb, "func %s(params=%d regs=%d) %s {\n", f.Name, f.NParams, f.NRegs, f.RetType)
+	for _, b := range f.Blocks {
+		fmt.Fprintf(sb, "%s:", b)
+		if b == f.Entry {
+			sb.WriteString(" ; entry")
+		}
+		sb.WriteByte('\n')
+		for i := range b.Instrs {
+			sb.WriteString("  ")
+			sb.WriteString(b.Instrs[i].String())
+			sb.WriteByte('\n')
+		}
+		sb.WriteString("  ")
+		sb.WriteString(b.Term.String())
+		sb.WriteByte('\n')
+	}
+	sb.WriteString("}\n")
+}
+
+// String renders one instruction.
+func (in Instr) String() string {
+	var sb strings.Builder
+	if in.Op.HasDst() {
+		fmt.Fprintf(&sb, "r%d = ", in.Dst)
+	}
+	sb.WriteString(in.Op.String())
+	switch in.Op {
+	case OpConstI:
+		fmt.Fprintf(&sb, " %d", in.Imm)
+	case OpConstF:
+		fmt.Fprintf(&sb, " %g", in.FloatImm())
+	case OpLoadG, OpStoreG, OpLoadElem, OpStoreElem:
+		fmt.Fprintf(&sb, " g%d", in.Imm)
+	case OpCall:
+		fmt.Fprintf(&sb, " f%d", in.Imm)
+	}
+	for i := 0; i < in.Op.NumSrc(); i++ {
+		r := in.A
+		if i == 1 {
+			r = in.B
+		}
+		fmt.Fprintf(&sb, " r%d", r)
+	}
+	if in.Op == OpCall {
+		sb.WriteString(" (")
+		for i, a := range in.Args {
+			if i > 0 {
+				sb.WriteString(", ")
+			}
+			fmt.Fprintf(&sb, "r%d", a)
+		}
+		sb.WriteString(")")
+	}
+	return sb.String()
+}
+
+// String renders one terminator.
+func (t Term) String() string {
+	switch t.Op {
+	case TermJmp:
+		return fmt.Sprintf("jmp %s", t.Then)
+	case TermBr:
+		s := fmt.Sprintf("br r%d %s %s ; site=%d orig=%d", t.Cond, t.Then, t.Else, t.Site, t.Orig)
+		if t.Pred != PredNone {
+			s += " pred=" + t.Pred.String()
+		}
+		return s
+	case TermRet:
+		if t.HasVal {
+			return fmt.Sprintf("ret r%d", t.A)
+		}
+		return "ret"
+	}
+	return "<no terminator>"
+}

@@ -1,0 +1,117 @@
+package ir
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestInstrStringShapes(t *testing.T) {
+	cases := []struct {
+		in   Instr
+		want string
+	}{
+		{Instr{Op: OpConstI, Dst: 1, Imm: -7}, "r1 = consti -7"},
+		{Instr{Op: OpMov, Dst: 2, A: 1}, "r2 = mov r1"},
+		{Instr{Op: OpAddI, Dst: 3, A: 1, B: 2}, "r3 = addi r1 r2"},
+		{Instr{Op: OpLoadG, Dst: 0, Imm: 4}, "r0 = loadg g4"},
+		{Instr{Op: OpStoreG, A: 0, Imm: 4}, "storeg g4 r0"},
+		{Instr{Op: OpLoadElem, Dst: 1, A: 0, Imm: 2}, "r1 = loadelem g2 r0"},
+		{Instr{Op: OpStoreElem, A: 0, B: 1, Imm: 2}, "storeelem g2 r0 r1"},
+		{Instr{Op: OpPrint, A: 5}, "print r5"},
+		{Instr{Op: OpNop}, "nop"},
+		{Instr{Op: OpCall, Dst: 1, Imm: 0, Args: []Reg{2, 3}}, "r1 = call f0 (r2, r3)"},
+	}
+	for _, c := range cases {
+		if got := c.in.String(); got != c.want {
+			t.Errorf("String() = %q, want %q", got, c.want)
+		}
+	}
+	var cf Instr
+	cf.Op = OpConstF
+	cf.Dst = 2
+	cf.SetFloatImm(1.5)
+	if got := cf.String(); got != "r2 = constf 1.5" {
+		t.Errorf("constf string: %q", got)
+	}
+}
+
+func TestTermStringShapes(t *testing.T) {
+	b1 := &Block{ID: 1, Name: "x"}
+	b2 := &Block{ID: 2}
+	cases := []struct {
+		tm   Term
+		want string
+	}{
+		{Term{Op: TermJmp, Then: b1}, "jmp b1.x"},
+		{Term{Op: TermRet}, "ret"},
+		{Term{Op: TermRet, HasVal: true, A: 3}, "ret r3"},
+		{Term{}, "<no terminator>"},
+	}
+	for _, c := range cases {
+		if got := c.tm.String(); got != c.want {
+			t.Errorf("Term.String() = %q, want %q", got, c.want)
+		}
+	}
+	br := Term{Op: TermBr, Cond: 4, Then: b1, Else: b2, Site: 9, Orig: 3, Pred: PredTaken}
+	s := br.String()
+	for _, want := range []string{"br r4", "b1.x", "b2", "site=9", "orig=3", "pred=taken"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("br string %q missing %q", s, want)
+		}
+	}
+}
+
+func TestEnumStrings(t *testing.T) {
+	if TVoid.String() != "void" || TInt.String() != "int" ||
+		TFloat.String() != "float" || TBool.String() != "bool" {
+		t.Fatal("type names wrong")
+	}
+	if Type(99).String() == "" {
+		t.Fatal("unknown type must still render")
+	}
+	if PredNone.String() != "none" || PredTaken.String() != "taken" || PredNotTaken.String() != "not-taken" {
+		t.Fatal("prediction names wrong")
+	}
+	if Prediction(9).String() == "" {
+		t.Fatal("unknown prediction must render")
+	}
+	if TermJmp.String() != "jmp" || TermBr.String() != "br" || TermRet.String() != "ret" || TermInvalid.String() != "invalid" {
+		t.Fatal("term op names wrong")
+	}
+	if TermOp(9).String() == "" || Op(9999).String() == "" {
+		t.Fatal("unknown enums must render")
+	}
+}
+
+func TestBlockHelpers(t *testing.T) {
+	b := &Block{ID: 7}
+	if b.String() != "b7" {
+		t.Fatalf("unnamed block: %s", b)
+	}
+	b.Name = "loop"
+	if b.String() != "b7.loop" {
+		t.Fatalf("named block: %s", b)
+	}
+	b.Term = Term{Op: TermRet}
+	if b.NumSuccs() != 0 || len(b.Succs(nil)) != 0 {
+		t.Fatal("ret block has successors")
+	}
+	o := &Block{ID: 8}
+	b.Term = Term{Op: TermJmp, Then: o}
+	if b.NumSuccs() != 1 {
+		t.Fatal("jmp succ count")
+	}
+	b.Term = Term{Op: TermBr, Then: o, Else: b}
+	if b.NumSuccs() != 2 || len(b.Succs(nil)) != 2 {
+		t.Fatal("br succ count")
+	}
+}
+
+func TestFuncString(t *testing.T) {
+	p := NewProgram()
+	f := buildCountdown(p)
+	s := f.String()
+	if !strings.Contains(s, "func countdown") || !strings.Contains(s, "; entry") {
+		t.Fatalf("func dump: %s", s)
+	}
+}

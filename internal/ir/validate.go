@@ -1,0 +1,140 @@
+package ir
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Validate checks structural invariants of the program and returns an error
+// describing the first violation found. Transforms call it after rewriting;
+// the interpreter assumes a validated program.
+//
+// Checked invariants:
+//   - every function has an entry block that is a member of its block list;
+//   - block IDs are dense and match slice positions;
+//   - every block has a terminator whose targets belong to the same function;
+//   - every register operand is within the function frame;
+//   - global and function indices in instructions are in range, and call
+//     argument counts match the callee's parameter count;
+//   - array accesses name array globals, scalar accesses name scalars.
+func (p *Program) Validate() error {
+	for _, f := range p.Funcs {
+		if err := p.validateFunc(f); err != nil {
+			return fmt.Errorf("ir: func %s: %w", f.Name, err)
+		}
+	}
+	return nil
+}
+
+func (p *Program) validateFunc(f *Func) error {
+	if len(f.Blocks) == 0 {
+		return errors.New("no blocks")
+	}
+	if f.Entry == nil {
+		return errors.New("nil entry block")
+	}
+	if f.NParams > f.NRegs {
+		return fmt.Errorf("NParams %d exceeds NRegs %d", f.NParams, f.NRegs)
+	}
+	member := make(map[*Block]bool, len(f.Blocks))
+	for i, b := range f.Blocks {
+		if b == nil {
+			return fmt.Errorf("nil block at index %d", i)
+		}
+		if b.ID != i {
+			return fmt.Errorf("block %s has ID %d at index %d", b.Name, b.ID, i)
+		}
+		if member[b] {
+			return fmt.Errorf("block %s appears twice", b)
+		}
+		member[b] = true
+	}
+	if !member[f.Entry] {
+		return errors.New("entry block not in block list")
+	}
+	checkReg := func(b *Block, i int, r Reg, what string) error {
+		if r < 0 || int(r) >= f.NRegs {
+			return fmt.Errorf("%s[%d]: %s register r%d out of frame (NRegs=%d)", b, i, what, r, f.NRegs)
+		}
+		return nil
+	}
+	for _, b := range f.Blocks {
+		for i := range b.Instrs {
+			in := &b.Instrs[i]
+			if !in.Op.Valid() {
+				return fmt.Errorf("%s[%d]: invalid opcode", b, i)
+			}
+			if in.Op == OpNop {
+				continue
+			}
+			if in.Op.HasDst() {
+				if err := checkReg(b, i, in.Dst, "dst"); err != nil {
+					return err
+				}
+			}
+			if n := in.Op.NumSrc(); n >= 1 {
+				if err := checkReg(b, i, in.A, "src A"); err != nil {
+					return err
+				}
+				if n >= 2 {
+					if err := checkReg(b, i, in.B, "src B"); err != nil {
+						return err
+					}
+				}
+			}
+			switch in.Op {
+			case OpLoadG, OpStoreG, OpLoadElem, OpStoreElem:
+				if in.Imm < 0 || int(in.Imm) >= len(p.Globals) {
+					return fmt.Errorf("%s[%d]: global g%d out of range", b, i, in.Imm)
+				}
+				g := p.Globals[in.Imm]
+				isElem := in.Op == OpLoadElem || in.Op == OpStoreElem
+				if isElem && !g.Array {
+					return fmt.Errorf("%s[%d]: element access to scalar global %s", b, i, g.Name)
+				}
+				if !isElem && g.Array {
+					return fmt.Errorf("%s[%d]: scalar access to array global %s", b, i, g.Name)
+				}
+			case OpCall:
+				if in.Imm < 0 || int(in.Imm) >= len(p.Funcs) {
+					return fmt.Errorf("%s[%d]: callee f%d out of range", b, i, in.Imm)
+				}
+				callee := p.Funcs[in.Imm]
+				if len(in.Args) != callee.NParams {
+					return fmt.Errorf("%s[%d]: call to %s with %d args, want %d",
+						b, i, callee.Name, len(in.Args), callee.NParams)
+				}
+				for _, a := range in.Args {
+					if err := checkReg(b, i, a, "arg"); err != nil {
+						return err
+					}
+				}
+			}
+		}
+		switch b.Term.Op {
+		case TermJmp:
+			if b.Term.Then == nil || !member[b.Term.Then] {
+				return fmt.Errorf("%s: jmp target not in function", b)
+			}
+		case TermBr:
+			if err := checkReg(b, -1, b.Term.Cond, "branch cond"); err != nil {
+				return err
+			}
+			if b.Term.Then == nil || !member[b.Term.Then] {
+				return fmt.Errorf("%s: br taken target not in function", b)
+			}
+			if b.Term.Else == nil || !member[b.Term.Else] {
+				return fmt.Errorf("%s: br fall-through target not in function", b)
+			}
+		case TermRet:
+			if b.Term.HasVal {
+				if err := checkReg(b, -1, b.Term.A, "return value"); err != nil {
+					return err
+				}
+			}
+		default:
+			return fmt.Errorf("%s: missing terminator", b)
+		}
+	}
+	return nil
+}

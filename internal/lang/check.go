@@ -1,0 +1,618 @@
+package lang
+
+import (
+	"fmt"
+
+	"repro/internal/ir"
+)
+
+// Symbol is a resolved variable reference.
+type Symbol struct {
+	Name   string
+	Type   ir.Type
+	Global *VarDecl // nil for locals and parameters
+	Slot   ir.Reg   // register slot, valid when Global == nil
+}
+
+// Builtin enumerates the BL builtin functions.
+type Builtin uint8
+
+const (
+	BuiltinNone Builtin = iota
+	BuiltinPrint
+	BuiltinSqrt
+	BuiltinAbs
+	BuiltinMin
+	BuiltinMax
+	BuiltinToInt   // int(x)
+	BuiltinToFloat // float(x)
+)
+
+// CallTarget is the resolved callee of a CallExpr: either a builtin or a
+// user function.
+type CallTarget struct {
+	Builtin Builtin
+	Func    *FuncDecl
+}
+
+// Info carries the results of type checking, consumed by the lowering pass.
+type Info struct {
+	// Types maps every expression to its type.
+	Types map[Expr]ir.Type
+	// Idents resolves scalar variable references.
+	Idents map[*Ident]*Symbol
+	// Assigns resolves assignment targets (scalar or array global).
+	Assigns map[*AssignStmt]*Symbol
+	// ArrayRefs resolves array accesses (IndexExpr and indexed assigns).
+	ArrayRefs map[Expr]*VarDecl
+	// AssignArrays resolves the array of indexed AssignStmts.
+	AssignArrays map[*AssignStmt]*VarDecl
+	// Calls resolves call targets.
+	Calls map[*CallExpr]CallTarget
+	// LocalSlots is the number of register slots (params + named locals)
+	// each function needs before temporaries.
+	LocalSlots map[*FuncDecl]int
+	// Funcs and Globals index the declarations by name.
+	Funcs   map[string]*FuncDecl
+	Globals map[string]*VarDecl
+
+	// declSlots maps each local declaration to its register slot; the
+	// lowering pass reads it to initialise the slot.
+	declSlots map[*LocalDecl]ir.Reg
+}
+
+type checker struct {
+	info *Info
+	fn   *FuncDecl
+	// scopes is a stack of name→symbol maps for the current function.
+	scopes []map[string]*Symbol
+	slots  int
+	loops  int
+}
+
+// Check resolves and type-checks a parsed file. It returns the first error
+// found.
+func Check(file *File) (*Info, error) {
+	info := &Info{
+		Types:        make(map[Expr]ir.Type),
+		Idents:       make(map[*Ident]*Symbol),
+		Assigns:      make(map[*AssignStmt]*Symbol),
+		ArrayRefs:    make(map[Expr]*VarDecl),
+		AssignArrays: make(map[*AssignStmt]*VarDecl),
+		Calls:        make(map[*CallExpr]CallTarget),
+		LocalSlots:   make(map[*FuncDecl]int),
+		Funcs:        make(map[string]*FuncDecl),
+		Globals:      make(map[string]*VarDecl),
+		declSlots:    make(map[*LocalDecl]ir.Reg),
+	}
+	// Pass 1: collect top-level names (so calls/uses may precede decls).
+	for _, d := range file.Decls {
+		switch d := d.(type) {
+		case *VarDecl:
+			if _, dup := info.Globals[d.Name]; dup {
+				return nil, errf(d.Pos, "duplicate global %q", d.Name)
+			}
+			if _, dup := info.Funcs[d.Name]; dup {
+				return nil, errf(d.Pos, "%q already declared as a function", d.Name)
+			}
+			if isReservedName(d.Name) {
+				return nil, errf(d.Pos, "%q is a builtin name", d.Name)
+			}
+			info.Globals[d.Name] = d
+		case *FuncDecl:
+			if _, dup := info.Funcs[d.Name]; dup {
+				return nil, errf(d.Pos, "duplicate function %q", d.Name)
+			}
+			if _, dup := info.Globals[d.Name]; dup {
+				return nil, errf(d.Pos, "%q already declared as a global", d.Name)
+			}
+			if isReservedName(d.Name) {
+				return nil, errf(d.Pos, "%q is a builtin name", d.Name)
+			}
+			info.Funcs[d.Name] = d
+		}
+	}
+	c := &checker{info: info}
+	// Pass 2: check global initialisers (must be constant).
+	for _, d := range file.Decls {
+		g, ok := d.(*VarDecl)
+		if !ok || g.Init == nil {
+			continue
+		}
+		t, _, err := constEval(g.Init)
+		if err != nil {
+			return nil, err
+		}
+		if t != g.Type {
+			return nil, errf(g.Pos, "initialiser type %v does not match global %q of type %v", t, g.Name, g.Type)
+		}
+	}
+	// Pass 3: check function bodies.
+	for _, d := range file.Decls {
+		fd, ok := d.(*FuncDecl)
+		if !ok {
+			continue
+		}
+		if err := c.checkFunc(fd); err != nil {
+			return nil, err
+		}
+	}
+	return info, nil
+}
+
+func isReservedName(n string) bool {
+	switch n {
+	case "print", "sqrt", "abs", "min", "max", "int", "float", "bool":
+		return true
+	}
+	return false
+}
+
+func (c *checker) checkFunc(fd *FuncDecl) error {
+	c.fn = fd
+	c.slots = 0
+	c.loops = 0
+	c.scopes = []map[string]*Symbol{make(map[string]*Symbol)}
+	for _, p := range fd.Params {
+		if p.Type == ir.TVoid {
+			return errf(p.Pos, "parameter %q has invalid type", p.Name)
+		}
+		if _, dup := c.scopes[0][p.Name]; dup {
+			return errf(p.Pos, "duplicate parameter %q", p.Name)
+		}
+		c.scopes[0][p.Name] = &Symbol{Name: p.Name, Type: p.Type, Slot: ir.Reg(c.slots)}
+		c.slots++
+	}
+	if err := c.checkBlock(fd.Body); err != nil {
+		return err
+	}
+	c.info.LocalSlots[fd] = c.slots
+	return nil
+}
+
+func (c *checker) push() { c.scopes = append(c.scopes, make(map[string]*Symbol)) }
+func (c *checker) pop()  { c.scopes = c.scopes[:len(c.scopes)-1] }
+
+func (c *checker) lookup(name string) *Symbol {
+	for i := len(c.scopes) - 1; i >= 0; i-- {
+		if s, ok := c.scopes[i][name]; ok {
+			return s
+		}
+	}
+	if g, ok := c.info.Globals[name]; ok {
+		return &Symbol{Name: name, Type: g.Type, Global: g}
+	}
+	return nil
+}
+
+func (c *checker) declareLocal(pos Pos, name string, t ir.Type) (*Symbol, error) {
+	top := c.scopes[len(c.scopes)-1]
+	if _, dup := top[name]; dup {
+		return nil, errf(pos, "%q redeclared in this scope", name)
+	}
+	if isReservedName(name) {
+		return nil, errf(pos, "%q is a builtin name", name)
+	}
+	s := &Symbol{Name: name, Type: t, Slot: ir.Reg(c.slots)}
+	c.slots++
+	top[name] = s
+	return s, nil
+}
+
+func (c *checker) checkBlock(b *BlockStmt) error {
+	c.push()
+	defer c.pop()
+	for _, s := range b.Stmts {
+		if err := c.checkStmt(s); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (c *checker) checkStmt(s Stmt) error {
+	switch s := s.(type) {
+	case *BlockStmt:
+		return c.checkBlock(s)
+	case *LocalDecl:
+		if s.Type == ir.TVoid {
+			return errf(s.Pos, "local %q has invalid type", s.Name)
+		}
+		if s.Init != nil {
+			t, err := c.checkExpr(s.Init)
+			if err != nil {
+				return err
+			}
+			if t != s.Type {
+				return errf(s.Pos, "cannot initialise %v local %q with %v value", s.Type, s.Name, t)
+			}
+		}
+		sym, err := c.declareLocal(s.Pos, s.Name, s.Type)
+		if err != nil {
+			return err
+		}
+		c.info.declSlots[s] = sym.Slot
+		return nil
+	case *AssignStmt:
+		return c.checkAssign(s)
+	case *IfStmt:
+		if err := c.checkCond(s.Cond); err != nil {
+			return err
+		}
+		if err := c.checkBlock(s.Then); err != nil {
+			return err
+		}
+		if s.Else != nil {
+			return c.checkStmt(s.Else)
+		}
+		return nil
+	case *WhileStmt:
+		if err := c.checkCond(s.Cond); err != nil {
+			return err
+		}
+		c.loops++
+		defer func() { c.loops-- }()
+		return c.checkBlock(s.Body)
+	case *ForStmt:
+		c.push()
+		defer c.pop()
+		if s.Init != nil {
+			if err := c.checkStmt(s.Init); err != nil {
+				return err
+			}
+		}
+		if s.Cond != nil {
+			if err := c.checkCond(s.Cond); err != nil {
+				return err
+			}
+		}
+		if s.Post != nil {
+			if err := c.checkStmt(s.Post); err != nil {
+				return err
+			}
+		}
+		c.loops++
+		defer func() { c.loops-- }()
+		return c.checkBlock(s.Body)
+	case *BreakStmt:
+		if c.loops == 0 {
+			return errf(s.Pos, "break outside loop")
+		}
+		return nil
+	case *ContinueStmt:
+		if c.loops == 0 {
+			return errf(s.Pos, "continue outside loop")
+		}
+		return nil
+	case *ReturnStmt:
+		if c.fn.Ret == ir.TVoid {
+			if s.Value != nil {
+				return errf(s.Pos, "void function %q returns a value", c.fn.Name)
+			}
+			return nil
+		}
+		if s.Value == nil {
+			return errf(s.Pos, "function %q must return %v", c.fn.Name, c.fn.Ret)
+		}
+		t, err := c.checkExpr(s.Value)
+		if err != nil {
+			return err
+		}
+		if t != c.fn.Ret {
+			return errf(s.Pos, "cannot return %v from function %q returning %v", t, c.fn.Name, c.fn.Ret)
+		}
+		return nil
+	case *ExprStmt:
+		call, ok := s.X.(*CallExpr)
+		if !ok {
+			return errf(s.Pos, "expression statement must be a call")
+		}
+		_, err := c.checkCall(call, true)
+		return err
+	}
+	return fmt.Errorf("lang: unknown statement %T", s)
+}
+
+func (c *checker) checkAssign(s *AssignStmt) error {
+	vt, err := c.checkExpr(s.Value)
+	if err != nil {
+		return err
+	}
+	if s.Index != nil {
+		g, ok := c.info.Globals[s.Name]
+		if !ok || g.Len == 0 {
+			return errf(s.Pos, "%q is not a global array", s.Name)
+		}
+		it, err := c.checkExpr(s.Index)
+		if err != nil {
+			return err
+		}
+		if it != ir.TInt {
+			return errf(s.Pos, "array index must be int, got %v", it)
+		}
+		if vt != g.Type {
+			return errf(s.Pos, "cannot store %v into %v array %q", vt, g.Type, s.Name)
+		}
+		c.info.AssignArrays[s] = g
+		return nil
+	}
+	sym := c.lookup(s.Name)
+	if sym == nil {
+		return errf(s.Pos, "undefined variable %q", s.Name)
+	}
+	if sym.Global != nil && sym.Global.Len > 0 {
+		return errf(s.Pos, "cannot assign whole array %q", s.Name)
+	}
+	if vt != sym.Type {
+		return errf(s.Pos, "cannot assign %v to %v variable %q", vt, sym.Type, s.Name)
+	}
+	c.info.Assigns[s] = sym
+	return nil
+}
+
+func (c *checker) checkCond(e Expr) error {
+	t, err := c.checkExpr(e)
+	if err != nil {
+		return err
+	}
+	if t != ir.TBool {
+		return errf(e.Position(), "condition must be bool, got %v", t)
+	}
+	return nil
+}
+
+func (c *checker) checkExpr(e Expr) (ir.Type, error) {
+	t, err := c.typeOf(e)
+	if err != nil {
+		return ir.TVoid, err
+	}
+	c.info.Types[e] = t
+	return t, nil
+}
+
+func (c *checker) typeOf(e Expr) (ir.Type, error) {
+	switch e := e.(type) {
+	case *IntLit:
+		return ir.TInt, nil
+	case *FloatLit:
+		return ir.TFloat, nil
+	case *BoolLit:
+		return ir.TBool, nil
+	case *Ident:
+		sym := c.lookup(e.Name)
+		if sym == nil {
+			return ir.TVoid, errf(e.Pos, "undefined variable %q", e.Name)
+		}
+		if sym.Global != nil && sym.Global.Len > 0 {
+			return ir.TVoid, errf(e.Pos, "array %q used as scalar", e.Name)
+		}
+		c.info.Idents[e] = sym
+		return sym.Type, nil
+	case *IndexExpr:
+		g, ok := c.info.Globals[e.Name]
+		if !ok || g.Len == 0 {
+			return ir.TVoid, errf(e.Pos, "%q is not a global array", e.Name)
+		}
+		it, err := c.checkExpr(e.Index)
+		if err != nil {
+			return ir.TVoid, err
+		}
+		if it != ir.TInt {
+			return ir.TVoid, errf(e.Pos, "array index must be int, got %v", it)
+		}
+		c.info.ArrayRefs[e] = g
+		return g.Type, nil
+	case *CallExpr:
+		return c.checkCall(e, false)
+	case *UnaryExpr:
+		t, err := c.checkExpr(e.X)
+		if err != nil {
+			return ir.TVoid, err
+		}
+		switch e.Op {
+		case TokMinus:
+			if t != ir.TInt && t != ir.TFloat {
+				return ir.TVoid, errf(e.Pos, "operator - needs int or float, got %v", t)
+			}
+			return t, nil
+		case TokNot:
+			if t != ir.TBool {
+				return ir.TVoid, errf(e.Pos, "operator ! needs bool, got %v", t)
+			}
+			return ir.TBool, nil
+		}
+		return ir.TVoid, errf(e.Pos, "unknown unary operator %v", e.Op)
+	case *BinaryExpr:
+		return c.checkBinary(e)
+	}
+	return ir.TVoid, fmt.Errorf("lang: unknown expression %T", e)
+}
+
+func (c *checker) checkBinary(e *BinaryExpr) (ir.Type, error) {
+	xt, err := c.checkExpr(e.X)
+	if err != nil {
+		return ir.TVoid, err
+	}
+	yt, err := c.checkExpr(e.Y)
+	if err != nil {
+		return ir.TVoid, err
+	}
+	if xt != yt {
+		return ir.TVoid, errf(e.Pos, "mismatched operand types %v and %v (no implicit conversion; use int()/float())", xt, yt)
+	}
+	switch e.Op {
+	case TokPlus, TokMinus, TokStar, TokSlash:
+		if xt != ir.TInt && xt != ir.TFloat {
+			return ir.TVoid, errf(e.Pos, "operator %v needs int or float operands, got %v", e.Op, xt)
+		}
+		return xt, nil
+	case TokPercent, TokAmp, TokPipe, TokCaret, TokShl, TokShr:
+		if xt != ir.TInt {
+			return ir.TVoid, errf(e.Pos, "operator %v needs int operands, got %v", e.Op, xt)
+		}
+		return ir.TInt, nil
+	case TokEq, TokNe:
+		if xt == ir.TVoid {
+			return ir.TVoid, errf(e.Pos, "cannot compare %v values", xt)
+		}
+		return ir.TBool, nil
+	case TokLt, TokLe, TokGt, TokGe:
+		if xt != ir.TInt && xt != ir.TFloat {
+			return ir.TVoid, errf(e.Pos, "operator %v needs int or float operands, got %v", e.Op, xt)
+		}
+		return ir.TBool, nil
+	case TokAndAnd, TokOrOr:
+		if xt != ir.TBool {
+			return ir.TVoid, errf(e.Pos, "operator %v needs bool operands, got %v", e.Op, xt)
+		}
+		return ir.TBool, nil
+	}
+	return ir.TVoid, errf(e.Pos, "unknown binary operator %v", e.Op)
+}
+
+func (c *checker) checkCall(e *CallExpr, stmt bool) (ir.Type, error) {
+	argTypes := make([]ir.Type, len(e.Args))
+	for i, a := range e.Args {
+		t, err := c.checkExpr(a)
+		if err != nil {
+			return ir.TVoid, err
+		}
+		argTypes[i] = t
+	}
+	want := func(n int) error {
+		if len(e.Args) != n {
+			return errf(e.Pos, "%s expects %d argument(s), got %d", e.Name, n, len(e.Args))
+		}
+		return nil
+	}
+	numeric := func(i int) error {
+		if argTypes[i] != ir.TInt && argTypes[i] != ir.TFloat {
+			return errf(e.Pos, "%s argument must be int or float, got %v", e.Name, argTypes[i])
+		}
+		return nil
+	}
+	switch e.Name {
+	case "print":
+		if err := want(1); err != nil {
+			return ir.TVoid, err
+		}
+		if argTypes[0] == ir.TVoid {
+			return ir.TVoid, errf(e.Pos, "cannot print void")
+		}
+		c.info.Calls[e] = CallTarget{Builtin: BuiltinPrint}
+		c.info.Types[e] = ir.TVoid
+		return ir.TVoid, nil
+	case "sqrt":
+		if err := want(1); err != nil {
+			return ir.TVoid, err
+		}
+		if argTypes[0] != ir.TFloat {
+			return ir.TVoid, errf(e.Pos, "sqrt needs a float argument, got %v", argTypes[0])
+		}
+		c.info.Calls[e] = CallTarget{Builtin: BuiltinSqrt}
+		c.info.Types[e] = ir.TFloat
+		return ir.TFloat, nil
+	case "abs":
+		if err := want(1); err != nil {
+			return ir.TVoid, err
+		}
+		if err := numeric(0); err != nil {
+			return ir.TVoid, err
+		}
+		c.info.Calls[e] = CallTarget{Builtin: BuiltinAbs}
+		c.info.Types[e] = argTypes[0]
+		return argTypes[0], nil
+	case "min", "max":
+		if err := want(2); err != nil {
+			return ir.TVoid, err
+		}
+		if err := numeric(0); err != nil {
+			return ir.TVoid, err
+		}
+		if argTypes[0] != argTypes[1] {
+			return ir.TVoid, errf(e.Pos, "%s arguments must have the same type", e.Name)
+		}
+		bi := BuiltinMin
+		if e.Name == "max" {
+			bi = BuiltinMax
+		}
+		c.info.Calls[e] = CallTarget{Builtin: bi}
+		c.info.Types[e] = argTypes[0]
+		return argTypes[0], nil
+	case "int":
+		if err := want(1); err != nil {
+			return ir.TVoid, err
+		}
+		if argTypes[0] == ir.TVoid {
+			return ir.TVoid, errf(e.Pos, "cannot convert void to int")
+		}
+		c.info.Calls[e] = CallTarget{Builtin: BuiltinToInt}
+		c.info.Types[e] = ir.TInt
+		return ir.TInt, nil
+	case "float":
+		if err := want(1); err != nil {
+			return ir.TVoid, err
+		}
+		if argTypes[0] != ir.TInt && argTypes[0] != ir.TFloat {
+			return ir.TVoid, errf(e.Pos, "cannot convert %v to float", argTypes[0])
+		}
+		c.info.Calls[e] = CallTarget{Builtin: BuiltinToFloat}
+		c.info.Types[e] = ir.TFloat
+		return ir.TFloat, nil
+	}
+	fd, ok := c.info.Funcs[e.Name]
+	if !ok {
+		return ir.TVoid, errf(e.Pos, "undefined function %q", e.Name)
+	}
+	if len(e.Args) != len(fd.Params) {
+		return ir.TVoid, errf(e.Pos, "%s expects %d argument(s), got %d", e.Name, len(fd.Params), len(e.Args))
+	}
+	for i, pt := range fd.Params {
+		if argTypes[i] != pt.Type {
+			return ir.TVoid, errf(e.Pos, "argument %d of %s: have %v, want %v", i+1, e.Name, argTypes[i], pt.Type)
+		}
+	}
+	if !stmt && fd.Ret == ir.TVoid {
+		return ir.TVoid, errf(e.Pos, "void function %q used as a value", e.Name)
+	}
+	c.info.Calls[e] = CallTarget{Func: fd}
+	c.info.Types[e] = fd.Ret
+	return fd.Ret, nil
+}
+
+// constEval evaluates a constant expression for a global initialiser.
+// Supported forms: literals and unary minus over literals.
+func constEval(e Expr) (ir.Type, int64, error) {
+	switch e := e.(type) {
+	case *IntLit:
+		return ir.TInt, e.Val, nil
+	case *FloatLit:
+		var in ir.Instr
+		in.SetFloatImm(e.Val)
+		return ir.TFloat, in.Imm, nil
+	case *BoolLit:
+		if e.Val {
+			return ir.TBool, 1, nil
+		}
+		return ir.TBool, 0, nil
+	case *UnaryExpr:
+		if e.Op != TokMinus {
+			return ir.TVoid, 0, errf(e.Pos, "global initialiser must be a constant")
+		}
+		t, v, err := constEval(e.X)
+		if err != nil {
+			return ir.TVoid, 0, err
+		}
+		switch t {
+		case ir.TInt:
+			return ir.TInt, -v, nil
+		case ir.TFloat:
+			var in ir.Instr
+			in.Imm = v
+			in.SetFloatImm(-in.FloatImm())
+			return ir.TFloat, in.Imm, nil
+		}
+		return ir.TVoid, 0, errf(e.Pos, "cannot negate %v constant", t)
+	}
+	return ir.TVoid, 0, errf(e.Position(), "global initialiser must be a constant")
+}

@@ -1,0 +1,439 @@
+package lang
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/interp"
+	"repro/internal/ir"
+)
+
+// run compiles src and executes main, returning its value.
+func run(t *testing.T, src string) int64 {
+	t.Helper()
+	prog, err := Compile(src)
+	if err != nil {
+		t.Fatalf("compile: %v", err)
+	}
+	m := interp.New(prog)
+	v, err := m.Run()
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	return v
+}
+
+func TestTokenizeBasics(t *testing.T) {
+	toks, err := Tokenize("func f(x int) int { return x << 2; } // c\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	kinds := []TokKind{TokFunc, TokIdent, TokLParen, TokIdent, TokTypeInt, TokRParen,
+		TokTypeInt, TokLBrace, TokReturn, TokIdent, TokShl, TokIntLit, TokSemi, TokRBrace, TokEOF}
+	if len(toks) != len(kinds) {
+		t.Fatalf("got %d tokens, want %d: %v", len(toks), len(kinds), toks)
+	}
+	for i, k := range kinds {
+		if toks[i].Kind != k {
+			t.Fatalf("token %d = %v, want %v", i, toks[i].Kind, k)
+		}
+	}
+}
+
+func TestTokenizeOperators(t *testing.T) {
+	src := "== != <= >= << >> && || ! & | ^ < > ="
+	want := []TokKind{TokEq, TokNe, TokLe, TokGe, TokShl, TokShr, TokAndAnd,
+		TokOrOr, TokNot, TokAmp, TokPipe, TokCaret, TokLt, TokGt, TokAssign, TokEOF}
+	toks, err := Tokenize(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, k := range want {
+		if toks[i].Kind != k {
+			t.Fatalf("token %d = %v, want %v", i, toks[i].Kind, k)
+		}
+	}
+}
+
+func TestTokenizeNumbers(t *testing.T) {
+	toks, err := Tokenize("42 3.25 1e6 2.5e-3 7")
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantKinds := []TokKind{TokIntLit, TokFloatLit, TokFloatLit, TokFloatLit, TokIntLit}
+	for i, k := range wantKinds {
+		if toks[i].Kind != k {
+			t.Fatalf("token %d (%q) = %v, want %v", i, toks[i].Text, toks[i].Kind, k)
+		}
+	}
+}
+
+func TestTokenizeBadChar(t *testing.T) {
+	if _, err := Tokenize("a $ b"); err == nil {
+		t.Fatal("want error for '$'")
+	}
+}
+
+func TestPositions(t *testing.T) {
+	toks, err := Tokenize("a\n  b")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if toks[0].Pos.Line != 1 || toks[0].Pos.Col != 1 {
+		t.Fatalf("a at %v", toks[0].Pos)
+	}
+	if toks[1].Pos.Line != 2 || toks[1].Pos.Col != 3 {
+		t.Fatalf("b at %v", toks[1].Pos)
+	}
+}
+
+func TestEndToEndArithmetic(t *testing.T) {
+	got := run(t, `
+func main() int {
+    var a int = 7;
+    var b int = 3;
+    return a*b + a/b - a%b + (a<<1) + (a>>1) + (a&b) + (a|b) + (a^b);
+}`)
+	want := int64(7*3 + 7/3 - 7%3 + (7 << 1) + (7 >> 1) + (7 & 3) + (7 | 3) + (7 ^ 3))
+	if got != want {
+		t.Fatalf("got %d, want %d", got, want)
+	}
+}
+
+func TestEndToEndControlFlow(t *testing.T) {
+	got := run(t, `
+func main() int {
+    var s int = 0;
+    for var i int = 0; i < 10; i = i + 1 {
+        if i % 2 == 0 {
+            s = s + i;
+        } else if i == 5 {
+            s = s + 100;
+        } else {
+            s = s - 1;
+        }
+    }
+    var j int = 0;
+    while j < 5 {
+        j = j + 1;
+        if j == 3 { continue; }
+        if j == 5 { break; }
+        s = s + 1000;
+    }
+    return s;
+}`)
+	// even sum 0+2+4+6+8=20; i==5 adds 100; odds 1,3,7,9 subtract 4
+	// while: j=1,2 add 1000 each; j=3 continue; j=4 adds 1000; j=5 break
+	want := int64(20 + 100 - 4 + 3000)
+	if got != want {
+		t.Fatalf("got %d, want %d", got, want)
+	}
+}
+
+func TestEndToEndShortCircuit(t *testing.T) {
+	got := run(t, `
+var calls int;
+
+func bump() bool {
+    calls = calls + 1;
+    return true;
+}
+
+func main() int {
+    var a bool = false && bump();
+    var b bool = true || bump();
+    var c bool = true && bump();
+    var d bool = false || bump();
+    if a || !b || !c || !d { return -1; }
+    return calls;
+}`)
+	if got != 2 {
+		t.Fatalf("calls = %d, want 2 (short circuit must skip bump)", got)
+	}
+}
+
+func TestEndToEndRecursion(t *testing.T) {
+	got := run(t, `
+func ack(m int, n int) int {
+    if m == 0 { return n + 1; }
+    if n == 0 { return ack(m - 1, 1); }
+    return ack(m - 1, ack(m, n - 1));
+}
+
+func main() int { return ack(2, 3); }`)
+	if got != 9 {
+		t.Fatalf("ack(2,3) = %d, want 9", got)
+	}
+}
+
+func TestEndToEndGlobalsAndArrays(t *testing.T) {
+	got := run(t, `
+var total int = 5;
+var buf [16]int;
+
+func fill(n int) {
+    for var i int = 0; i < n; i = i + 1 {
+        buf[i] = i * i;
+    }
+}
+
+func main() int {
+    fill(16);
+    var s int = total;
+    for var i int = 0; i < 16; i = i + 1 {
+        s = s + buf[i];
+    }
+    return s;
+}`)
+	want := int64(5)
+	for i := int64(0); i < 16; i++ {
+		want += i * i
+	}
+	if got != want {
+		t.Fatalf("got %d, want %d", got, want)
+	}
+}
+
+func TestEndToEndFloats(t *testing.T) {
+	got := run(t, `
+func main() int {
+    var x float = 2.0;
+    var y float = x * 8.0;        // 16
+    var r float = sqrt(y);        // 4
+    var z float = float(3) + 0.5; // 3.5
+    if r > 3.9 && r < 4.1 && abs(-z) == 3.5 {
+        return int(r + z);        // int(7.5) = 7
+    }
+    return -1;
+}`)
+	if got != 7 {
+		t.Fatalf("got %d, want 7", got)
+	}
+}
+
+func TestEndToEndBuiltins(t *testing.T) {
+	got := run(t, `
+func main() int {
+    var a int = min(3, 9) + max(3, 9);  // 12
+    var b float = min(1.5, 2.5) + max(1.5, 2.5); // 4.0
+    print(a);
+    print(int(b));
+    return a + int(b) + abs(-5);
+}`)
+	if got != 12+4+5 {
+		t.Fatalf("got %d", got)
+	}
+}
+
+func TestImplicitReturnZero(t *testing.T) {
+	got := run(t, `
+func f(x int) int {
+    if x > 0 { return 1; }
+}
+func main() int { return f(1) * 10 + f(-1); }`)
+	if got != 10 {
+		t.Fatalf("got %d, want 10", got)
+	}
+}
+
+func TestVoidFunctions(t *testing.T) {
+	got := run(t, `
+var acc int;
+func add(v int) { acc = acc + v; return; }
+func main() int {
+    add(4);
+    add(6);
+    return acc;
+}`)
+	if got != 10 {
+		t.Fatalf("got %d", got)
+	}
+}
+
+func TestScoping(t *testing.T) {
+	got := run(t, `
+var x int = 100;
+func main() int {
+    var x int = 1;
+    {
+        var x int = 2;
+        if x != 2 { return -1; }
+    }
+    if x != 1 { return -2; }
+    return x;
+}`)
+	if got != 1 {
+		t.Fatalf("got %d", got)
+	}
+}
+
+func TestGlobalInitialisers(t *testing.T) {
+	got := run(t, `
+var a int = -42;
+var b float = 1.5;
+var c bool = true;
+func main() int {
+    if c && b == 1.5 { return a; }
+    return 0;
+}`)
+	if got != -42 {
+		t.Fatalf("got %d", got)
+	}
+}
+
+func TestCompileErrors(t *testing.T) {
+	cases := []struct {
+		name, src, wantSub string
+	}{
+		{"undefVar", `func main() int { return y; }`, "undefined variable"},
+		{"undefFunc", `func main() int { return g(); }`, "undefined function"},
+		{"typeMismatch", `func main() int { return 1 + 1.5; }`, "mismatched operand types"},
+		{"condNotBool", `func main() int { if 1 { return 1; } return 0; }`, "condition must be bool"},
+		{"boolArith", `func main() int { var b bool = true; return int(b + b); }`, "int or float"},
+		{"breakOutside", `func main() int { break; return 0; }`, "break outside loop"},
+		{"continueOutside", `func main() int { continue; return 0; }`, "continue outside loop"},
+		{"voidAsValue", `func v() {} func main() int { return v(); }`, "used as a value"},
+		{"wrongArity", `func f(a int) int { return a; } func main() int { return f(); }`, "expects 1 argument"},
+		{"wrongArgType", `func f(a int) int { return a; } func main() int { return f(1.5); }`, "argument 1"},
+		{"dupParam", `func f(a int, a int) int { return a; } func main() int { return f(1,2); }`, "duplicate parameter"},
+		{"redeclare", `func main() int { var a int; var a int; return a; }`, "redeclared"},
+		{"dupGlobal", `var g int; var g int; func main() int { return 0; }`, "duplicate global"},
+		{"dupFunc", `func f() {} func f() {} func main() int { return 0; }`, "duplicate function"},
+		{"globalNonConst", `var g int = 1 + 2; func main() int { return g; }`, "must be a constant"},
+		{"globalTypeMismatch", `var g int = 1.5; func main() int { return g; }`, "does not match"},
+		{"returnTypeMismatch", `func main() int { return 1.5; }`, "cannot return"},
+		{"returnMissing", `func f() int { return; } func main() int { return f(); }`, "must return"},
+		{"voidReturnsValue", `func v() { return 1; } func main() int { return 0; }`, "returns a value"},
+		{"assignTypeMismatch", `func main() int { var a int; a = 1.5; return a; }`, "cannot assign"},
+		{"arrayAsScalar", `var a [4]int; func main() int { return a; }`, "used as scalar"},
+		{"scalarIndexed", `var s int; func main() int { return s[0]; }`, "not a global array"},
+		{"floatIndex", `var a [4]int; func main() int { return a[1.0]; }`, "index must be int"},
+		{"localArray", `func main() int { var a [4]int; return 0; }`, "not supported"},
+		{"builtinName", `var print int; func main() int { return 0; }`, "builtin name"},
+		{"notOnInt", `func main() int { if !1 { return 1; } return 0; }`, "needs bool"},
+		{"sqrtInt", `func main() int { return int(sqrt(4)); }`, "float argument"},
+		{"parseBadDecl", `int x;`, "expected declaration"},
+		{"parseBadStmt", `func main() int { 42; return 0; }`, "expected statement"},
+		{"parseMissingSemi", `func main() int { var a int = 1 return a; }`, "expected ';'"},
+		{"parseUnclosed", `func main() int { return (1; }`, "expected ')'"},
+		{"boolArrayElem", `var a [4]bool; func main() int { return 0; }`, "int or float"},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			_, err := Compile(c.src)
+			if err == nil {
+				t.Fatalf("compile succeeded, want error containing %q", c.wantSub)
+			}
+			if !strings.Contains(err.Error(), c.wantSub) {
+				t.Fatalf("error %q does not contain %q", err, c.wantSub)
+			}
+		})
+	}
+}
+
+func TestLoweredBranchStructure(t *testing.T) {
+	prog, err := Compile(`
+func main() int {
+    var s int = 0;
+    for var i int = 0; i < 100; i = i + 1 {
+        if i % 3 == 0 && i % 5 == 0 { s = s + 1; }
+    }
+    return s;
+}`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// for-cond + two && legs = 3 conditional branches.
+	n := prog.NumberBranches(false)
+	if n != 3 {
+		t.Fatalf("branch sites = %d, want 3 (short-circuit must be real branches)", n)
+	}
+	m := interp.New(prog)
+	v, err := m.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v != 7 { // multiples of 15 below 100: 0,15,...,90
+		t.Fatalf("fizzbuzz count = %d, want 7", v)
+	}
+}
+
+func TestLoweredLoopShape(t *testing.T) {
+	prog, err := Compile(`
+func main() int {
+    var s int = 0;
+    var i int = 0;
+    while i < 4 { s = s + i; i = i + 1; }
+    return s;
+}`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := prog.Func("main")
+	if f == nil {
+		t.Fatal("no main")
+	}
+	// The while head must be a Br block whose taken edge enters the body.
+	var brBlocks int
+	for _, b := range f.Blocks {
+		if b.Term.Op == ir.TermBr {
+			brBlocks++
+		}
+	}
+	if brBlocks != 1 {
+		t.Fatalf("br blocks = %d, want 1", brBlocks)
+	}
+}
+
+func TestForWithoutCond(t *testing.T) {
+	got := run(t, `
+func main() int {
+    var n int = 0;
+    for ;; n = n + 1 {
+        if n == 7 { break; }
+    }
+    return n;
+}`)
+	if got != 7 {
+		t.Fatalf("got %d", got)
+	}
+}
+
+func TestNestedLoopsWithBreaks(t *testing.T) {
+	got := run(t, `
+func main() int {
+    var s int = 0;
+    for var i int = 0; i < 5; i = i + 1 {
+        for var j int = 0; j < 5; j = j + 1 {
+            if j > i { break; }
+            s = s + 1;
+        }
+    }
+    return s;
+}`)
+	if got != 15 { // 1+2+3+4+5
+		t.Fatalf("got %d, want 15", got)
+	}
+}
+
+func TestCallBeforeDecl(t *testing.T) {
+	got := run(t, `
+func main() int { return later(20); }
+func later(x int) int { return x + 2; }`)
+	if got != 22 {
+		t.Fatalf("got %d", got)
+	}
+}
+
+func TestCompileValidates(t *testing.T) {
+	prog, err := Compile(`func main() int { return 0; }`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := prog.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if prog.Func("main") == nil {
+		t.Fatal("missing main")
+	}
+}

@@ -1,0 +1,237 @@
+package lang
+
+import (
+	"strings"
+)
+
+// Lexer tokenises BL source. It is a plain byte scanner: BL sources are
+// ASCII by construction and // comments run to end of line.
+type Lexer struct {
+	src  string
+	off  int
+	line int
+	col  int
+}
+
+// NewLexer returns a lexer over src.
+func NewLexer(src string) *Lexer {
+	return &Lexer{src: src, line: 1, col: 1}
+}
+
+func (l *Lexer) pos() Pos { return Pos{Line: l.line, Col: l.col} }
+
+func (l *Lexer) peek() byte {
+	if l.off >= len(l.src) {
+		return 0
+	}
+	return l.src[l.off]
+}
+
+func (l *Lexer) peek2() byte {
+	if l.off+1 >= len(l.src) {
+		return 0
+	}
+	return l.src[l.off+1]
+}
+
+func (l *Lexer) advance() byte {
+	c := l.src[l.off]
+	l.off++
+	if c == '\n' {
+		l.line++
+		l.col = 1
+	} else {
+		l.col++
+	}
+	return c
+}
+
+func (l *Lexer) skipSpaceAndComments() {
+	for l.off < len(l.src) {
+		c := l.peek()
+		switch {
+		case c == ' ' || c == '\t' || c == '\r' || c == '\n':
+			l.advance()
+		case c == '/' && l.peek2() == '/':
+			for l.off < len(l.src) && l.peek() != '\n' {
+				l.advance()
+			}
+		default:
+			return
+		}
+	}
+}
+
+func isLetter(c byte) bool {
+	return c == '_' || (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z')
+}
+
+func isDigit(c byte) bool { return c >= '0' && c <= '9' }
+
+// Next returns the next token, or an error for an unrecognised byte.
+func (l *Lexer) Next() (Token, error) {
+	l.skipSpaceAndComments()
+	start := l.pos()
+	if l.off >= len(l.src) {
+		return Token{Kind: TokEOF, Pos: start}, nil
+	}
+	c := l.peek()
+	switch {
+	case isLetter(c):
+		begin := l.off
+		for l.off < len(l.src) && (isLetter(l.peek()) || isDigit(l.peek())) {
+			l.advance()
+		}
+		text := l.src[begin:l.off]
+		if kw, ok := keywords[text]; ok {
+			return Token{Kind: kw, Text: text, Pos: start}, nil
+		}
+		return Token{Kind: TokIdent, Text: text, Pos: start}, nil
+
+	case isDigit(c):
+		begin := l.off
+		for l.off < len(l.src) && isDigit(l.peek()) {
+			l.advance()
+		}
+		kind := TokIntLit
+		if l.peek() == '.' && isDigit(l.peek2()) {
+			kind = TokFloatLit
+			l.advance() // '.'
+			for l.off < len(l.src) && isDigit(l.peek()) {
+				l.advance()
+			}
+		}
+		if l.peek() == 'e' || l.peek() == 'E' {
+			// Exponent: accept e[+-]?digits; only valid on numbers.
+			save := l.off
+			l.advance()
+			if l.peek() == '+' || l.peek() == '-' {
+				l.advance()
+			}
+			if isDigit(l.peek()) {
+				kind = TokFloatLit
+				for l.off < len(l.src) && isDigit(l.peek()) {
+					l.advance()
+				}
+			} else {
+				// Not an exponent after all (e.g. "3elephants" is an
+				// error upstream); rewind.
+				l.off = save
+			}
+		}
+		return Token{Kind: kind, Text: l.src[begin:l.off], Pos: start}, nil
+	}
+
+	two := func(second byte, k2, k1 TokKind) Token {
+		l.advance()
+		if l.peek() == second {
+			l.advance()
+			return Token{Kind: k2, Text: tokNames[k2], Pos: start}
+		}
+		return Token{Kind: k1, Text: tokNames[k1], Pos: start}
+	}
+
+	switch c {
+	case ';':
+		l.advance()
+		return Token{Kind: TokSemi, Text: ";", Pos: start}, nil
+	case ',':
+		l.advance()
+		return Token{Kind: TokComma, Text: ",", Pos: start}, nil
+	case '(':
+		l.advance()
+		return Token{Kind: TokLParen, Text: "(", Pos: start}, nil
+	case ')':
+		l.advance()
+		return Token{Kind: TokRParen, Text: ")", Pos: start}, nil
+	case '{':
+		l.advance()
+		return Token{Kind: TokLBrace, Text: "{", Pos: start}, nil
+	case '}':
+		l.advance()
+		return Token{Kind: TokRBrace, Text: "}", Pos: start}, nil
+	case '[':
+		l.advance()
+		return Token{Kind: TokLBracket, Text: "[", Pos: start}, nil
+	case ']':
+		l.advance()
+		return Token{Kind: TokRBracket, Text: "]", Pos: start}, nil
+	case '+':
+		l.advance()
+		return Token{Kind: TokPlus, Text: "+", Pos: start}, nil
+	case '-':
+		l.advance()
+		return Token{Kind: TokMinus, Text: "-", Pos: start}, nil
+	case '*':
+		l.advance()
+		return Token{Kind: TokStar, Text: "*", Pos: start}, nil
+	case '/':
+		l.advance()
+		return Token{Kind: TokSlash, Text: "/", Pos: start}, nil
+	case '%':
+		l.advance()
+		return Token{Kind: TokPercent, Text: "%", Pos: start}, nil
+	case '^':
+		l.advance()
+		return Token{Kind: TokCaret, Text: "^", Pos: start}, nil
+	case '=':
+		return two('=', TokEq, TokAssign), nil
+	case '!':
+		return two('=', TokNe, TokNot), nil
+	case '<':
+		l.advance()
+		switch l.peek() {
+		case '=':
+			l.advance()
+			return Token{Kind: TokLe, Text: "<=", Pos: start}, nil
+		case '<':
+			l.advance()
+			return Token{Kind: TokShl, Text: "<<", Pos: start}, nil
+		}
+		return Token{Kind: TokLt, Text: "<", Pos: start}, nil
+	case '>':
+		l.advance()
+		switch l.peek() {
+		case '=':
+			l.advance()
+			return Token{Kind: TokGe, Text: ">=", Pos: start}, nil
+		case '>':
+			l.advance()
+			return Token{Kind: TokShr, Text: ">>", Pos: start}, nil
+		}
+		return Token{Kind: TokGt, Text: ">", Pos: start}, nil
+	case '&':
+		return two('&', TokAndAnd, TokAmp), nil
+	case '|':
+		return two('|', TokOrOr, TokPipe), nil
+	}
+	return Token{}, errf(start, "unexpected character %q", string(rune(c)))
+}
+
+// Tokenize scans the whole source, mostly for tests.
+func Tokenize(src string) ([]Token, error) {
+	l := NewLexer(src)
+	var out []Token
+	for {
+		t, err := l.Next()
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, t)
+		if t.Kind == TokEOF {
+			return out, nil
+		}
+	}
+}
+
+// describe renders a token for error messages.
+func describe(t Token) string {
+	switch t.Kind {
+	case TokEOF:
+		return "end of file"
+	case TokIdent, TokIntLit, TokFloatLit:
+		return t.Kind.String() + " " + strings.TrimSpace(t.Text)
+	default:
+		return "'" + t.Kind.String() + "'"
+	}
+}

@@ -1,0 +1,121 @@
+// Package lang implements BL, the small imperative benchmark language this
+// reproduction uses in place of the paper's C and Fortran programs. BL has
+// int/float/bool scalars, global one-dimensional arrays, functions with
+// recursion, structured control flow, and short-circuit boolean operators
+// (which lower to real conditional branches, feeding the profiler).
+//
+// The package provides the lexer, a recursive-descent parser producing an
+// AST, a type checker, and the lowering pass to the IR of internal/ir.
+package lang
+
+import "fmt"
+
+// TokKind enumerates the lexical token kinds of BL.
+type TokKind uint8
+
+const (
+	TokEOF TokKind = iota
+	TokIdent
+	TokIntLit
+	TokFloatLit
+
+	// Keywords.
+	TokVar
+	TokFunc
+	TokIf
+	TokElse
+	TokWhile
+	TokFor
+	TokBreak
+	TokContinue
+	TokReturn
+	TokTrue
+	TokFalse
+	TokTypeInt
+	TokTypeFloat
+	TokTypeBool
+
+	// Punctuation and operators.
+	TokSemi     // ;
+	TokComma    // ,
+	TokLParen   // (
+	TokRParen   // )
+	TokLBrace   // {
+	TokRBrace   // }
+	TokLBracket // [
+	TokRBracket // ]
+	TokAssign   // =
+	TokEq       // ==
+	TokNe       // !=
+	TokLt       // <
+	TokLe       // <=
+	TokGt       // >
+	TokGe       // >=
+	TokPlus     // +
+	TokMinus    // -
+	TokStar     // *
+	TokSlash    // /
+	TokPercent  // %
+	TokAndAnd   // &&
+	TokOrOr     // ||
+	TokNot      // !
+	TokAmp      // &
+	TokPipe     // |
+	TokCaret    // ^
+	TokShl      // <<
+	TokShr      // >>
+)
+
+var tokNames = map[TokKind]string{
+	TokEOF: "EOF", TokIdent: "identifier", TokIntLit: "int literal", TokFloatLit: "float literal",
+	TokVar: "var", TokFunc: "func", TokIf: "if", TokElse: "else", TokWhile: "while",
+	TokFor: "for", TokBreak: "break", TokContinue: "continue", TokReturn: "return",
+	TokTrue: "true", TokFalse: "false",
+	TokTypeInt: "int", TokTypeFloat: "float", TokTypeBool: "bool",
+	TokSemi: ";", TokComma: ",", TokLParen: "(", TokRParen: ")",
+	TokLBrace: "{", TokRBrace: "}", TokLBracket: "[", TokRBracket: "]",
+	TokAssign: "=", TokEq: "==", TokNe: "!=", TokLt: "<", TokLe: "<=",
+	TokGt: ">", TokGe: ">=", TokPlus: "+", TokMinus: "-", TokStar: "*",
+	TokSlash: "/", TokPercent: "%", TokAndAnd: "&&", TokOrOr: "||", TokNot: "!",
+	TokAmp: "&", TokPipe: "|", TokCaret: "^", TokShl: "<<", TokShr: ">>",
+}
+
+func (k TokKind) String() string {
+	if s, ok := tokNames[k]; ok {
+		return s
+	}
+	return fmt.Sprintf("tok(%d)", uint8(k))
+}
+
+var keywords = map[string]TokKind{
+	"var": TokVar, "func": TokFunc, "if": TokIf, "else": TokElse,
+	"while": TokWhile, "for": TokFor, "break": TokBreak, "continue": TokContinue,
+	"return": TokReturn, "true": TokTrue, "false": TokFalse,
+	"int": TokTypeInt, "float": TokTypeFloat, "bool": TokTypeBool,
+}
+
+// Pos is a source position for diagnostics.
+type Pos struct {
+	Line, Col int
+}
+
+func (p Pos) String() string { return fmt.Sprintf("%d:%d", p.Line, p.Col) }
+
+// Token is one lexical token.
+type Token struct {
+	Kind TokKind
+	Text string
+	Pos  Pos
+}
+
+// Error is a positioned front-end diagnostic.
+type Error struct {
+	Pos Pos
+	Msg string
+}
+
+func (e *Error) Error() string { return fmt.Sprintf("%s: %s", e.Pos, e.Msg) }
+
+func errf(pos Pos, format string, args ...any) *Error {
+	return &Error{Pos: pos, Msg: fmt.Sprintf(format, args...)}
+}

@@ -1,0 +1,225 @@
+// Package layout implements profile-guided code positioning in the style
+// of Pettis & Hansen [PH90] — the work the paper credits as the direct
+// inspiration for its replication idea — plus the dynamic taken-transfer
+// metric used to evaluate a layout. It lets the repository quantify how
+// replication interacts with instruction layout: replicated copies carry
+// strongly biased branches, which a layout pass can turn into fall-
+// throughs.
+package layout
+
+import (
+	"sort"
+
+	"repro/internal/ir"
+	"repro/internal/trace"
+)
+
+// Edge identifies one CFG edge inside a function.
+type Edge struct {
+	From *ir.Block
+	// Taken is the Then slot of a Br; Jmp edges use Taken=true.
+	Taken bool
+}
+
+// Target resolves the edge's destination.
+func (e Edge) Target() *ir.Block {
+	if e.Taken {
+		return e.From.Term.Then
+	}
+	return e.From.Term.Else
+}
+
+// Weights holds per-edge dynamic execution counts for one function,
+// derived from block execution counts and branch outcome counts.
+type Weights map[Edge]uint64
+
+// FuncWeights computes edge weights for one function: a Jmp edge runs as
+// often as its block; a Br's taken edge count comes from the branch
+// profile and its fall-through edge is the remainder.
+func FuncWeights(f *ir.Func, blockCounts []uint64, counts *trace.Counts) Weights {
+	w := make(Weights)
+	for _, b := range f.Blocks {
+		switch b.Term.Op {
+		case ir.TermJmp:
+			w[Edge{From: b, Taken: true}] = blockCounts[b.ID]
+		case ir.TermBr:
+			taken := counts.Taken[b.Term.Site]
+			exec := blockCounts[b.ID]
+			nt := uint64(0)
+			if exec > taken {
+				nt = exec - taken
+			}
+			w[Edge{From: b, Taken: true}] = taken
+			w[Edge{From: b, Taken: false}] = nt
+		}
+	}
+	return w
+}
+
+// Order computes a Pettis–Hansen bottom-up block ordering for f: edges are
+// visited heaviest first, and two chains merge when the edge connects one
+// chain's tail to the other's head. The entry block's chain is placed
+// first; remaining chains follow by decreasing total weight.
+func Order(f *ir.Func, w Weights) []*ir.Block {
+	// Each block starts as its own chain.
+	next := make(map[*ir.Block]*ir.Block)
+	head := make(map[*ir.Block]*ir.Block) // block -> chain head
+	tail := make(map[*ir.Block]*ir.Block) // chain head -> chain tail
+	for _, b := range f.Blocks {
+		head[b] = b
+		tail[b] = b
+	}
+	type edgeW struct {
+		e Edge
+		w uint64
+	}
+	edges := make([]edgeW, 0, len(w))
+	for e, wt := range w {
+		if wt > 0 {
+			edges = append(edges, edgeW{e, wt})
+		}
+	}
+	sort.SliceStable(edges, func(i, j int) bool {
+		if edges[i].w != edges[j].w {
+			return edges[i].w > edges[j].w
+		}
+		// Deterministic tie-break by block IDs and slot.
+		a, b := edges[i].e, edges[j].e
+		if a.From.ID != b.From.ID {
+			return a.From.ID < b.From.ID
+		}
+		return a.Taken && !b.Taken
+	})
+	for _, ew := range edges {
+		u, v := ew.e.From, ew.e.Target()
+		hu, hv := head[u], head[v]
+		if hu == hv {
+			continue // same chain (would form a cycle)
+		}
+		if tail[hu] != u || hv != v {
+			continue // u must end its chain, v must start its own
+		}
+		// Append chain hv after u.
+		next[u] = v
+		tail[hu] = tail[hv]
+		for b := v; b != nil; b = next[b] {
+			head[b] = hu
+		}
+		delete(tail, hv)
+	}
+	// Chain weights for placement order.
+	chainWeight := make(map[*ir.Block]uint64)
+	for e, wt := range w {
+		chainWeight[head[e.From]] += wt
+	}
+	var chains []*ir.Block
+	for h := range tail {
+		chains = append(chains, h)
+	}
+	sort.SliceStable(chains, func(i, j int) bool {
+		hi, hj := chains[i], chains[j]
+		if hi == head[f.Entry] {
+			return true
+		}
+		if hj == head[f.Entry] {
+			return false
+		}
+		if chainWeight[hi] != chainWeight[hj] {
+			return chainWeight[hi] > chainWeight[hj]
+		}
+		return hi.ID < hj.ID
+	})
+	out := make([]*ir.Block, 0, len(f.Blocks))
+	for _, h := range chains {
+		for b := h; b != nil; b = next[b] {
+			out = append(out, b)
+		}
+	}
+	return out
+}
+
+// OriginalOrder returns the function's current block order (the layout a
+// naive compiler would emit).
+func OriginalOrder(f *ir.Func) []*ir.Block {
+	out := make([]*ir.Block, len(f.Blocks))
+	copy(out, f.Blocks)
+	return out
+}
+
+// Stats are the dynamic control-transfer statistics of a layout.
+type Stats struct {
+	// Transfers is the number of executed terminator transfers
+	// (calls/returns excluded).
+	Transfers uint64
+	// TakenTransfers counts transfers whose target is not the next block
+	// in layout (taken branches and non-adjacent jumps) — the quantity
+	// branch alignment and [PH90] positioning minimise.
+	TakenTransfers uint64
+	// UncondJumps counts executed unconditional jumps that are not
+	// fall-throughs (the Mueller–Whalley replication target).
+	UncondJumps uint64
+}
+
+// TakenRate is TakenTransfers/Transfers in percent.
+func (s Stats) TakenRate() float64 {
+	if s.Transfers == 0 {
+		return 0
+	}
+	return 100 * float64(s.TakenTransfers) / float64(s.Transfers)
+}
+
+// Evaluate computes the layout statistics of one function under the given
+// block order, using the same profiles that FuncWeights consumes.
+func Evaluate(f *ir.Func, order []*ir.Block, blockCounts []uint64, counts *trace.Counts) Stats {
+	pos := make(map[*ir.Block]int, len(order))
+	for i, b := range order {
+		pos[b] = i
+	}
+	fallsThrough := func(u, v *ir.Block) bool { return pos[v] == pos[u]+1 }
+	var st Stats
+	for _, b := range f.Blocks {
+		switch b.Term.Op {
+		case ir.TermJmp:
+			n := blockCounts[b.ID]
+			st.Transfers += n
+			if !fallsThrough(b, b.Term.Then) {
+				st.TakenTransfers += n
+				st.UncondJumps += n
+			}
+		case ir.TermBr:
+			taken := counts.Taken[b.Term.Site]
+			exec := blockCounts[b.ID]
+			nt := uint64(0)
+			if exec > taken {
+				nt = exec - taken
+			}
+			st.Transfers += taken + nt
+			if !fallsThrough(b, b.Term.Then) {
+				st.TakenTransfers += taken
+			}
+			if !fallsThrough(b, b.Term.Else) {
+				st.TakenTransfers += nt
+			}
+		}
+	}
+	return st
+}
+
+// EvaluateProgram sums layout statistics across all functions, laying each
+// out with the given strategy.
+func EvaluateProgram(prog *ir.Program, blockCounts [][]uint64, counts *trace.Counts, ph bool) Stats {
+	var total Stats
+	for _, f := range prog.Funcs {
+		var order []*ir.Block
+		if ph {
+			order = Order(f, FuncWeights(f, blockCounts[f.ID], counts))
+		} else {
+			order = OriginalOrder(f)
+		}
+		st := Evaluate(f, order, blockCounts[f.ID], counts)
+		total.Transfers += st.Transfers
+		total.TakenTransfers += st.TakenTransfers
+		total.UncondJumps += st.UncondJumps
+	}
+	return total
+}

@@ -1,0 +1,63 @@
+package predict
+
+import (
+	"fmt"
+
+	"repro/internal/ir"
+)
+
+// Combining is McFarling's combining predictor (1993, contemporaneous with
+// the paper): two component predictors plus a per-branch two-bit chooser
+// that learns which component to trust. It is included as an extension
+// baseline — the hardware answer to the same accuracy problem the paper
+// attacks at compile time.
+type Combining struct {
+	A, B    Predictor
+	chooser []uint8
+}
+
+// NewCombining builds a combining predictor over two components with
+// nSites chooser entries.
+func NewCombining(a, b Predictor, nSites int) *Combining {
+	c := &Combining{A: a, B: b, chooser: make([]uint8, nSites)}
+	c.Reset()
+	return c
+}
+
+func (c *Combining) Name() string {
+	return fmt.Sprintf("combining(%s, %s)", c.A.Name(), c.B.Name())
+}
+
+func (c *Combining) Predict(t *ir.Term) bool {
+	if c.chooser[t.Site] >= 2 {
+		return c.B.Predict(t)
+	}
+	return c.A.Predict(t)
+}
+
+func (c *Combining) Update(t *ir.Term, taken bool) {
+	pa := c.A.Predict(t) == taken
+	pb := c.B.Predict(t) == taken
+	// The chooser trains only when the components disagree.
+	if pa != pb {
+		ch := c.chooser[t.Site]
+		if pb {
+			if ch < 3 {
+				ch++
+			}
+		} else if ch > 0 {
+			ch--
+		}
+		c.chooser[t.Site] = ch
+	}
+	c.A.Update(t, taken)
+	c.B.Update(t, taken)
+}
+
+func (c *Combining) Reset() {
+	c.A.Reset()
+	c.B.Reset()
+	for i := range c.chooser {
+		c.chooser[i] = 1
+	}
+}

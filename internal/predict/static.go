@@ -1,0 +1,338 @@
+package predict
+
+import (
+	"repro/internal/cfg"
+	"repro/internal/ir"
+	"repro/internal/trace"
+)
+
+// SiteFeatures captures the static properties of one branch site that the
+// static heuristics of [Smi81] and [BL93] consult. BL has no pointers, so
+// the Ball–Larus "Pointer" heuristic has no applicable sites (documented
+// substitution in DESIGN.md).
+type SiteFeatures struct {
+	Site int32
+
+	// CmpOp is the comparison opcode that defines the branch condition in
+	// the same block, or ir.OpInvalid when the condition's origin is not a
+	// visible comparison.
+	CmpOp ir.Op
+	// CmpA and CmpB are the comparison's operand registers (valid when
+	// CmpOp is set).
+	CmpA, CmpB ir.Reg
+
+	// TakenBack/ElseBack: the edge is a back edge (its target dominates
+	// the branch block).
+	TakenBack, ElseBack bool
+	// InLoop: the branch block belongs to a natural loop.
+	InLoop bool
+	// TakenExits/ElseExits: the edge leaves the innermost loop containing
+	// the branch.
+	TakenExits, ElseExits bool
+	// TakenCall/ElseCall: the successor block contains a call.
+	TakenCall, ElseCall bool
+	// TakenRet/ElseRet: the successor block returns from the function.
+	TakenRet, ElseRet bool
+	// TakenStore/ElseStore: the successor block stores to a global.
+	TakenStore, ElseStore bool
+	// TakenUses/ElseUses: the successor block reads one of the comparison
+	// operands before overwriting it.
+	TakenUses, ElseUses bool
+}
+
+// Analyze extracts the features of every branch site in the program.
+// Branch sites must be numbered. The returned slice is indexed by site ID.
+func Analyze(prog *ir.Program) []SiteFeatures {
+	n := 0
+	for _, f := range prog.Funcs {
+		for _, b := range f.Blocks {
+			if b.Term.Op == ir.TermBr {
+				n++
+			}
+		}
+	}
+	out := make([]SiteFeatures, n)
+	for _, f := range prog.Funcs {
+		g := cfg.Build(f)
+		lf := cfg.FindLoops(g)
+		for _, b := range f.Blocks {
+			if b.Term.Op != ir.TermBr {
+				continue
+			}
+			ft := &out[b.Term.Site]
+			ft.Site = b.Term.Site
+			ft.CmpOp, ft.CmpA, ft.CmpB = condCompare(b)
+			then, els := b.Term.Then, b.Term.Else
+			ft.TakenBack = g.IsBackEdge(b, then)
+			ft.ElseBack = g.IsBackEdge(b, els)
+			if l := lf.InnermostLoop(b); l != nil {
+				ft.InLoop = true
+				ft.TakenExits = !l.Contains(then)
+				ft.ElseExits = !l.Contains(els)
+			}
+			ft.TakenCall = blockCalls(then)
+			ft.ElseCall = blockCalls(els)
+			ft.TakenRet = then.Term.Op == ir.TermRet
+			ft.ElseRet = els.Term.Op == ir.TermRet
+			ft.TakenStore = blockStores(then)
+			ft.ElseStore = blockStores(els)
+			if ft.CmpOp != ir.OpInvalid {
+				ft.TakenUses = blockUses(then, ft.CmpA, ft.CmpB)
+				ft.ElseUses = blockUses(els, ft.CmpA, ft.CmpB)
+			}
+		}
+	}
+	return out
+}
+
+// condCompare finds the comparison instruction defining the branch
+// condition within the branch block.
+func condCompare(b *ir.Block) (ir.Op, ir.Reg, ir.Reg) {
+	cond := b.Term.Cond
+	for i := len(b.Instrs) - 1; i >= 0; i-- {
+		in := &b.Instrs[i]
+		if !in.Op.HasDst() || in.Dst != cond {
+			continue
+		}
+		if in.Op.IsCompare() {
+			return in.Op, in.A, in.B
+		}
+		if in.Op == ir.OpMov {
+			cond = in.A
+			continue
+		}
+		return ir.OpInvalid, 0, 0
+	}
+	return ir.OpInvalid, 0, 0
+}
+
+func blockCalls(b *ir.Block) bool {
+	for i := range b.Instrs {
+		if b.Instrs[i].Op == ir.OpCall {
+			return true
+		}
+	}
+	return false
+}
+
+func blockStores(b *ir.Block) bool {
+	for i := range b.Instrs {
+		switch b.Instrs[i].Op {
+		case ir.OpStoreG, ir.OpStoreElem:
+			return true
+		}
+	}
+	return false
+}
+
+// blockUses reports whether the block reads register a or b before
+// overwriting both.
+func blockUses(blk *ir.Block, a, b ir.Reg) bool {
+	liveA, liveB := true, true
+	reads := func(in *ir.Instr, r ir.Reg) bool {
+		n := in.Op.NumSrc()
+		if n >= 1 && in.A == r {
+			return true
+		}
+		if n >= 2 && in.B == r {
+			return true
+		}
+		if in.Op == ir.OpCall {
+			for _, ar := range in.Args {
+				if ar == r {
+					return true
+				}
+			}
+		}
+		return false
+	}
+	for i := range blk.Instrs {
+		in := &blk.Instrs[i]
+		if liveA && reads(in, a) {
+			return true
+		}
+		if liveB && reads(in, b) {
+			return true
+		}
+		if in.Op.HasDst() {
+			if in.Dst == a {
+				liveA = false
+			}
+			if in.Dst == b {
+				liveB = false
+			}
+			if !liveA && !liveB {
+				return false
+			}
+		}
+	}
+	t := blk.Term
+	if t.Op == ir.TermBr && ((liveA && t.Cond == a) || (liveB && t.Cond == b)) {
+		return true
+	}
+	if t.Op == ir.TermRet && t.HasVal && ((liveA && t.A == a) || (liveB && t.A == b)) {
+		return true
+	}
+	return false
+}
+
+// Static is a fixed per-site prediction vector, the output of any static or
+// semi-static strategy.
+type Static struct {
+	Strategy string
+	Preds    []ir.Prediction
+}
+
+// Score evaluates the vector against observed outcome counts: a site
+// predicted taken contributes its not-taken count to the misses, and vice
+// versa. Sites without a prediction default to not-taken.
+func (s *Static) Score(c *trace.Counts) Result {
+	r := Result{Name: s.Strategy}
+	for site := range c.Taken {
+		taken := site < len(s.Preds) && s.Preds[site] == ir.PredTaken
+		if taken {
+			r.Misses += c.NotTaken[site]
+		} else {
+			r.Misses += c.Taken[site]
+		}
+		r.Total += c.Taken[site] + c.NotTaken[site]
+	}
+	return r
+}
+
+// AlwaysTaken is Smith's simplest strategy.
+func AlwaysTaken(nSites int) *Static {
+	s := &Static{Strategy: "always taken", Preds: make([]ir.Prediction, nSites)}
+	for i := range s.Preds {
+		s.Preds[i] = ir.PredTaken
+	}
+	return s
+}
+
+// AlwaysNotTaken predicts fall-through everywhere.
+func AlwaysNotTaken(nSites int) *Static {
+	s := &Static{Strategy: "always not taken", Preds: make([]ir.Prediction, nSites)}
+	for i := range s.Preds {
+		s.Preds[i] = ir.PredNotTaken
+	}
+	return s
+}
+
+// BackwardTaken is the classic BTFNT heuristic adapted to an IR without a
+// linear address layout: a back edge (target dominates the branch) is
+// "backward" and predicted taken; a branch with exactly one loop-exit edge
+// predicts the staying side, because a layout-directed compiler would have
+// made the loop continuation the fall-through/backward direction; all other
+// branches predict not-taken.
+func BackwardTaken(features []SiteFeatures) *Static {
+	s := &Static{Strategy: "backward taken", Preds: make([]ir.Prediction, len(features))}
+	for i, ft := range features {
+		switch {
+		case ft.TakenBack && !ft.ElseBack:
+			s.Preds[i] = ir.PredTaken
+		case ft.ElseBack && !ft.TakenBack:
+			s.Preds[i] = ir.PredNotTaken
+		case ft.InLoop && ft.TakenExits && !ft.ElseExits:
+			s.Preds[i] = ir.PredNotTaken
+		case ft.InLoop && ft.ElseExits && !ft.TakenExits:
+			s.Preds[i] = ir.PredTaken
+		default:
+			s.Preds[i] = ir.PredNotTaken
+		}
+	}
+	return s
+}
+
+// opcodePrediction is Smith's opcode heuristic adapted to BL's compare
+// opcodes: equality and less-than style tests are predicted false (their
+// taken side is usually the rare case: bound checks, sentinel tests),
+// inequality and greater-than style tests are predicted true. The second
+// return value reports applicability.
+func opcodePrediction(op ir.Op) (ir.Prediction, bool) {
+	switch op {
+	case ir.OpEqI, ir.OpEqF, ir.OpLtI, ir.OpLtF, ir.OpLeI, ir.OpLeF:
+		return ir.PredNotTaken, true
+	case ir.OpNeI, ir.OpNeF, ir.OpGtI, ir.OpGtF, ir.OpGeI, ir.OpGeF:
+		return ir.PredTaken, true
+	}
+	return ir.PredNone, false
+}
+
+// OpcodeStatic predicts purely from the comparison opcode, falling back to
+// not-taken.
+func OpcodeStatic(features []SiteFeatures) *Static {
+	s := &Static{Strategy: "opcode", Preds: make([]ir.Prediction, len(features))}
+	for i, ft := range features {
+		if p, ok := opcodePrediction(ft.CmpOp); ok {
+			s.Preds[i] = p
+		} else {
+			s.Preds[i] = ir.PredNotTaken
+		}
+	}
+	return s
+}
+
+// BallLarus implements the [BL93] heuristic scheme. As in the original
+// paper, loop branches (back edges and loop exits) are covered by the loop
+// heuristic first; the remaining non-loop branches take the first
+// applicable heuristic in the order Krall reports as most successful —
+// Pointer, Call, Opcode, Return, Store, Guard — with a not-taken fallback.
+// The Pointer heuristic never applies in BL (no pointer comparisons).
+func BallLarus(features []SiteFeatures) *Static {
+	s := &Static{Strategy: "ball-larus", Preds: make([]ir.Prediction, len(features))}
+	for i := range features {
+		s.Preds[i] = ballLarusSite(&features[i])
+	}
+	return s
+}
+
+func ballLarusSite(ft *SiteFeatures) ir.Prediction {
+	// Loop: predict that the loop branch is taken — prefer the back edge,
+	// otherwise avoid leaving the loop. In BL93 loop branches are handled
+	// before the ordered non-loop heuristics.
+	if ft.TakenBack != ft.ElseBack {
+		if ft.TakenBack {
+			return ir.PredTaken
+		}
+		return ir.PredNotTaken
+	}
+	if ft.InLoop && ft.TakenExits != ft.ElseExits {
+		if ft.TakenExits {
+			return ir.PredNotTaken
+		}
+		return ir.PredTaken
+	}
+	// Call: avoid branches to blocks which call a subroutine.
+	if ft.TakenCall != ft.ElseCall {
+		if ft.TakenCall {
+			return ir.PredNotTaken
+		}
+		return ir.PredTaken
+	}
+	// Opcode.
+	if p, ok := opcodePrediction(ft.CmpOp); ok {
+		return p
+	}
+	// Return: avoid branches to blocks which return.
+	if ft.TakenRet != ft.ElseRet {
+		if ft.TakenRet {
+			return ir.PredNotTaken
+		}
+		return ir.PredTaken
+	}
+	// Store: avoid branches to blocks which store.
+	if ft.TakenStore != ft.ElseStore {
+		if ft.TakenStore {
+			return ir.PredNotTaken
+		}
+		return ir.PredTaken
+	}
+	// Guard: branch to a block which uses the operands of the branch.
+	if ft.TakenUses != ft.ElseUses {
+		if ft.TakenUses {
+			return ir.PredTaken
+		}
+		return ir.PredNotTaken
+	}
+	return ir.PredNotTaken
+}

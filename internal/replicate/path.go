@@ -1,0 +1,212 @@
+package replicate
+
+import (
+	"repro/internal/ir"
+	"repro/internal/statemachine"
+)
+
+// Limits for the backward path-resolution search: walking up a jump chain
+// stops after pathMaxDepth blocks, and at most pathMaxClones blocks are
+// cloned per replicated branch. Edges that exceed the budget stay on the
+// catch-all copy.
+const (
+	pathMaxDepth  = 8
+	pathMaxClones = 32
+)
+
+// edge identifies one CFG edge by its source block and terminator slot
+// (taken = the Then slot; Jmp blocks use the Then slot).
+type edge struct {
+	u     *ir.Block
+	taken bool
+}
+
+func (e edge) target() *ir.Block {
+	if e.taken {
+		return e.u.Term.Then
+	}
+	return e.u.Term.Else
+}
+
+func (e edge) redirect(to *ir.Block) {
+	if e.taken {
+		e.u.Term.Then = to
+	} else {
+		e.u.Term.Else = to
+	}
+}
+
+// pathElem is a length-1 correlated-path element: the identity and
+// direction of the branch executed immediately before the predicted one.
+type pathElem struct {
+	orig  int32
+	taken bool
+}
+
+// replicatePath applies a correlated-branch machine to block b by tail
+// duplication (after Mueller & Whalley): one copy of b per length-1 path
+// state, the original b serving as the catch-all. Each predecessor edge is
+// resolved to its last executed branch by walking jump chains backwards;
+// a shared jump block feeding b directly is split into private copies so
+// each predecessor can be routed independently. Edges whose last branch is
+// not statically known — function entry, intervening calls that may branch,
+// deep or merging jump chains, budget overruns — stay on the catch-all.
+//
+// Longer path states (length ≥ 2) are not routed; the machine's catch-all
+// absorbs them, so the measured misprediction rate upper-bounds the
+// predicted one. It returns the number of edges routed to a specific state
+// and the number left on the catch-all.
+func replicatePath(prog *ir.Program, f *ir.Func, b *ir.Block, pm *statemachine.PathMachine, branchy []bool) (routed, catchAll int) {
+	stateOf := map[pathElem]int{}
+	for i, p := range pm.Paths {
+		if p.Len() != 1 {
+			continue
+		}
+		site, taken, ok := p.Elem(0)
+		if !ok {
+			continue
+		}
+		stateOf[pathElem{site, taken}] = i
+	}
+	b.Term.Pred = predOf(pm.CatchPred)
+	if len(stateOf) == 0 {
+		return 0, 0
+	}
+
+	// Lazily created per-state copies of b. A copy's successors are b's
+	// successors: if b loops to itself the copy must branch back to the
+	// dispatch structure, which CloneBlocks' in-set redirection would
+	// break, so undo it.
+	copies := map[int]*ir.Block{}
+	copyFor := func(state int) *ir.Block {
+		if c, ok := copies[state]; ok {
+			return c
+		}
+		m := ir.CloneBlocks(f, []*ir.Block{b}, ".p")
+		c := m[b]
+		if c.Term.Then == c {
+			c.Term.Then = b.Term.Then
+		}
+		if c.Term.Op == ir.TermBr && c.Term.Else == c {
+			c.Term.Else = b.Term.Else
+		}
+		c.Term.Pred = predOf(pm.PredTaken[state])
+		copies[state] = c
+		return c
+	}
+
+	preds := predEdges(f)
+	clonesLeft := pathMaxClones
+
+	// walkElem finds the branch executed last when control traverses edge
+	// e, without modifying the CFG. It fails on merges, entries, branchy
+	// calls, and depth overruns.
+	var walkElem func(e edge, depth int) (pathElem, bool)
+	walkElem = func(e edge, depth int) (pathElem, bool) {
+		u := e.u
+		if u.Term.Op == ir.TermBr {
+			return pathElem{u.Term.Orig, e.taken}, true
+		}
+		if depth >= pathMaxDepth || u == f.Entry || blockCallsBranchy(u, branchy) {
+			return pathElem{}, false
+		}
+		in := preds[u]
+		if len(in) != 1 {
+			return pathElem{}, false
+		}
+		return walkElem(in[0], depth+1)
+	}
+
+	stateRouted := make([]bool, len(pm.Paths))
+	dispatch := func(e edge, el pathElem, ok bool) {
+		if !ok {
+			catchAll++
+			return
+		}
+		if s, found := stateOf[el]; found {
+			e.redirect(copyFor(s))
+			stateRouted[s] = true
+			routed++
+		} else {
+			catchAll++
+		}
+	}
+
+	// Snapshot the incoming edges, then route each one.
+	var incoming []edge
+	for _, e := range allEdges(f) {
+		if e.target() == b {
+			incoming = append(incoming, e)
+		}
+	}
+	for _, e := range incoming {
+		u := e.u
+		if u.Term.Op == ir.TermBr {
+			dispatch(e, pathElem{u.Term.Orig, e.taken}, true)
+			continue
+		}
+		// u is a jump block directly feeding b. If it merges several
+		// predecessors, split it so each can be routed on its own; a
+		// single-predecessor chain resolves by walking.
+		if u == f.Entry || blockCallsBranchy(u, branchy) {
+			catchAll++
+			continue
+		}
+		in := preds[u]
+		switch {
+		case len(in) == 1:
+			el, ok := walkElem(in[0], 1)
+			dispatch(e, el, ok)
+		case len(in) > 1 && clonesLeft >= len(in)-1:
+			clonesLeft -= len(in) - 1
+			for i, pe := range in {
+				chain := u
+				if i > 0 {
+					m := ir.CloneBlocks(f, []*ir.Block{u}, ".s")
+					chain = m[u]
+					chain.Term = u.Term // jump to b, not to the clone set
+					chain.Term.Then = b
+					pe.redirect(chain)
+				}
+				el, ok := walkElem(pe, 1)
+				dispatch(edge{u: chain, taken: true}, el, ok)
+			}
+		default:
+			catchAll++
+		}
+	}
+	// Events of unroutable states (length ≥ 2 paths, cross-function or
+	// unresolvable predecessors) land on the catch-all copy: fold their
+	// profiled counts back into the catch-all pair so its static
+	// prediction covers what it will actually see.
+	adjusted := pm.CatchPair
+	for i := range pm.Paths {
+		if !stateRouted[i] {
+			adjusted.Merge(pm.StatePairs[i])
+		}
+	}
+	b.Term.Pred = predOf(adjusted.MajorityTaken())
+	ir.RemoveUnreachable(f)
+	return routed, catchAll
+}
+
+func predEdges(f *ir.Func) map[*ir.Block][]edge {
+	m := make(map[*ir.Block][]edge, len(f.Blocks))
+	for _, e := range allEdges(f) {
+		m[e.target()] = append(m[e.target()], e)
+	}
+	return m
+}
+
+func allEdges(f *ir.Func) []edge {
+	var out []edge
+	for _, u := range f.Blocks {
+		switch u.Term.Op {
+		case ir.TermJmp:
+			out = append(out, edge{u: u, taken: true})
+		case ir.TermBr:
+			out = append(out, edge{u: u, taken: true}, edge{u: u, taken: false})
+		}
+	}
+	return out
+}

@@ -1,0 +1,405 @@
+package statemachine
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/profile"
+)
+
+// LoopMachine is an intra-loop branch prediction state machine: each state
+// is a local-history pattern, the state set is complete (every history
+// matches some state), and the transition on an outcome moves to the
+// longest state matching the new (truncated) history. Replicated code
+// realises one loop copy per state (Figure 1).
+type LoopMachine struct {
+	// States is sorted by (Len, Bits); the set is suffix-closed over its
+	// base (either the two 1-bit catch-alls or the four 2-bit ones).
+	States []Pattern
+	// PredTaken[i] is state i's majority direction.
+	PredTaken []bool
+	// Init is the initial state index (the heaviest base state).
+	Init int
+	// Hits and Total score the machine against the profiled counts.
+	Hits, Total uint64
+}
+
+// NumStates returns the machine size.
+func (m *LoopMachine) NumStates() int { return len(m.States) }
+
+// Rate is the misprediction rate in percent.
+func (m *LoopMachine) Rate() float64 {
+	if m.Total == 0 {
+		return 0
+	}
+	return 100 * float64(m.Total-m.Hits) / float64(m.Total)
+}
+
+// Misses is the mispredicted event count.
+func (m *LoopMachine) Misses() uint64 { return m.Total - m.Hits }
+
+// StateIndex returns the index of pattern p, or -1.
+func (m *LoopMachine) StateIndex(p Pattern) int {
+	for i, q := range m.States {
+		if q == p {
+			return i
+		}
+	}
+	return -1
+}
+
+// Next is the transition function: from state i with the given outcome,
+// move to the longest state matching the new truncated history. The state
+// set's completeness guarantees a match.
+func (m *LoopMachine) Next(i int, taken bool) int {
+	cand := m.States[i].Shift(taken)
+	best := -1
+	var bestLen uint8
+	for j, q := range m.States {
+		if q.Len <= cand.Len && q.IsSuffixOf(cand) {
+			if best == -1 || q.Len > bestLen {
+				best, bestLen = j, q.Len
+			}
+		}
+	}
+	if best == -1 {
+		panic(fmt.Sprintf("statemachine: incomplete state set %v lacks match for %v", m.States, cand))
+	}
+	return best
+}
+
+func (m *LoopMachine) String() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "loop machine %d states:", len(m.States))
+	for i, s := range m.States {
+		d := "N"
+		if m.PredTaken[i] {
+			d = "T"
+		}
+		fmt.Fprintf(&sb, " %v→%s", s, d)
+		if i == m.Init {
+			sb.WriteString("*")
+		}
+	}
+	return sb.String()
+}
+
+// scoreStates computes longest-match hits for a complete pattern set:
+// eff(p) = cnt(p) − cnt(p extended by 0, if a state) − cnt(p extended by 1,
+// if a state); hits = Σ max(effTaken, effNotTaken). It also returns the
+// per-state majority directions.
+func scoreStates(t *CountTree, states []Pattern) (hits, total uint64, preds []bool) {
+	inSet := func(q Pattern) bool {
+		for _, s := range states {
+			if s == q {
+				return true
+			}
+		}
+		return false
+	}
+	preds = make([]bool, len(states))
+	for i, p := range states {
+		eff := t.Count(p)
+		for _, d := range [2]bool{false, true} {
+			ext := p.Extend(d)
+			if int(ext.Len) <= t.K && inSet(ext) {
+				c := t.Count(ext)
+				eff.Taken -= c.Taken
+				eff.NotTaken -= c.NotTaken
+			}
+		}
+		preds[i] = eff.MajorityTaken()
+		hits += eff.Hits()
+		total += eff.Total()
+	}
+	return hits, total, preds
+}
+
+// scoreStatesFast computes only the hit count, allocation-free; the search
+// inner loop uses it before materialising full machines for the leaders.
+func scoreStatesFast(t *CountTree, states []Pattern) (hits uint64) {
+	inSet := func(q Pattern) bool {
+		for _, s := range states {
+			if s == q {
+				return true
+			}
+		}
+		return false
+	}
+	for _, p := range states {
+		eff := t.Count(p)
+		for _, d := range [2]bool{false, true} {
+			ext := p.Extend(d)
+			if int(ext.Len) <= t.K && inSet(ext) {
+				c := t.Count(ext)
+				eff.Taken -= c.Taken
+				eff.NotTaken -= c.NotTaken
+			}
+		}
+		hits += eff.Hits()
+	}
+	return hits
+}
+
+// BestLoopMachine searches exhaustively for the n-state machine with the
+// most correct predictions for one branch, given its k-bit pattern table
+// (tab may be nil for a never-profiled branch, in which case the machine
+// degenerates to catch-all states with zero counts). Machines are built
+// over two bases, both drawn in the paper: the two 1-bit catch-all states
+// (Figure 2) and, when n ≥ 4, the four 2-bit catch-all states (Figure 3);
+// each base grows by suffix-closed extension up to history length
+// min(n-1, k).
+//
+// n must be at least 2. A 2-state machine is exactly the 1-bit history
+// scheme.
+func BestLoopMachine(tab []profile.Pair, k, n int) *LoopMachine {
+	if n < 2 {
+		panic(fmt.Sprintf("statemachine: loop machine needs >= 2 states, got %d", n))
+	}
+	if k < 1 {
+		panic("statemachine: history length must be >= 1")
+	}
+	t := NewCountTree(tab, k)
+	maxLen := n - 1
+	if maxLen > k {
+		maxLen = k
+	}
+
+	var best *LoopMachine
+	consider := func(states []Pattern) {
+		hits := scoreStatesFast(t, states)
+		if best == nil || hits > best.Hits {
+			cp := make([]Pattern, len(states))
+			copy(cp, states)
+			sortPatterns(cp)
+			// Rescore in sorted order so PredTaken aligns with States.
+			h2, t2, p2 := scoreStates(t, cp)
+			best = &LoopMachine{States: cp, PredTaken: p2, Hits: h2, Total: t2}
+		}
+	}
+
+	base1 := []Pattern{{Bits: 0, Len: 1}, {Bits: 1, Len: 1}}
+	enumerateSuffixClosed(base1, n, maxLen, consider)
+	if n >= 4 && maxLen >= 2 && k >= 2 {
+		base2 := []Pattern{
+			{Bits: 0, Len: 2}, {Bits: 1, Len: 2},
+			{Bits: 2, Len: 2}, {Bits: 3, Len: 2},
+		}
+		enumerateSuffixClosed(base2, n, maxLen, consider)
+	}
+	best.Init = initialState(t, best.States)
+	return best
+}
+
+// delta builds the dense transition table of the machine.
+func (m *LoopMachine) delta() [][2]int {
+	d := make([][2]int, len(m.States))
+	for i := range m.States {
+		d[i][0] = m.Next(i, false)
+		d[i][1] = m.Next(i, true)
+	}
+	return d
+}
+
+// Rescore replays the branch's full outcome stream through the machine
+// with exact automaton semantics, recomputing the per-state majority
+// predictions, Hits, and Total from what the machine really sees. This is
+// stricter than the longest-match table counting: a replicated machine only
+// knows as much history as its current state label, so it can idle in a
+// short state while a longer pattern matches the true history. The paper's
+// counting ignores that effect; measured results come from Rescore.
+func (m *LoopMachine) Rescore(st *profile.Stream) {
+	d := m.delta()
+	counts := make([]profile.Pair, len(m.States))
+	s := m.Init
+	for i, n := 0, st.Len(); i < n; i++ {
+		o := st.Get(i)
+		counts[s].Add(o)
+		if o {
+			s = d[s][1]
+		} else {
+			s = d[s][0]
+		}
+	}
+	m.Hits, m.Total = 0, 0
+	for i, c := range counts {
+		m.PredTaken[i] = c.MajorityTaken()
+		m.Hits += c.Hits()
+		m.Total += c.Total()
+	}
+}
+
+// BestLoopMachineExact searches like BestLoopMachine but scores the top
+// candidate sets by exact stream replay (Rescore) and returns the machine
+// that is actually best when realised as replicated code. The table-based
+// score is used as the search heuristic; the topK (here 12) candidates are
+// replayed.
+func BestLoopMachineExact(tab []profile.Pair, k, n int, st *profile.Stream) *LoopMachine {
+	if st == nil || st.Len() == 0 {
+		return BestLoopMachine(tab, k, n)
+	}
+	t := NewCountTree(tab, k)
+	maxLen := n - 1
+	if maxLen > k {
+		maxLen = k
+	}
+	const topK = 12
+	type cand struct {
+		hits   uint64
+		states []Pattern
+	}
+	var top []cand
+	consider := func(states []Pattern) {
+		hits := scoreStatesFast(t, states)
+		if len(top) == topK && hits <= top[topK-1].hits {
+			return
+		}
+		cp := make([]Pattern, len(states))
+		copy(cp, states)
+		sortPatterns(cp)
+		c := cand{hits: hits, states: cp}
+		pos := len(top)
+		for pos > 0 && top[pos-1].hits < hits {
+			pos--
+		}
+		top = append(top, cand{})
+		copy(top[pos+1:], top[pos:])
+		top[pos] = c
+		if len(top) > topK {
+			top = top[:topK]
+		}
+	}
+	base1 := []Pattern{{Bits: 0, Len: 1}, {Bits: 1, Len: 1}}
+	enumerateSuffixClosed(base1, n, maxLen, consider)
+	if n >= 4 && maxLen >= 2 && k >= 2 {
+		base2 := []Pattern{
+			{Bits: 0, Len: 2}, {Bits: 1, Len: 2},
+			{Bits: 2, Len: 2}, {Bits: 3, Len: 2},
+		}
+		enumerateSuffixClosed(base2, n, maxLen, consider)
+	}
+	// The table score is an optimistic proxy; the realizable optimum is
+	// often a chain machine (Figures 2 and 5) that the proxy under-ranks,
+	// so the canonical chains are always replayed too.
+	for _, states := range canonicalSets(n, maxLen) {
+		top = append(top, cand{states: states})
+	}
+	var best *LoopMachine
+	for _, c := range top {
+		_, _, preds := scoreStates(t, c.states)
+		m := &LoopMachine{States: c.states, PredTaken: preds}
+		m.Init = initialState(t, m.States)
+		m.Rescore(st)
+		if best == nil || m.Hits > best.Hits {
+			best = m
+		}
+	}
+	return best
+}
+
+// canonicalSets returns replay-friendly standard state sets of exactly n
+// states: the run-length chains of both polarities (the paper's Figure 2
+// and Figure 5 shapes) and, when n allows, the complete suffix tree over
+// two levels.
+func canonicalSets(n, maxLen int) [][]Pattern {
+	var out [][]Pattern
+	// Run chains: {0,1,01,011,...} — each longer state remembers one more
+	// trailing "stay" outcome. Build both polarities.
+	for _, stay := range []uint32{1, 0} {
+		states := []Pattern{{Bits: 0, Len: 1}, {Bits: 1, Len: 1}}
+		// pattern: (1-stay) followed by k stays, oldest first:
+		// bits low k = stay value, bit k = 1-stay.
+		for k := 1; len(states) < n && k < maxLen; k++ {
+			var p Pattern
+			p.Len = uint8(k + 1)
+			for b := 0; b < k; b++ {
+				p.Bits |= stay << uint(b)
+			}
+			p.Bits |= (1 - stay) << uint(k)
+			states = append(states, p)
+		}
+		if len(states) == n {
+			cp := make([]Pattern, n)
+			copy(cp, states)
+			sortPatterns(cp)
+			out = append(out, cp)
+		}
+	}
+	// Complete two-level tree {0,1,00,01,10,11} when it fits exactly.
+	if n == 6 && maxLen >= 2 {
+		out = append(out, []Pattern{
+			{Bits: 0, Len: 1}, {Bits: 1, Len: 1},
+			{Bits: 0, Len: 2}, {Bits: 1, Len: 2},
+			{Bits: 2, Len: 2}, {Bits: 3, Len: 2},
+		})
+	}
+	return out
+}
+
+// initialState picks the heaviest base (shortest-length) state as the
+// entry state of the machine.
+func initialState(t *CountTree, states []Pattern) int {
+	baseLen := states[0].Len
+	for _, p := range states {
+		if p.Len < baseLen {
+			baseLen = p.Len
+		}
+	}
+	best, bestCnt := -1, uint64(0)
+	for i, p := range states {
+		if p.Len != baseLen {
+			continue
+		}
+		c := t.Count(p).Total()
+		if best == -1 || c > bestCnt {
+			best, bestCnt = i, c
+		}
+	}
+	return best
+}
+
+func sortPatterns(ps []Pattern) {
+	sort.Slice(ps, func(i, j int) bool {
+		if ps[i].Len != ps[j].Len {
+			return ps[i].Len < ps[j].Len
+		}
+		return ps[i].Bits < ps[j].Bits
+	})
+}
+
+// enumerateSuffixClosed enumerates every suffix-closed superset of base
+// with exactly n states and patterns no longer than maxLen, invoking
+// consider on each. Each set is produced exactly once via ordered frontier
+// expansion.
+func enumerateSuffixClosed(base []Pattern, n, maxLen int, consider func([]Pattern)) {
+	if len(base) > n {
+		return
+	}
+	set := make([]Pattern, len(base), n)
+	copy(set, base)
+	var frontier []Pattern
+	for _, p := range base {
+		if int(p.Len) < maxLen {
+			frontier = append(frontier, p.Extend(false), p.Extend(true))
+		}
+	}
+	var rec func(frontier []Pattern, remaining int)
+	rec = func(frontier []Pattern, remaining int) {
+		if remaining == 0 {
+			consider(set)
+			return
+		}
+		for i, cand := range frontier {
+			set = append(set, cand)
+			next := make([]Pattern, 0, len(frontier)-i-1+2)
+			next = append(next, frontier[i+1:]...)
+			if int(cand.Len) < maxLen {
+				next = append(next, cand.Extend(false), cand.Extend(true))
+			}
+			rec(next, remaining-1)
+			set = set[:len(set)-1]
+		}
+	}
+	rec(frontier, n-len(base))
+}
