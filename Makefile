@@ -1,0 +1,36 @@
+GO ?= go
+FUZZTIME ?= 10s
+
+.PHONY: all build vet test race bench fuzz golden ci
+
+all: build test
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+# The experiment engine's tests (worker pool, single-flight cache,
+# parallel/sequential determinism) are the main race-detector targets.
+race:
+	$(GO) test -race ./...
+
+bench:
+	$(GO) test -bench=. -benchtime=1x -run=NONE .
+
+# Short smoke of the BL front-end fuzzer; crashers land in
+# internal/lang/testdata/fuzz. Raise FUZZTIME for a real session.
+fuzz:
+	$(GO) test -run='^$$' -fuzz=FuzzParse -fuzztime=$(FUZZTIME) ./internal/lang
+
+# Regenerate the committed krallbench golden files after an intended
+# output change.
+golden:
+	$(GO) test ./cmd/krallbench -run TestGolden -update
+
+ci:
+	./ci.sh

@@ -7,6 +7,7 @@
 package repro
 
 import (
+	"strconv"
 	"sync"
 	"testing"
 
@@ -61,6 +62,68 @@ func avgRow(b *testing.B, t *bench.Table, name string) float64 {
 	}
 	b.Fatalf("table %s lacks row %q", t.ID, name)
 	return 0
+}
+
+// BenchmarkSuiteBuild measures the parallel experiment engine: profiling
+// all eight workloads at several worker counts. The reported job and
+// cache counters come from the engine itself (repro.EngineStats), so the
+// benchmark doubles as a check that work is actually distributed.
+func BenchmarkSuiteBuild(b *testing.B) {
+	for _, workers := range []int{1, 2, 0} { // 0 = GOMAXPROCS
+		name := "parallel=" + strconv.Itoa(workers)
+		if workers == 0 {
+			name = "parallel=gomaxprocs"
+		}
+		b.Run(name, func(b *testing.B) {
+			var st bench.Suite
+			for i := 0; i < b.N; i++ {
+				cfg := bench.DefaultConfig()
+				cfg.Budget = benchBudget / 4
+				cfg.Parallel = workers
+				s, err := bench.NewSuite(cfg)
+				if err != nil {
+					b.Fatal(err)
+				}
+				st = *s
+			}
+			var stats EngineStats = st.Engine().Stats()
+			b.ReportMetric(float64(stats.Jobs), "jobs")
+			b.ReportMetric(float64(stats.CacheMisses), "cache-misses")
+		})
+	}
+}
+
+// BenchmarkAllExperiments runs every table once on a fresh suite, the
+// shape of `krallbench -all`, and reports the cache-hit counter — the
+// measured experiments share their strategy selections through the
+// artifact cache, so hits should dominate misses.
+func BenchmarkAllExperiments(b *testing.B) {
+	var stats EngineStats
+	for i := 0; i < b.N; i++ {
+		cfg := bench.DefaultConfig()
+		cfg.Budget = benchBudget / 4
+		s, err := bench.NewSuite(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		s.Table1()
+		s.Table5()
+		if _, err := s.MeasuredReplication(5); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := s.CrossDataset(); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := s.LayoutTable(); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := s.ScopeTable(); err != nil {
+			b.Fatal(err)
+		}
+		stats = s.Engine().Stats()
+	}
+	b.ReportMetric(float64(stats.CacheHits), "cache-hits")
+	b.ReportMetric(float64(stats.CacheMisses), "cache-misses")
 }
 
 // BenchmarkTable1 regenerates Table 1 (strategy misprediction rates).

@@ -14,12 +14,21 @@
 //	-headline     print the §5 headline summary
 //	-all          print everything (default when no selector is given)
 //	-states N     machine size for the measured-replication experiment
+//	-parallel N   experiment-engine workers (default GOMAXPROCS; 1 = the
+//	              sequential path — output is byte-identical either way)
+//
+// Tables and figures go to stdout; progress, timing, and the engine's
+// job/cache counters go to stderr, so stdout is reproducible byte-for-byte
+// (the golden tests in main_test.go rely on this).
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
+	"runtime"
+	"strconv"
 	"strings"
 	"time"
 
@@ -27,21 +36,33 @@ import (
 )
 
 func main() {
+	if err := run(os.Args[1:], os.Stdout, os.Stderr); err != nil {
+		fmt.Fprintln(os.Stderr, "krallbench:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, stdout, stderr io.Writer) error {
+	fs := flag.NewFlagSet("krallbench", flag.ContinueOnError)
+	fs.SetOutput(stderr)
 	var (
-		budget    = flag.Uint64("budget", 2_000_000, "branch-event budget per workload")
-		quick     = flag.Bool("quick", false, "use the quick configuration")
-		tables    = flag.String("table", "", "comma-separated table numbers (1-5)")
-		figures   = flag.Bool("figures", false, "print figure curves")
-		measured  = flag.Bool("measured", false, "print measured replication results")
-		crossdata = flag.Bool("crossdata", false, "print dataset sensitivity")
-		layoutExp = flag.Bool("layout", false, "print the code-positioning experiment")
-		scopeExp  = flag.Bool("scope", false, "print the scheduler-scope experiment")
-		jointExp  = flag.Bool("joint", false, "print the joint-machine (§6) experiment")
-		headline  = flag.Bool("headline", false, "print headline summary")
-		all       = flag.Bool("all", false, "print everything")
-		states    = flag.Int("states", 5, "machine size for measured replication")
+		budget    = fs.Uint64("budget", 2_000_000, "branch-event budget per workload")
+		quick     = fs.Bool("quick", false, "use the quick configuration")
+		tables    = fs.String("table", "", "comma-separated table numbers (1-5)")
+		figures   = fs.Bool("figures", false, "print figure curves")
+		measured  = fs.Bool("measured", false, "print measured replication results")
+		crossdata = fs.Bool("crossdata", false, "print dataset sensitivity")
+		layoutExp = fs.Bool("layout", false, "print the code-positioning experiment")
+		scopeExp  = fs.Bool("scope", false, "print the scheduler-scope experiment")
+		jointExp  = fs.Bool("joint", false, "print the joint-machine (§6) experiment")
+		headline  = fs.Bool("headline", false, "print headline summary")
+		all       = fs.Bool("all", false, "print everything")
+		states    = fs.Int("states", 5, "machine size for measured replication")
+		parallel  = fs.Int("parallel", runtime.GOMAXPROCS(0), "experiment-engine workers (1 = sequential)")
 	)
-	flag.Parse()
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
 
 	cfg := bench.DefaultConfig()
 	if *quick {
@@ -50,11 +71,20 @@ func main() {
 	if *budget != 0 {
 		cfg.Budget = *budget
 	}
+	cfg.Parallel = *parallel
+	workers := *parallel
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
 	sel := map[string]bool{}
 	for _, t := range strings.Split(*tables, ",") {
-		if t != "" {
-			sel["table"+t] = true
+		if t == "" {
+			continue
 		}
+		if n, err := strconv.Atoi(t); err != nil || n < 1 || n > 5 {
+			return fmt.Errorf("-table %q: tables are numbered 1-5", t)
+		}
+		sel["table"+t] = true
 	}
 	nothing := len(sel) == 0 && !*figures && !*measured && !*crossdata && !*headline && !*layoutExp && !*scopeExp && !*jointExp
 	if *all || nothing {
@@ -65,82 +95,90 @@ func main() {
 	}
 
 	start := time.Now()
-	fmt.Printf("krallbench: profiling %d workloads, budget %d branches each...\n",
-		len(bench.Workloads()), cfg.Budget)
+	fmt.Fprintf(stderr, "krallbench: profiling %d workloads, budget %d branches each, %d workers...\n",
+		len(bench.Workloads()), cfg.Budget, workers)
 	suite, err := bench.NewSuite(cfg)
 	if err != nil {
-		fatal(err)
+		return err
 	}
-	fmt.Printf("profiled in %v\n\n", time.Since(start).Round(time.Millisecond))
+	fmt.Fprintf(stderr, "profiled in %v\n\n", time.Since(start).Round(time.Millisecond))
 
-	section := func(id string, f func() (*bench.Table, error)) {
+	section := func(id string, f func() (*bench.Table, error)) error {
 		if !sel[id] {
-			return
+			return nil
 		}
 		t, err := f()
 		if err != nil {
-			fatal(err)
+			return err
 		}
-		fmt.Println(t.Render())
+		fmt.Fprintln(stdout, t.Render())
+		return nil
 	}
-	section("table1", func() (*bench.Table, error) { return suite.Table1(), nil })
-	section("table2", func() (*bench.Table, error) { return suite.Table2(), nil })
-	section("table3", func() (*bench.Table, error) { return suite.Table3(), nil })
-	section("table4", func() (*bench.Table, error) { return suite.Table4(), nil })
-	section("table5", func() (*bench.Table, error) { return suite.Table5(), nil })
+	sections := []struct {
+		id string
+		f  func() (*bench.Table, error)
+	}{
+		{"table1", func() (*bench.Table, error) { return suite.Table1(), nil }},
+		{"table2", func() (*bench.Table, error) { return suite.Table2(), nil }},
+		{"table3", func() (*bench.Table, error) { return suite.Table3(), nil }},
+		{"table4", func() (*bench.Table, error) { return suite.Table4(), nil }},
+		{"table5", func() (*bench.Table, error) { return suite.Table5(), nil }},
+	}
+	for _, sec := range sections {
+		if err := section(sec.id, sec.f); err != nil {
+			return err
+		}
+	}
 
 	var figs []bench.Figure
 	if *figures || *headline {
 		figs = suite.Figures()
 	}
 	if *figures {
-		fmt.Println(bench.FigureTable(figs).Render())
+		fmt.Fprintln(stdout, bench.FigureTable(figs).Render())
 		for _, f := range figs {
-			fmt.Println(bench.RenderFigure(f))
+			fmt.Fprintln(stdout, bench.RenderFigure(f))
 		}
 	}
 	if *measured {
 		t, err := suite.MeasuredReplication(*states)
 		if err != nil {
-			fatal(err)
+			return err
 		}
-		fmt.Println(t.Render())
+		fmt.Fprintln(stdout, t.Render())
 	}
 	if *crossdata {
 		t, err := suite.CrossDataset()
 		if err != nil {
-			fatal(err)
+			return err
 		}
-		fmt.Println(t.Render())
+		fmt.Fprintln(stdout, t.Render())
 	}
 	if *layoutExp {
 		t, err := suite.LayoutTable()
 		if err != nil {
-			fatal(err)
+			return err
 		}
-		fmt.Println(t.Render())
+		fmt.Fprintln(stdout, t.Render())
 	}
 	if *scopeExp {
 		t, err := suite.ScopeTable()
 		if err != nil {
-			fatal(err)
+			return err
 		}
-		fmt.Println(t.Render())
+		fmt.Fprintln(stdout, t.Render())
 	}
 	if *jointExp {
 		t, err := suite.JointTable()
 		if err != nil {
-			fatal(err)
+			return err
 		}
-		fmt.Println(t.Render())
+		fmt.Fprintln(stdout, t.Render())
 	}
 	if *headline {
-		fmt.Println(bench.RenderHeadlines(bench.Headlines(figs)))
+		fmt.Fprintln(stdout, bench.RenderHeadlines(bench.Headlines(figs)))
 	}
-	fmt.Printf("total time: %v\n", time.Since(start).Round(time.Millisecond))
-}
-
-func fatal(err error) {
-	fmt.Fprintln(os.Stderr, "krallbench:", err)
-	os.Exit(1)
+	fmt.Fprintf(stderr, "engine: %v\n", suite.Engine().Stats())
+	fmt.Fprintf(stderr, "total time: %v\n", time.Since(start).Round(time.Millisecond))
+	return nil
 }

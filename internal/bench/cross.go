@@ -4,69 +4,80 @@ import (
 	"repro/internal/ir"
 	"repro/internal/predict"
 	"repro/internal/replicate"
+	"repro/internal/runner"
 	"repro/internal/statemachine"
-	"repro/internal/trace"
 )
 
 // CrossDataset runs the paper's §6 / [FF92] sensitivity experiment: train
 // the profile and the replication machines on one dataset, then measure on
 // a different one. The replicated rows are *measured* — the transformed
 // program runs in the interpreter with its static annotations — so they
-// also validate the whole pipeline end to end.
+// also validate the whole pipeline end to end. One parallel job per
+// workload; the alternate-dataset counts and the strategy selection come
+// from the artifact cache.
 func (s *Suite) CrossDataset() (*Table, error) {
 	t := &Table{
 		ID:    "crossdataset",
 		Title: "Dataset sensitivity: trained on dataset A, measured on A and on B (%)",
-		Cols:  s.colNames(),
 	}
 	const machineStates = 5
-	var profSelf, profCross, replSelf, replCross Row
-	profSelf.Name = "profile self"
-	profCross.Name = "profile cross"
-	replSelf.Name = "replicated self (measured)"
-	replCross.Name = "replicated cross (measured)"
-
-	for _, d := range s.Data {
+	type col struct{ profSelf, profCross, replSelf, replCross Cell }
+	cols, err := runner.Map(s.eng, s.Data, func(_ int, d *WorkloadData) (col, error) {
+		var c col
 		// Profile self: trained and scored on dataset A.
 		pr := predict.ProfileResult(d.Prof.Counts)
-		profSelf.Cells = append(profSelf.Cells, rateCell(pr.Misses, pr.Total))
+		c.profSelf = rateCell(pr.Misses, pr.Total)
 
 		// Profile cross: A-trained majority vector scored on dataset B.
 		static := predict.ProfileStatic(d.Prof.Counts)
-		crossCounts := trace.NewCounts(d.C.NSites)
-		if _, err := d.C.Run(RunConfig{
-			Budget: s.Cfg.Budget, Seed: s.Cfg.CrossSeed, Scale: scaleFor(s.Cfg),
-		}, crossCounts); err != nil {
-			return nil, err
+		crossCounts, err := s.countsFor(d, s.Cfg.CrossSeed)
+		if err != nil {
+			return col{}, err
 		}
 		cr := static.Score(crossCounts)
-		profCross.Cells = append(profCross.Cells, rateCell(cr.Misses, cr.Total))
+		c.profCross = rateCell(cr.Misses, cr.Total)
 
 		// Replication trained on A (realizable machines only), measured on
 		// both datasets by running the transformed program.
-		choices := statemachine.Select(d.Prof, d.C.Features, statemachine.Options{
+		choices, err := s.selectFor(d, statemachine.Options{
 			MaxStates:  machineStates,
 			MaxPathLen: 1,
 		})
+		if err != nil {
+			return col{}, err
+		}
 		clone := ir.CloneProgram(d.C.Prog)
 		if _, err := replicate.ApplyOpts(clone, choices, static.Preds,
 			replicate.Options{MaxSizeFactor: 3}); err != nil {
-			return nil, err
+			return col{}, err
 		}
-		selfCell, err := measuredRate(clone, RunConfig{
+		c.replSelf, err = measuredRate(clone, RunConfig{
 			Budget: s.Cfg.Budget, Seed: s.Cfg.Seed, Scale: scaleFor(s.Cfg),
 		})
 		if err != nil {
-			return nil, err
+			return col{}, err
 		}
-		replSelf.Cells = append(replSelf.Cells, selfCell)
-		crossCell, err := measuredRate(clone, RunConfig{
+		c.replCross, err = measuredRate(clone, RunConfig{
 			Budget: s.Cfg.Budget, Seed: s.Cfg.CrossSeed, Scale: scaleFor(s.Cfg),
 		})
 		if err != nil {
-			return nil, err
+			return col{}, err
 		}
-		replCross.Cells = append(replCross.Cells, crossCell)
+		return c, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	t.Cols = s.colNames()
+	profSelf := Row{Name: "profile self"}
+	profCross := Row{Name: "profile cross"}
+	replSelf := Row{Name: "replicated self (measured)"}
+	replCross := Row{Name: "replicated cross (measured)"}
+	for _, c := range cols {
+		profSelf.Cells = append(profSelf.Cells, c.profSelf)
+		profCross.Cells = append(profCross.Cells, c.profCross)
+		replSelf.Cells = append(replSelf.Cells, c.replSelf)
+		replCross.Cells = append(replCross.Cells, c.replCross)
 	}
 	t.Rows = append(t.Rows, profSelf, profCross, replSelf, replCross)
 	return t, nil
@@ -85,42 +96,55 @@ func measuredRate(prog *ir.Program, cfg RunConfig) (Cell, error) {
 // MeasuredReplication transforms every workload with realizable machines
 // and measures the misprediction rate and size factor of the transformed
 // programs — the end-to-end validation of the paper's headline claim.
+// One parallel job per workload (transform + two full interpreter runs).
 func (s *Suite) MeasuredReplication(maxStates int) (*Table, error) {
 	t := &Table{
 		ID:    "measured",
 		Title: "Measured replication: interpreter-verified rates and sizes",
-		Cols:  s.colNames(),
 	}
-	var base, repl, size Row
-	base.Name = "profile baseline (measured)"
-	repl.Name = "replicated (measured)"
-	size.Name = "size factor"
-	for _, d := range s.Data {
+	type col struct{ base, repl, size Cell }
+	cols, err := runner.Map(s.eng, s.Data, func(_ int, d *WorkloadData) (col, error) {
+		var c col
 		static := predict.ProfileStatic(d.Prof.Counts)
 		baseline := ir.CloneProgram(d.C.Prog)
 		replicate.Annotate(baseline, static.Preds)
-		bc, err := measuredRate(baseline, RunConfig{Budget: s.Cfg.Budget, Seed: s.Cfg.Seed, Scale: scaleFor(s.Cfg)})
+		var err error
+		c.base, err = measuredRate(baseline, RunConfig{Budget: s.Cfg.Budget, Seed: s.Cfg.Seed, Scale: scaleFor(s.Cfg)})
 		if err != nil {
-			return nil, err
+			return col{}, err
 		}
-		base.Cells = append(base.Cells, bc)
 
-		choices := statemachine.Select(d.Prof, d.C.Features, statemachine.Options{
+		choices, err := s.selectFor(d, statemachine.Options{
 			MaxStates:  maxStates,
 			MaxPathLen: 1,
 		})
+		if err != nil {
+			return col{}, err
+		}
 		clone := ir.CloneProgram(d.C.Prog)
 		st, err := replicate.ApplyOpts(clone, choices, static.Preds,
 			replicate.Options{MaxSizeFactor: 3})
 		if err != nil {
-			return nil, err
+			return col{}, err
 		}
-		rc, err := measuredRate(clone, RunConfig{Budget: s.Cfg.Budget, Seed: s.Cfg.Seed, Scale: scaleFor(s.Cfg)})
+		c.repl, err = measuredRate(clone, RunConfig{Budget: s.Cfg.Budget, Seed: s.Cfg.Seed, Scale: scaleFor(s.Cfg)})
 		if err != nil {
-			return nil, err
+			return col{}, err
 		}
-		repl.Cells = append(repl.Cells, rc)
-		size.Cells = append(size.Cells, Cell{Value: st.SizeFactor(), Valid: true})
+		c.size = Cell{Value: st.SizeFactor(), Valid: true}
+		return c, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	t.Cols = s.colNames()
+	base := Row{Name: "profile baseline (measured)"}
+	repl := Row{Name: "replicated (measured)"}
+	size := Row{Name: "size factor"}
+	for _, c := range cols {
+		base.Cells = append(base.Cells, c.base)
+		repl.Cells = append(repl.Cells, c.repl)
+		size.Cells = append(size.Cells, c.size)
 	}
 	t.Rows = append(t.Rows, base, repl, size)
 	return t, nil

@@ -1,0 +1,91 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+)
+
+// renderAll renders the drivers covered by the determinism contract into
+// one byte string: Table 1 (the pure-profile driver), Table 5 (the cached
+// selection sweep), the figure curves, and two measured experiments that
+// execute transformed programs in the interpreter.
+func renderAll(t *testing.T, cfg ExpConfig) string {
+	t.Helper()
+	s, err := NewSuite(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var b strings.Builder
+	b.WriteString(s.Table1().Render())
+	b.WriteString(s.Table5().Render())
+	figs := s.Figures()
+	b.WriteString(FigureTable(figs).Render())
+	for _, f := range figs {
+		b.WriteString(RenderFigure(f))
+	}
+	mt, err := s.MeasuredReplication(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b.WriteString(mt.Render())
+	ct, err := s.CrossDataset()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b.WriteString(ct.Render())
+	return b.String()
+}
+
+// TestParallelDeterminism is the engine's core regression test: the same
+// experiments rendered at -parallel 1 (the inline sequential path) and at
+// -parallel 8 must be byte-identical. Results merge by job index, never by
+// completion order, and the artifact cache single-flights shared work, so
+// scheduling must not be observable in any output byte.
+func TestParallelDeterminism(t *testing.T) {
+	cfg := QuickConfig()
+	cfg.Budget = 30_000
+
+	cfg.Parallel = 1
+	seq := renderAll(t, cfg)
+
+	cfg.Parallel = 8
+	for round := 0; round < 3; round++ {
+		par := renderAll(t, cfg)
+		if par != seq {
+			t.Fatalf("round %d: parallel output differs from sequential\nseq %d bytes, par %d bytes\nfirst divergence at byte %d",
+				round, len(seq), len(par), firstDiff(seq, par))
+		}
+	}
+}
+
+func firstDiff(a, b string) int {
+	n := min(len(a), len(b))
+	for i := 0; i < n; i++ {
+		if a[i] != b[i] {
+			return i
+		}
+	}
+	return n
+}
+
+// TestParallelDeterminismAcrossWorkerCounts sweeps worker counts on the
+// cheapest driver to catch off-by-one distribution bugs (workers > jobs,
+// workers == jobs, workers < jobs).
+func TestParallelDeterminismAcrossWorkerCounts(t *testing.T) {
+	cfg := QuickConfig()
+	cfg.Budget = 20_000
+	render := func(p int) string {
+		cfg.Parallel = p
+		s, err := NewSuite(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return s.Table1().Render()
+	}
+	want := render(1)
+	for _, p := range []int{2, 3, 7, 8, 16} {
+		if got := render(p); got != want {
+			t.Fatalf("parallel=%d: Table 1 differs from sequential", p)
+		}
+	}
+}

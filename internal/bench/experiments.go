@@ -5,7 +5,9 @@ import (
 
 	"repro/internal/predict"
 	"repro/internal/profile"
+	"repro/internal/runner"
 	"repro/internal/statemachine"
+	"repro/internal/trace"
 )
 
 // ExpConfig parameterises the experiment suite.
@@ -26,6 +28,11 @@ type ExpConfig struct {
 	// MaxPathLen caps correlated path lengths in Table 5 selection and in
 	// the figures (1 keeps selections realizable by the replicator).
 	MaxPathLen int
+	// Parallel is the experiment engine's worker count: 0 uses
+	// runtime.GOMAXPROCS(0), 1 runs every job inline (the sequential
+	// path). Parallel runs produce byte-identical output — results merge
+	// by job index, never by completion order.
+	Parallel int
 }
 
 // DefaultConfig is the configuration used by cmd/krallbench.
@@ -86,7 +93,8 @@ type Table struct {
 }
 
 // WorkloadData is everything collected from one profiled run of one
-// workload.
+// workload. It is immutable once NewSuite returns; every experiment only
+// reads it, which is what makes the parallel engine race-free.
 type WorkloadData struct {
 	C    *Compiled
 	Prof *profile.Profile
@@ -102,25 +110,51 @@ type WorkloadData struct {
 	Steps    uint64
 }
 
-// Suite holds the profiled data of all workloads plus lazily computed
-// per-size strategy selections shared by Table 5 and the figures.
+// Suite holds the profiled data of all workloads plus the experiment
+// engine whose artifact cache shares per-size strategy selections between
+// Table 5, the figures, and the measured experiments.
 type Suite struct {
 	Cfg  ExpConfig
 	Data []*WorkloadData
 
-	selections map[selKey][][]statemachine.Choice // [key][workload][site]
+	eng *runner.Engine
+	// prefix namespaces this suite's cache keys, so suites with different
+	// budgets or datasets can share one engine without collisions.
+	prefix string
 }
 
-// selKey identifies a cached selection sweep.
-type selKey struct {
-	n     int
-	paper bool
-}
-
-// NewSuite compiles and profiles every workload under the configuration.
+// NewSuite compiles and profiles every workload under the configuration,
+// one parallel job per workload.
 func NewSuite(cfg ExpConfig) (*Suite, error) {
-	s := &Suite{Cfg: cfg, selections: map[selKey][][]statemachine.Choice{}}
-	for _, w := range Workloads() {
+	return NewSuiteEngine(cfg, runner.New(cfg.Parallel))
+}
+
+// NewSuiteEngine is NewSuite with a caller-provided engine, so several
+// suites (or repeated sweeps) can share one artifact cache.
+func NewSuiteEngine(cfg ExpConfig, eng *runner.Engine) (*Suite, error) {
+	s := &Suite{
+		Cfg:    cfg,
+		eng:    eng,
+		prefix: fmt.Sprintf("b%d/s%d/x%d/", cfg.Budget, cfg.Seed, scaleFor(cfg)),
+	}
+	data, err := runner.Map(eng, Workloads(), func(_ int, w Workload) (*WorkloadData, error) {
+		return s.profileWorkload(w)
+	})
+	if err != nil {
+		return nil, err
+	}
+	s.Data = data
+	return s, nil
+}
+
+// Engine returns the suite's experiment engine (counters, cache).
+func (s *Suite) Engine() *runner.Engine { return s.eng }
+
+// profileWorkload compiles and profiles one workload through the artifact
+// cache: repeated suites on one engine profile each workload once.
+func (s *Suite) profileWorkload(w Workload) (*WorkloadData, error) {
+	key := s.prefix + "profile/" + w.Name
+	return runner.Cached(s.eng.Cache(), key, func() (*WorkloadData, error) {
 		c, err := Compile(w)
 		if err != nil {
 			return nil, err
@@ -137,16 +171,44 @@ func NewSuite(cfg ExpConfig) (*Suite, error) {
 			},
 			GShare: predict.Eval{P: predict.NewGShare(12)},
 		}
-		m, err := c.Run(RunConfig{Budget: cfg.Budget, Seed: cfg.Seed, Scale: scaleFor(cfg)},
+		m, err := c.Run(RunConfig{Budget: s.Cfg.Budget, Seed: s.Cfg.Seed, Scale: scaleFor(s.Cfg)},
 			d.Prof, d.Local1, d.Global1, &d.Last, &d.TwoBit, &d.TwoLevel, &d.GShare)
 		if err != nil {
 			return nil, err
 		}
 		d.Branches = m.Branches
 		d.Steps = m.Steps
-		s.Data = append(s.Data, d)
-	}
-	return s, nil
+		return d, nil
+	})
+}
+
+// countsFor runs workload d under an alternate dataset seed and returns
+// its branch counts, memoised per (workload, seed) so the cross-dataset
+// and repeated sweeps decode each trace once.
+func (s *Suite) countsFor(d *WorkloadData, seed int64) (*trace.Counts, error) {
+	key := fmt.Sprintf("%scounts/%s/seed%d", s.prefix, d.C.Workload.Name, seed)
+	return runner.Cached(s.eng.Cache(), key, func() (*trace.Counts, error) {
+		counts := trace.NewCounts(d.C.NSites)
+		if _, err := d.C.Run(RunConfig{
+			Budget: s.Cfg.Budget, Seed: seed, Scale: scaleFor(s.Cfg),
+		}, counts); err != nil {
+			return nil, err
+		}
+		return counts, nil
+	})
+}
+
+// selectFor returns the per-branch strategy choices for one workload under
+// opts, memoised in the artifact cache. The measured experiments
+// (cross-dataset, measured replication, layout, scope) all request the
+// same realizable sweep, so only the first computes it.
+func (s *Suite) selectFor(d *WorkloadData, opts statemachine.Options) ([]statemachine.Choice, error) {
+	key := fmt.Sprintf("%sselect/%s/n%d/len%d/paper%t/d%t%t%t", s.prefix, d.C.Workload.Name,
+		opts.MaxStates, opts.MaxPathLen, opts.PaperCounting,
+		opts.DisableLoop, opts.DisableExit, opts.DisablePath)
+	return runner.Cached(s.eng.Cache(), key, func() ([]statemachine.Choice, error) {
+		return statemachine.Select(d.Prof, d.C.Features, opts), nil
+	})
 }
 
 // scaleFor makes budgeted runs never finish early: with a budget set, the
@@ -170,16 +232,59 @@ func (s *Suite) colNames() []string {
 	return out
 }
 
+// buildColumns assembles a table from per-workload columns computed in
+// parallel: col(i, d) returns workload i's cells, one per row name, and
+// the transpose into rows happens after every job finished, in workload
+// order — so the rendered bytes never depend on completion order.
+func (s *Suite) buildColumns(t *Table, rowNames []string, col func(i int, d *WorkloadData) ([]Cell, error)) error {
+	t.Cols = s.colNames()
+	cols, err := runner.Map(s.eng, s.Data, col)
+	if err != nil {
+		return err
+	}
+	t.Rows = make([]Row, len(rowNames))
+	for ri, name := range rowNames {
+		cells := make([]Cell, len(cols))
+		for ci, c := range cols {
+			if ri < len(c) {
+				cells[ci] = c[ri]
+			}
+		}
+		t.Rows[ri] = Row{Name: name, Cells: cells}
+	}
+	return nil
+}
+
+// rowSpec is one table row: a name plus the per-workload cell function.
+type rowSpec struct {
+	name string
+	cell func(i int, d *WorkloadData) Cell
+}
+
+// buildTable evaluates rowSpecs column-by-column in parallel.
+func (s *Suite) buildTable(t *Table, specs []rowSpec) *Table {
+	names := make([]string, len(specs))
+	for i, sp := range specs {
+		names[i] = sp.name
+	}
+	// The specs are pure functions of immutable profile data; no error path.
+	_ = s.buildColumns(t, names, func(i int, d *WorkloadData) ([]Cell, error) {
+		cells := make([]Cell, len(specs))
+		for ri, sp := range specs {
+			cells[ri] = sp.cell(i, d)
+		}
+		return cells, nil
+	})
+	return t
+}
+
 // Table1 reproduces the paper's Table 1: misprediction rates of the
 // dynamic and semi-static strategies plus the branch population counts.
 func (s *Suite) Table1() *Table {
-	t := &Table{ID: "table1", Title: "Misprediction rates of different branch prediction strategies (%)", Cols: s.colNames()}
+	t := &Table{ID: "table1", Title: "Misprediction rates of different branch prediction strategies (%)"}
+	var specs []rowSpec
 	add := func(name string, f func(d *WorkloadData) Cell) {
-		row := Row{Name: name}
-		for _, d := range s.Data {
-			row.Cells = append(row.Cells, f(d))
-		}
-		t.Rows = append(t.Rows, row)
+		specs = append(specs, rowSpec{name: name, cell: func(_ int, d *WorkloadData) Cell { return f(d) }})
 	}
 	add("last direction", func(d *WorkloadData) Cell { return rateCell(d.Last.Misses, d.Last.Total) })
 	add("2 bit counter", func(d *WorkloadData) Cell { return rateCell(d.TwoBit.Misses, d.TwoBit.Total) })
@@ -236,33 +341,33 @@ func (s *Suite) Table1() *Table {
 		}
 		return countCell(n)
 	})
-	return t
+	return s.buildTable(t, specs)
 }
 
 // Table2 reproduces Table 2: fill rates of the pattern tables for history
 // lengths 1..9, over local (loop) histories as in the paper, with the
 // global tables as a companion block.
 func (s *Suite) Table2() *Table {
-	t := &Table{ID: "table2", Title: "Fill rate of the history tables (%)", Cols: s.colNames()}
-	type frs struct{ local, global []profile.FillRate }
-	all := make([]frs, len(s.Data))
-	for i, d := range s.Data {
-		all[i] = frs{local: d.Prof.Local.FillRates(), global: d.Prof.Global.FillRates()}
+	t := &Table{ID: "table2", Title: "Fill rate of the history tables (%)"}
+	names := make([]string, 0, 18)
+	for j := 0; j < 9; j++ {
+		names = append(names, fmt.Sprintf("%d bit local history", j+1))
 	}
 	for j := 0; j < 9; j++ {
-		row := Row{Name: fmt.Sprintf("%d bit local history", j+1)}
-		for i := range s.Data {
-			row.Cells = append(row.Cells, Cell{Value: all[i].local[j].Rate(), Valid: true})
-		}
-		t.Rows = append(t.Rows, row)
+		names = append(names, fmt.Sprintf("%d bit global history", j+1))
 	}
-	for j := 0; j < 9; j++ {
-		row := Row{Name: fmt.Sprintf("%d bit global history", j+1)}
-		for i := range s.Data {
-			row.Cells = append(row.Cells, Cell{Value: all[i].global[j].Rate(), Valid: true})
+	_ = s.buildColumns(t, names, func(_ int, d *WorkloadData) ([]Cell, error) {
+		local := d.Prof.Local.FillRates()
+		global := d.Prof.Global.FillRates()
+		cells := make([]Cell, 0, 18)
+		for j := 0; j < 9; j++ {
+			cells = append(cells, Cell{Value: local[j].Rate(), Valid: true})
 		}
-		t.Rows = append(t.Rows, row)
-	}
+		for j := 0; j < 9; j++ {
+			cells = append(cells, Cell{Value: global[j].Rate(), Valid: true})
+		}
+		return cells, nil
+	})
 	return t
 }
 
@@ -294,20 +399,11 @@ func classify(d *WorkloadData) siteClass {
 
 // Table3 reproduces Table 3: misprediction rates of intra-loop and
 // loop-exit branches under full (n-1)-bit histories versus n-state
-// machines, using the paper's pattern-table counting.
+// machines, using the paper's pattern-table counting. Each workload's
+// whole sweep is one job: the siteClass partition is computed once per
+// column and every swept size reuses it.
 func (s *Suite) Table3() *Table {
-	t := &Table{ID: "table3", Title: "Misprediction rates of loop and loop exit branches (%)", Cols: s.colNames()}
-	classes := make([]siteClass, len(s.Data))
-	for i, d := range s.Data {
-		classes[i] = classify(d)
-	}
-	addRow := func(name string, f func(i int, d *WorkloadData) Cell) {
-		row := Row{Name: name}
-		for i, d := range s.Data {
-			row.Cells = append(row.Cells, f(i, d))
-		}
-		t.Rows = append(t.Rows, row)
-	}
+	t := &Table{ID: "table3", Title: "Misprediction rates of loop and loop exit branches (%)"}
 	profMisses := func(d *WorkloadData, sites []int32) (uint64, uint64) {
 		var m, tot uint64
 		for _, site := range sites {
@@ -330,44 +426,47 @@ func (s *Suite) Table3() *Table {
 		}
 		return m, tot
 	}
-	addRow("profile (loop)", func(i int, d *WorkloadData) Cell {
-		return rateCell(profMisses(d, classes[i].intra))
-	})
-	addRow("profile (exit)", func(i int, d *WorkloadData) Cell {
-		return rateCell(profMisses(d, classes[i].exit))
-	})
+	names := []string{"profile (loop)", "profile (exit)"}
 	for _, n := range s.Cfg.Table3States {
 		bits := n - 1
 		if bits > 9 {
 			bits = 9
 		}
-		n := n
-		addRow(fmt.Sprintf("%d bit hist (loop)", bits), func(i int, d *WorkloadData) Cell {
-			return rateCell(histMisses(d, classes[i].intra, bits))
-		})
-		addRow(fmt.Sprintf("%d states (loop)", n), func(i int, d *WorkloadData) Cell {
+		names = append(names,
+			fmt.Sprintf("%d bit hist (loop)", bits),
+			fmt.Sprintf("%d states (loop)", n),
+			fmt.Sprintf("%d bit hist (exit)", bits),
+			fmt.Sprintf("%d states (exit)", n))
+	}
+	_ = s.buildColumns(t, names, func(_ int, d *WorkloadData) ([]Cell, error) {
+		sc := classify(d)
+		cells := make([]Cell, 0, len(names))
+		cells = append(cells, rateCell(profMisses(d, sc.intra)), rateCell(profMisses(d, sc.exit)))
+		for _, n := range s.Cfg.Table3States {
+			bits := n - 1
+			if bits > 9 {
+				bits = 9
+			}
+			cells = append(cells, rateCell(histMisses(d, sc.intra, bits)))
 			var m, tot uint64
-			for _, site := range classes[i].intra {
+			for _, site := range sc.intra {
 				lm := statemachine.BestLoopMachine(d.Prof.Local.Table(site), 9, n)
 				m += lm.Misses()
 				tot += lm.Total
 			}
-			return rateCell(m, tot)
-		})
-		addRow(fmt.Sprintf("%d bit hist (exit)", bits), func(i int, d *WorkloadData) Cell {
-			return rateCell(histMisses(d, classes[i].exit, bits))
-		})
-		addRow(fmt.Sprintf("%d states (exit)", n), func(i int, d *WorkloadData) Cell {
-			var m, tot uint64
-			for _, site := range classes[i].exit {
+			cells = append(cells, rateCell(m, tot))
+			cells = append(cells, rateCell(histMisses(d, sc.exit, bits)))
+			m, tot = 0, 0
+			for _, site := range sc.exit {
 				ft := d.C.Features[site]
 				em := statemachine.NewExitMachine(d.Prof.Local.Table(site), 9, n, ft.TakenExits)
 				m += em.Misses()
 				tot += em.Total
 			}
-			return rateCell(m, tot)
-		})
-	}
+			cells = append(cells, rateCell(m, tot))
+		}
+		return cells, nil
+	})
 	return t
 }
 
@@ -375,31 +474,24 @@ func (s *Suite) Table3() *Table {
 // all executed branches predicted by path machines of increasing size,
 // with path length capped at the state count as in the paper.
 func (s *Suite) Table4() *Table {
-	t := &Table{ID: "table4", Title: "Misprediction rates of correlated branches (%)", Cols: s.colNames()}
-	addRow := func(name string, f func(d *WorkloadData) Cell) {
-		row := Row{Name: name}
-		for _, d := range s.Data {
-			row.Cells = append(row.Cells, f(d))
-		}
-		t.Rows = append(t.Rows, row)
+	t := &Table{ID: "table4", Title: "Misprediction rates of correlated branches (%)"}
+	names := []string{"profile", "full path table"}
+	for _, n := range s.Cfg.Table4States {
+		names = append(names, fmt.Sprintf("%d states", n))
 	}
-	addRow("profile", func(d *WorkloadData) Cell {
+	_ = s.buildColumns(t, names, func(_ int, d *WorkloadData) ([]Cell, error) {
+		cells := make([]Cell, 0, len(names))
 		r := predict.ProfileResult(d.Prof.Counts)
-		return rateCell(r.Misses, r.Total)
-	})
-	addRow("full path table", func(d *WorkloadData) Cell {
+		cells = append(cells, rateCell(r.Misses, r.Total))
 		var m, tot uint64
 		for i := 0; i < d.C.NSites; i++ {
 			sm, st := d.Prof.Path.SiteMisses(int32(i))
 			m += sm
 			tot += st
 		}
-		return rateCell(m, tot)
-	})
-	for _, n := range s.Cfg.Table4States {
-		n := n
-		addRow(fmt.Sprintf("%d states", n), func(d *WorkloadData) Cell {
-			var m, tot uint64
+		cells = append(cells, rateCell(m, tot))
+		for _, n := range s.Cfg.Table4States {
+			m, tot = 0, 0
 			for i := 0; i < d.C.NSites; i++ {
 				if d.Prof.Counts.Total(int32(i)) == 0 {
 					continue
@@ -408,38 +500,54 @@ func (s *Suite) Table4() *Table {
 				m += pm.Misses()
 				tot += pm.Total
 			}
-			return rateCell(m, tot)
-		})
-	}
+			cells = append(cells, rateCell(m, tot))
+		}
+		return cells, nil
+	})
 	return t
 }
 
-// Selections computes (and caches) the per-branch best strategies at a
-// given machine size for every workload. With paperCounting, loop machines
-// are scored with the paper's pattern counting (used by Table 5 and the
-// figures, like the paper's own numbers); otherwise exact stream replay is
-// used (what the measured experiments need).
+// Selections computes the per-branch best strategies at a given machine
+// size for every workload, one parallel job per workload, memoised in the
+// artifact cache (Table 5 and the figures sweep the same sizes, so the
+// second requester reuses the first's sweep). With paperCounting, loop
+// machines are scored with the paper's pattern counting (used by Table 5
+// and the figures, like the paper's own numbers); otherwise exact stream
+// replay is used (what the measured experiments need).
 func (s *Suite) Selections(n int, paperCounting bool) [][]statemachine.Choice {
-	key := selKey{n: n, paper: paperCounting}
-	if got, ok := s.selections[key]; ok {
-		return got
-	}
-	out := make([][]statemachine.Choice, len(s.Data))
-	for i, d := range s.Data {
-		out[i] = statemachine.Select(d.Prof, d.C.Features, statemachine.Options{
-			MaxStates:     n,
-			MaxPathLen:    s.Cfg.MaxPathLen,
-			PaperCounting: paperCounting,
+	key := fmt.Sprintf("%sselsweep/n%d/len%d/paper%t", s.prefix, n, s.Cfg.MaxPathLen, paperCounting)
+	out, err := runner.Cached(s.eng.Cache(), key, func() ([][]statemachine.Choice, error) {
+		return runner.Map(s.eng, s.Data, func(_ int, d *WorkloadData) ([]statemachine.Choice, error) {
+			return s.selectFor(d, statemachine.Options{
+				MaxStates:     n,
+				MaxPathLen:    s.Cfg.MaxPathLen,
+				PaperCounting: paperCounting,
+			})
 		})
+	})
+	if err != nil {
+		// Selection is a pure function of immutable profiles; the only
+		// conceivable failure is a job panic, which should crash loudly.
+		panic(err)
 	}
-	s.selections[key] = out
 	return out
+}
+
+// prefetchSelections populates the selection cache for several sizes in
+// parallel (sizes × workloads jobs), so the sequential assembly that
+// follows only performs cache hits.
+func (s *Suite) prefetchSelections(sizes []int, paperCounting bool) {
+	_, _ = runner.Map(s.eng, sizes, func(_ int, n int) (struct{}, error) {
+		s.Selections(n, paperCounting)
+		return struct{}{}, nil
+	})
 }
 
 // Table5 reproduces Table 5: best achievable misprediction rates when every
 // branch uses its best strategy under a state budget.
 func (s *Suite) Table5() *Table {
 	t := &Table{ID: "table5", Title: "Best achievable misprediction rates (%)", Cols: s.colNames()}
+	s.prefetchSelections(s.Cfg.Table5States, true)
 	prow := Row{Name: "profile"}
 	for _, d := range s.Data {
 		r := predict.ProfileResult(d.Prof.Counts)

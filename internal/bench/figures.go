@@ -7,6 +7,7 @@ import (
 	"repro/internal/cfg"
 	"repro/internal/ir"
 	"repro/internal/profile"
+	"repro/internal/runner"
 	"repro/internal/statemachine"
 )
 
@@ -96,16 +97,18 @@ func (m *sizeModel) size(states map[int32]int, kinds map[int32]statemachine.Kind
 // Figures computes the greedy misprediction-vs-size curve for every
 // workload: states are added one branch at a time, choosing the step with
 // the best (misprediction reduction / size increase) ratio, exactly the
-// ordering rule of section 5.
+// ordering rule of section 5. The per-size selections are prefetched in
+// parallel (cache hits when Table 5 already swept them), then each
+// workload's greedy walk is one job.
 func (s *Suite) Figures() []Figure {
 	levels := append([]int{1}, s.Cfg.Table5States...)
 	// Pre-pull selections for every level > 1.
+	s.prefetchSelections(levels[1:], true)
 	selAt := map[int][][]statemachine.Choice{}
 	for _, n := range levels[1:] {
 		selAt[n] = s.Selections(n, true)
 	}
-	var figs []Figure
-	for wi, d := range s.Data {
+	figs, _ := runner.Map(s.eng, s.Data, func(wi int, d *WorkloadData) (Figure, error) {
 		model := buildSizeModel(d.C)
 		nSites := d.C.NSites
 		// missEvents[levelIdx][site], normalised to the profile totals.
@@ -206,8 +209,8 @@ func (s *Suite) Figures() []Figure {
 			curSize = bestSize
 			point(step)
 		}
-		figs = append(figs, fig)
-	}
+		return fig, nil
+	})
 	return figs
 }
 

@@ -4,6 +4,7 @@ import (
 	"repro/internal/ir"
 	"repro/internal/predict"
 	"repro/internal/replicate"
+	"repro/internal/runner"
 	"repro/internal/statemachine"
 )
 
@@ -12,49 +13,62 @@ import (
 // multiply copies) versus jointly (one minimised machine per loop), both
 // measured by executing the transformed programs. Joint replication should
 // match the sequential misprediction rate at equal or lower code size.
+// One parallel job per workload.
 func (s *Suite) JointTable() (*Table, error) {
 	t := &Table{
 		ID:    "joint",
 		Title: "Sequential vs joint (§6) replication: measured rate and size factor",
-		Cols:  s.colNames(),
 	}
-	var seqRate, seqSize, jointRate, jointSize Row
-	seqRate.Name = "sequential rate"
-	jointRate.Name = "joint rate"
-	seqSize.Name = "sequential size factor"
-	jointSize.Name = "joint size factor"
 	const maxStates = 4
-	for _, d := range s.Data {
+	type col struct{ seqRate, jointRate, seqSize, jointSize Cell }
+	cols, err := runner.Map(s.eng, s.Data, func(_ int, d *WorkloadData) (col, error) {
+		var c col
 		static := predict.ProfileStatic(d.Prof.Counts)
-		choices := statemachine.Select(d.Prof, d.C.Features, statemachine.Options{
+		choices, err := s.selectFor(d, statemachine.Options{
 			MaxStates:  maxStates,
 			MaxPathLen: 1,
 		})
+		if err != nil {
+			return col{}, err
+		}
 		runCfg := RunConfig{Budget: s.Cfg.Budget, Seed: s.Cfg.Seed, Scale: scaleFor(s.Cfg)}
 
 		seq := ir.CloneProgram(d.C.Prog)
 		seqStats, err := replicate.ApplyOpts(seq, choices, static.Preds, replicate.Options{MaxSizeFactor: 4})
 		if err != nil {
-			return nil, err
+			return col{}, err
 		}
-		sc, err := measuredRate(seq, runCfg)
+		c.seqRate, err = measuredRate(seq, runCfg)
 		if err != nil {
-			return nil, err
+			return col{}, err
 		}
-		seqRate.Cells = append(seqRate.Cells, sc)
-		seqSize.Cells = append(seqSize.Cells, Cell{Value: seqStats.SizeFactor(), Valid: true})
+		c.seqSize = Cell{Value: seqStats.SizeFactor(), Valid: true}
 
 		joint := ir.CloneProgram(d.C.Prog)
 		jointStats, err := replicate.ApplyJoint(joint, choices, static.Preds, replicate.Options{MaxSizeFactor: 4})
 		if err != nil {
-			return nil, err
+			return col{}, err
 		}
-		jc, err := measuredRate(joint, runCfg)
+		c.jointRate, err = measuredRate(joint, runCfg)
 		if err != nil {
-			return nil, err
+			return col{}, err
 		}
-		jointRate.Cells = append(jointRate.Cells, jc)
-		jointSize.Cells = append(jointSize.Cells, Cell{Value: jointStats.SizeFactor(), Valid: true})
+		c.jointSize = Cell{Value: jointStats.SizeFactor(), Valid: true}
+		return c, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	t.Cols = s.colNames()
+	seqRate := Row{Name: "sequential rate"}
+	jointRate := Row{Name: "joint rate"}
+	seqSize := Row{Name: "sequential size factor"}
+	jointSize := Row{Name: "joint size factor"}
+	for _, c := range cols {
+		seqRate.Cells = append(seqRate.Cells, c.seqRate)
+		jointRate.Cells = append(jointRate.Cells, c.jointRate)
+		seqSize.Cells = append(seqSize.Cells, c.seqSize)
+		jointSize.Cells = append(jointSize.Cells, c.jointSize)
 	}
 	t.Rows = append(t.Rows, seqRate, jointRate, seqSize, jointSize)
 	return t, nil

@@ -8,6 +8,7 @@ import (
 	"repro/internal/layout"
 	"repro/internal/predict"
 	"repro/internal/replicate"
+	"repro/internal/runner"
 	"repro/internal/statemachine"
 	"repro/internal/trace"
 )
@@ -19,50 +20,56 @@ import (
 // Pettis–Hansen positioning. It quantifies §5's remark that a cost
 // function must weigh replication's cache impact: replication adds code,
 // but its biased per-state branches lay out into longer fall-through runs.
+// One parallel job per workload; the strategy selection is shared with the
+// other measured experiments through the artifact cache.
 func (s *Suite) LayoutTable() (*Table, error) {
 	t := &Table{
 		ID:    "layout",
 		Title: "Dynamic taken-transfer rate (%) under code positioning [PH90]",
-		Cols:  s.colNames(),
 	}
-	rows := map[string]*Row{}
-	for _, name := range []string{
-		"original, naive layout",
-		"original, PH layout",
-		"replicated, naive layout",
-		"replicated, PH layout",
-	} {
-		rows[name] = &Row{Name: name}
-	}
-
-	for _, d := range s.Data {
-		origNaive, origPH, err := layoutRates(d.C.Prog, s.Cfg)
+	type col struct{ origNaive, origPH, replNaive, replPH Cell }
+	cols, err := runner.Map(s.eng, s.Data, func(_ int, d *WorkloadData) (col, error) {
+		var c col
+		var err error
+		c.origNaive, c.origPH, err = layoutRates(d.C.Prog, s.Cfg)
 		if err != nil {
-			return nil, err
+			return col{}, err
 		}
-		rows["original, naive layout"].Cells = append(rows["original, naive layout"].Cells, origNaive)
-		rows["original, PH layout"].Cells = append(rows["original, PH layout"].Cells, origPH)
 
 		static := predict.ProfileStatic(d.Prof.Counts)
-		choices := statemachine.Select(d.Prof, d.C.Features, statemachine.Options{
+		choices, err := s.selectFor(d, statemachine.Options{
 			MaxStates:  5,
 			MaxPathLen: 1,
 		})
+		if err != nil {
+			return col{}, err
+		}
 		clone := ir.CloneProgram(d.C.Prog)
 		if _, err := replicate.ApplyOpts(clone, choices, static.Preds,
 			replicate.Options{MaxSizeFactor: 3}); err != nil {
-			return nil, err
+			return col{}, err
 		}
-		replNaive, replPH, err := layoutRates(clone, s.Cfg)
+		c.replNaive, c.replPH, err = layoutRates(clone, s.Cfg)
 		if err != nil {
-			return nil, err
+			return col{}, err
 		}
-		rows["replicated, naive layout"].Cells = append(rows["replicated, naive layout"].Cells, replNaive)
-		rows["replicated, PH layout"].Cells = append(rows["replicated, PH layout"].Cells, replPH)
+		return c, nil
+	})
+	if err != nil {
+		return nil, err
 	}
-	t.Rows = append(t.Rows,
-		*rows["original, naive layout"], *rows["original, PH layout"],
-		*rows["replicated, naive layout"], *rows["replicated, PH layout"])
+	t.Cols = s.colNames()
+	origNaive := Row{Name: "original, naive layout"}
+	origPH := Row{Name: "original, PH layout"}
+	replNaive := Row{Name: "replicated, naive layout"}
+	replPH := Row{Name: "replicated, PH layout"}
+	for _, c := range cols {
+		origNaive.Cells = append(origNaive.Cells, c.origNaive)
+		origPH.Cells = append(origPH.Cells, c.origPH)
+		replNaive.Cells = append(replNaive.Cells, c.replNaive)
+		replPH.Cells = append(replPH.Cells, c.replPH)
+	}
+	t.Rows = append(t.Rows, origNaive, origPH, replNaive, replPH)
 	return t, nil
 }
 

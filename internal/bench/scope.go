@@ -7,6 +7,7 @@ import (
 	"repro/internal/ir"
 	"repro/internal/predict"
 	"repro/internal/replicate"
+	"repro/internal/runner"
 	"repro/internal/statemachine"
 	"repro/internal/superblock"
 	"repro/internal/trace"
@@ -17,39 +18,56 @@ import (
 // formed along mutually-most-likely edges; the metric is the average
 // number of instructions executed between dynamic trace exits. Replicated
 // branch copies are strongly biased, so traces run longer through them.
+// One parallel job per workload.
 func (s *Suite) ScopeTable() (*Table, error) {
 	t := &Table{
 		ID:    "scope",
 		Title: "Scheduler scope: average dynamic trace length (instructions between trace exits)",
-		Cols:  s.colNames(),
 	}
-	var orig, repl, traces Row
-	orig.Name = "original"
-	repl.Name = "replicated"
-	traces.Name = "traces formed (replicated)"
-	for _, d := range s.Data {
+	type col struct {
+		orig, repl Cell
+		traces     Cell
+	}
+	cols, err := runner.Map(s.eng, s.Data, func(_ int, d *WorkloadData) (col, error) {
+		var c col
 		so, _, err := scopeStats(d.C.Prog, s.Cfg)
 		if err != nil {
-			return nil, err
+			return col{}, err
 		}
-		orig.Cells = append(orig.Cells, Cell{Value: so.AvgDynamicLength(), Valid: true})
+		c.orig = Cell{Value: so.AvgDynamicLength(), Valid: true}
 
 		static := predict.ProfileStatic(d.Prof.Counts)
-		choices := statemachine.Select(d.Prof, d.C.Features, statemachine.Options{
+		choices, err := s.selectFor(d, statemachine.Options{
 			MaxStates:  5,
 			MaxPathLen: 1,
 		})
+		if err != nil {
+			return col{}, err
+		}
 		clone := ir.CloneProgram(d.C.Prog)
 		if _, err := replicate.ApplyOpts(clone, choices, static.Preds,
 			replicate.Options{MaxSizeFactor: 3}); err != nil {
-			return nil, err
+			return col{}, err
 		}
 		sr, nt, err := scopeStats(clone, s.Cfg)
 		if err != nil {
-			return nil, err
+			return col{}, err
 		}
-		repl.Cells = append(repl.Cells, Cell{Value: sr.AvgDynamicLength(), Valid: true})
-		traces.Cells = append(traces.Cells, countCell(uint64(nt)))
+		c.repl = Cell{Value: sr.AvgDynamicLength(), Valid: true}
+		c.traces = countCell(uint64(nt))
+		return c, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	t.Cols = s.colNames()
+	orig := Row{Name: "original"}
+	repl := Row{Name: "replicated"}
+	traces := Row{Name: "traces formed (replicated)"}
+	for _, c := range cols {
+		orig.Cells = append(orig.Cells, c.orig)
+		repl.Cells = append(repl.Cells, c.repl)
+		traces.Cells = append(traces.Cells, c.traces)
 	}
 	t.Rows = append(t.Rows, orig, repl, traces)
 	return t, nil

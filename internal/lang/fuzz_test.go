@@ -1,0 +1,66 @@
+// Fuzz tests for the BL front end. External test package so the seed
+// corpus can come from the real workloads in internal/bench without an
+// import cycle (bench imports lang).
+package lang_test
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/bench"
+	"repro/internal/lang"
+)
+
+// FuzzParse feeds arbitrary bytes through the whole front end — lexer,
+// parser, checker, IR lowering. The contract under fuzzing is "error or
+// program, never panic, never unbounded recursion"; the parser's
+// maxNestDepth guard exists for exactly this test.
+func FuzzParse(f *testing.F) {
+	for _, w := range bench.Workloads() {
+		f.Add(w.Source)
+	}
+	f.Add("")
+	f.Add("var x int = 1;")
+	f.Add("func main() { print(1); }")
+	f.Add("func f(a int, b float) bool { return a < int(b); }")
+	f.Add("func main() { if true { } else if false { } else { } }")
+	f.Add("func main() { for var i int = 0; i < 10; i = i + 1 { print(i); } }")
+	f.Add("func main() { while 1 < 2 { break; } }")
+	f.Add("var a[10] int; func main() { a[0] = -a[1] * (a[2] | 3); }")
+	f.Add(strings.Repeat("(", 64) + "1" + strings.Repeat(")", 64))
+	f.Add("func main() { x = 1.5e308 % 0; }")
+	f.Add("\x00\xff;func\x00")
+	f.Fuzz(func(t *testing.T, src string) {
+		prog, err := lang.Compile(src)
+		if err == nil && prog == nil {
+			t.Fatal("Compile returned nil program and nil error")
+		}
+	})
+}
+
+// TestParseDepthGuard pins the stack-exhaustion fix: pathological nesting
+// must fail cleanly at the parser's depth bound, for every recursive
+// construct.
+func TestParseDepthGuard(t *testing.T) {
+	deep := func(open, mid, close string, n int) string {
+		return strings.Repeat(open, n) + mid + strings.Repeat(close, n)
+	}
+	cases := map[string]string{
+		"parens":  "func main() { x = " + deep("(", "1", ")", 100_000) + "; }",
+		"unary":   "func main() { x = " + strings.Repeat("-", 100_000) + "1; }",
+		"not":     "func main() { b = " + strings.Repeat("!", 100_000) + "true; }",
+		"blocks":  "func main() " + deep("{", "", "}", 100_000),
+		"while":   "func main() {" + deep("while true {", "", "}", 100_000) + "}",
+		"else-if": "func main() { if true {}" + strings.Repeat(" else if true {}", 100_000) + " }",
+	}
+	for name, src := range cases {
+		t.Run(name, func(t *testing.T) {
+			if _, err := lang.Compile(src); err == nil {
+				t.Fatal("expected depth-bound error, got success")
+			} else if !strings.Contains(err.Error(), "nesting deeper") &&
+				!strings.Contains(err.Error(), "expected") {
+				t.Fatalf("unexpected error: %v", err)
+			}
+		})
+	}
+}

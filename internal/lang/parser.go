@@ -9,10 +9,30 @@ import (
 // Parser is a recursive-descent parser for BL with Pratt-style expression
 // parsing.
 type Parser struct {
-	lex *Lexer
-	tok Token
-	err error
+	lex   *Lexer
+	tok   Token
+	err   error
+	depth int
 }
+
+// maxNestDepth bounds statement and expression nesting so adversarial
+// input (deep parens, long else-if chains) produces a parse error instead
+// of exhausting the goroutine stack. Real BL programs nest a handful of
+// levels; 200 is far beyond anything the workloads use.
+const maxNestDepth = 200
+
+// enter counts one level of recursive nesting; when the bound is exceeded
+// it reports an error (forcing the parser to EOF) and returns false.
+func (p *Parser) enter(pos Pos) bool {
+	p.depth++
+	if p.depth > maxNestDepth {
+		p.fail(pos, "nesting deeper than %d levels", maxNestDepth)
+		return false
+	}
+	return true
+}
+
+func (p *Parser) leave() { p.depth-- }
 
 // Parse parses a complete BL source file.
 func Parse(src string) (*File, error) {
@@ -164,6 +184,10 @@ func (p *Parser) parseBlock() *BlockStmt {
 }
 
 func (p *Parser) parseStmt() Stmt {
+	if !p.enter(p.tok.Pos) {
+		return &ExprStmt{Pos: p.tok.Pos, X: &IntLit{Pos: p.tok.Pos}}
+	}
+	defer p.leave()
 	switch p.tok.Kind {
 	case TokVar:
 		return p.parseLocalDecl()
@@ -243,7 +267,12 @@ func (p *Parser) parseSimpleStmt() Stmt {
 }
 
 func (p *Parser) parseIf() *IfStmt {
-	pos := p.expect(TokIf).Pos
+	pos := p.tok.Pos
+	if !p.enter(pos) { // else-if chains recurse here without parseStmt
+		return &IfStmt{Pos: pos, Cond: &BoolLit{Pos: pos}, Then: &BlockStmt{Pos: pos}}
+	}
+	defer p.leave()
+	p.expect(TokIf)
 	s := &IfStmt{Pos: pos, Cond: p.parseExpr()}
 	s.Then = p.parseBlock()
 	if p.accept(TokElse) {
@@ -329,6 +358,10 @@ func (p *Parser) parseBinary(minPrec int) Expr {
 }
 
 func (p *Parser) parseUnary() Expr {
+	if !p.enter(p.tok.Pos) { // deep parens re-enter via parsePrimary
+		return &IntLit{Pos: p.tok.Pos}
+	}
+	defer p.leave()
 	switch p.tok.Kind {
 	case TokMinus:
 		pos := p.tok.Pos

@@ -1,0 +1,73 @@
+package runner
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// Cache is the keyed artifact cache: expensive, immutable intermediates
+// (profiled pattern tables, alternate-dataset trace counts, strategy
+// selection sweeps) are stored under a caller-chosen key. Population is
+// single-flight: when several workers ask for the same missing key at
+// once, exactly one computes it and the others block until it is done, so
+// a Table/Figure sweep profiles each workload once instead of dozens of
+// times. Cached values must be treated as immutable by all callers —
+// they are shared across goroutines without further synchronisation.
+type Cache struct {
+	mu      sync.Mutex
+	entries map[string]*cacheEntry
+	hits    atomic.Int64
+	misses  atomic.Int64
+}
+
+type cacheEntry struct {
+	done chan struct{} // closed once val/err are final
+	val  any
+	err  error
+}
+
+// NewCache creates an empty cache.
+func NewCache() *Cache { return &Cache{entries: map[string]*cacheEntry{}} }
+
+// Do returns the value stored under key, computing it with fn on first
+// request. Errors (and panics, converted to errors) are cached too: a
+// deterministic pipeline that failed once will fail identically again, and
+// re-running a failed job would break parallel/sequential equivalence.
+func (c *Cache) Do(key string, fn func() (any, error)) (any, error) {
+	c.mu.Lock()
+	if e, ok := c.entries[key]; ok {
+		c.hits.Add(1)
+		c.mu.Unlock()
+		<-e.done
+		return e.val, e.err
+	}
+	e := &cacheEntry{done: make(chan struct{})}
+	c.entries[key] = e
+	c.misses.Add(1)
+	c.mu.Unlock()
+	defer close(e.done)
+	e.val, e.err = protect(fn)
+	return e.val, e.err
+}
+
+// Counters returns the hit/miss totals.
+func (c *Cache) Counters() (hits, misses int64) {
+	return c.hits.Load(), c.misses.Load()
+}
+
+// Len is the number of populated (or in-flight) keys.
+func (c *Cache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.entries)
+}
+
+// Cached is the typed wrapper over Cache.Do.
+func Cached[V any](c *Cache, key string, fn func() (V, error)) (V, error) {
+	v, err := c.Do(key, func() (any, error) { return fn() })
+	if v == nil {
+		var zero V
+		return zero, err
+	}
+	return v.(V), err
+}

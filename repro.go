@@ -24,6 +24,7 @@ import (
 	"repro/internal/bench"
 	"repro/internal/core"
 	"repro/internal/ir"
+	"repro/internal/runner"
 )
 
 // Program is a compiled BL program in the register IR.
@@ -44,8 +45,14 @@ type Workload = bench.Workload
 // figures.
 type Suite = bench.Suite
 
-// ExpConfig parameterises the experiment suite.
+// ExpConfig parameterises the experiment suite. Its Parallel field sets
+// the worker count of the experiment engine (0 = GOMAXPROCS, 1 =
+// sequential); output is byte-identical at every setting.
 type ExpConfig = bench.ExpConfig
+
+// EngineStats reports the experiment engine's job and artifact-cache
+// counters; obtain it from Suite.Engine().Stats().
+type EngineStats = runner.Stats
 
 // Figure is one misprediction-vs-code-size curve (Figures 6-13).
 type Figure = bench.Figure
