@@ -1,7 +1,7 @@
 GO ?= go
 FUZZTIME ?= 10s
 
-.PHONY: all build vet test race bench fuzz golden ci
+.PHONY: all build vet test race bench benchjson profile fuzz golden ci
 
 all: build test
 
@@ -21,6 +21,16 @@ race:
 
 bench:
 	$(GO) test -bench=. -benchtime=1x -run=NONE .
+
+# Machine-readable results of the full sweep (timings, engine counters);
+# the format is documented in EXPERIMENTS.md.
+benchjson:
+	$(GO) run ./cmd/krallbench -all -benchjson BENCH_results.json > /dev/null
+
+# CPU/heap profiles of the full krallbench sweep; inspect with
+# `go tool pprof cpu.pprof` / `go tool pprof mem.pprof`.
+profile:
+	$(GO) run ./cmd/krallbench -all -cpuprofile cpu.pprof -memprofile mem.pprof > /dev/null
 
 # Short smoke of the BL front-end fuzzer; crashers land in
 # internal/lang/testdata/fuzz. Raise FUZZTIME for a real session.

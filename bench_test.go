@@ -18,6 +18,7 @@ import (
 	"repro/internal/profile"
 	"repro/internal/replicate"
 	"repro/internal/statemachine"
+	"repro/internal/trace"
 )
 
 const benchBudget = 200_000
@@ -292,6 +293,72 @@ func BenchmarkInterpreter(b *testing.B) {
 		steps = m.Steps
 	}
 	b.ReportMetric(float64(steps)*float64(b.N)/b.Elapsed().Seconds(), "instrs/s")
+}
+
+// BenchmarkTraceRecord measures the record-once path: interpreting the
+// compress workload with the direct slab hook (interp.Machine.Rec) instead
+// of a Collector interface call per branch.
+func BenchmarkTraceRecord(b *testing.B) {
+	w, err := bench.ByName("compress")
+	if err != nil {
+		b.Fatal(err)
+	}
+	c, err := bench.Compile(w)
+	if err != nil {
+		b.Fatal(err)
+	}
+	const events = 100_000
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m := interp.New(c.Prog)
+		m.MaxBranches = events
+		s := trace.NewSlab(events)
+		m.Rec = s
+		if err := m.SetGlobal("wscale", 1<<30); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := m.Run(); err != nil && err != interp.ErrLimit {
+			b.Fatal(err)
+		}
+		s.Seal()
+		if s.Len() != events {
+			b.Fatalf("recorded %d events", s.Len())
+		}
+	}
+	b.ReportMetric(float64(events)*float64(b.N)/b.Elapsed().Seconds(), "events/s")
+}
+
+// BenchmarkTraceReplay measures the replay-many path: feeding a recorded
+// slab into the full profile bundle, the work the engine does instead of
+// re-interpreting a workload.
+func BenchmarkTraceReplay(b *testing.B) {
+	w, err := bench.ByName("compress")
+	if err != nil {
+		b.Fatal(err)
+	}
+	c, err := bench.Compile(w)
+	if err != nil {
+		b.Fatal(err)
+	}
+	const events = 100_000
+	m := interp.New(c.Prog)
+	m.MaxBranches = events
+	s := trace.NewSlab(events)
+	m.Rec = s
+	if err := m.SetGlobal("wscale", 1<<30); err != nil {
+		b.Fatal(err)
+	}
+	if _, err := m.Run(); err != nil && err != interp.ErrLimit {
+		b.Fatal(err)
+	}
+	s.Seal()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p := profile.New(c.NSites, profile.Options{LocalK: 9, GlobalK: 9, PathM: 3})
+		s.ReplayInto(p)
+	}
+	b.ReportMetric(float64(events)*float64(b.N)/b.Elapsed().Seconds(), "events/s")
+	b.ReportMetric(float64(s.EncodedBytes()), "trace-bytes")
 }
 
 // BenchmarkProfileCollection measures the full multi-table profiling hook.

@@ -16,6 +16,13 @@
 //	-states N     machine size for the measured-replication experiment
 //	-parallel N   experiment-engine workers (default GOMAXPROCS; 1 = the
 //	              sequential path — output is byte-identical either way)
+//	-forcelive    disable the trace-replay engine (every experiment
+//	              interprets live; identical results, slower)
+//	-benchjson F  write machine-readable results (timings, engine
+//	              counters) as JSON to F — see EXPERIMENTS.md for the schema
+//	-cpuprofile F write a CPU profile to F
+//	-memprofile F write a heap profile to F
+//	-trace F      write a runtime execution trace to F
 //
 // Tables and figures go to stdout; progress, timing, and the engine's
 // job/cache counters go to stderr, so stdout is reproducible byte-for-byte
@@ -23,11 +30,14 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
 	"os"
 	"runtime"
+	"runtime/pprof"
+	rtrace "runtime/trace"
 	"strconv"
 	"strings"
 	"time"
@@ -42,26 +52,87 @@ func main() {
 	}
 }
 
+// benchResults is the -benchjson document ("krallbench-results/v1"). The
+// format is documented in EXPERIMENTS.md; CI archives it as an artifact.
+type benchResults struct {
+	Schema  string `json:"schema"`
+	Budget  uint64 `json:"budget"`
+	Quick   bool   `json:"quick"`
+	Workers int    `json:"workers"`
+	// TotalSeconds is end-to-end wall clock; BranchesPerSecond is the
+	// trace-event throughput (recorded + replayed events over wall clock).
+	TotalSeconds      float64          `json:"total_seconds"`
+	BranchesPerSecond float64          `json:"branches_per_second"`
+	Engine            engineResults    `json:"engine"`
+	Experiments       []sectionResults `json:"experiments"`
+}
+
+type engineResults struct {
+	Jobs           int64   `json:"jobs"`
+	JobSeconds     float64 `json:"job_seconds"`
+	CacheHits      int64   `json:"cache_hits"`
+	CacheMisses    int64   `json:"cache_misses"`
+	TraceRecords   int64   `json:"trace_records"`
+	RecordedEvents int64   `json:"recorded_events"`
+	Replays        int64   `json:"replays"`
+	ReplayedEvents int64   `json:"replayed_events"`
+	LiveRuns       int64   `json:"live_runs"`
+}
+
+type sectionResults struct {
+	ID              string  `json:"id"`
+	TraceSufficient bool    `json:"trace_sufficient"`
+	Seconds         float64 `json:"seconds"`
+}
+
 func run(args []string, stdout, stderr io.Writer) error {
 	fs := flag.NewFlagSet("krallbench", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	var (
-		budget    = fs.Uint64("budget", 2_000_000, "branch-event budget per workload")
-		quick     = fs.Bool("quick", false, "use the quick configuration")
-		tables    = fs.String("table", "", "comma-separated table numbers (1-5)")
-		figures   = fs.Bool("figures", false, "print figure curves")
-		measured  = fs.Bool("measured", false, "print measured replication results")
-		crossdata = fs.Bool("crossdata", false, "print dataset sensitivity")
-		layoutExp = fs.Bool("layout", false, "print the code-positioning experiment")
-		scopeExp  = fs.Bool("scope", false, "print the scheduler-scope experiment")
-		jointExp  = fs.Bool("joint", false, "print the joint-machine (§6) experiment")
-		headline  = fs.Bool("headline", false, "print headline summary")
-		all       = fs.Bool("all", false, "print everything")
-		states    = fs.Int("states", 5, "machine size for measured replication")
-		parallel  = fs.Int("parallel", runtime.GOMAXPROCS(0), "experiment-engine workers (1 = sequential)")
+		budget     = fs.Uint64("budget", 2_000_000, "branch-event budget per workload")
+		quick      = fs.Bool("quick", false, "use the quick configuration")
+		tables     = fs.String("table", "", "comma-separated table numbers (1-5)")
+		figures    = fs.Bool("figures", false, "print figure curves")
+		measured   = fs.Bool("measured", false, "print measured replication results")
+		crossdata  = fs.Bool("crossdata", false, "print dataset sensitivity")
+		layoutExp  = fs.Bool("layout", false, "print the code-positioning experiment")
+		scopeExp   = fs.Bool("scope", false, "print the scheduler-scope experiment")
+		jointExp   = fs.Bool("joint", false, "print the joint-machine (§6) experiment")
+		headline   = fs.Bool("headline", false, "print headline summary")
+		all        = fs.Bool("all", false, "print everything")
+		states     = fs.Int("states", 5, "machine size for measured replication")
+		parallel   = fs.Int("parallel", runtime.GOMAXPROCS(0), "experiment-engine workers (1 = sequential)")
+		forceLive  = fs.Bool("forcelive", false, "disable the trace-replay engine (interpret every experiment live)")
+		benchjson  = fs.String("benchjson", "", "write machine-readable results (JSON) to `file`")
+		cpuprofile = fs.String("cpuprofile", "", "write a CPU profile to `file`")
+		memprofile = fs.String("memprofile", "", "write a heap profile to `file`")
+		traceFlag  = fs.String("trace", "", "write a runtime execution trace to `file`")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			return fmt.Errorf("-cpuprofile: %w", err)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			return fmt.Errorf("-cpuprofile: %w", err)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *traceFlag != "" {
+		f, err := os.Create(*traceFlag)
+		if err != nil {
+			return fmt.Errorf("-trace: %w", err)
+		}
+		defer f.Close()
+		if err := rtrace.Start(f); err != nil {
+			return fmt.Errorf("-trace: %w", err)
+		}
+		defer rtrace.Stop()
 	}
 
 	cfg := bench.DefaultConfig()
@@ -72,6 +143,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 		cfg.Budget = *budget
 	}
 	cfg.Parallel = *parallel
+	cfg.ForceLive = *forceLive
 	workers := *parallel
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
@@ -94,6 +166,15 @@ func run(args []string, stdout, stderr io.Writer) error {
 		*figures, *measured, *crossdata, *headline, *layoutExp, *scopeExp, *jointExp = true, true, true, true, true, true, true
 	}
 
+	var timings []sectionResults
+	report := func(id string, d time.Duration) {
+		timings = append(timings, sectionResults{
+			ID:              id,
+			TraceSufficient: bench.TraceSufficient(id),
+			Seconds:         d.Seconds(),
+		})
+	}
+
 	start := time.Now()
 	fmt.Fprintf(stderr, "krallbench: profiling %d workloads, budget %d branches each, %d workers...\n",
 		len(bench.Workloads()), cfg.Budget, workers)
@@ -107,11 +188,13 @@ func run(args []string, stdout, stderr io.Writer) error {
 		if !sel[id] {
 			return nil
 		}
+		secStart := time.Now()
 		t, err := f()
 		if err != nil {
 			return err
 		}
 		fmt.Fprintln(stdout, t.Render())
+		report(id, time.Since(secStart))
 		return nil
 	}
 	sections := []struct {
@@ -130,55 +213,123 @@ func run(args []string, stdout, stderr io.Writer) error {
 		}
 	}
 
+	// Figures and the headline share one curve computation; its cost is
+	// attributed to whichever section consumes it first.
 	var figs []bench.Figure
+	var figCost time.Duration
 	if *figures || *headline {
+		figStart := time.Now()
 		figs = suite.Figures()
+		figCost = time.Since(figStart)
 	}
 	if *figures {
+		secStart := time.Now()
 		fmt.Fprintln(stdout, bench.FigureTable(figs).Render())
 		for _, f := range figs {
 			fmt.Fprintln(stdout, bench.RenderFigure(f))
 		}
+		report("figures", figCost+time.Since(secStart))
+		figCost = 0
 	}
 	if *measured {
+		secStart := time.Now()
 		t, err := suite.MeasuredReplication(*states)
 		if err != nil {
 			return err
 		}
 		fmt.Fprintln(stdout, t.Render())
+		report("measured", time.Since(secStart))
 	}
 	if *crossdata {
+		secStart := time.Now()
 		t, err := suite.CrossDataset()
 		if err != nil {
 			return err
 		}
 		fmt.Fprintln(stdout, t.Render())
+		report("crossdataset", time.Since(secStart))
 	}
 	if *layoutExp {
+		secStart := time.Now()
 		t, err := suite.LayoutTable()
 		if err != nil {
 			return err
 		}
 		fmt.Fprintln(stdout, t.Render())
+		report("layout", time.Since(secStart))
 	}
 	if *scopeExp {
+		secStart := time.Now()
 		t, err := suite.ScopeTable()
 		if err != nil {
 			return err
 		}
 		fmt.Fprintln(stdout, t.Render())
+		report("scope", time.Since(secStart))
 	}
 	if *jointExp {
+		secStart := time.Now()
 		t, err := suite.JointTable()
 		if err != nil {
 			return err
 		}
 		fmt.Fprintln(stdout, t.Render())
+		report("joint", time.Since(secStart))
 	}
 	if *headline {
+		secStart := time.Now()
 		fmt.Fprintln(stdout, bench.RenderHeadlines(bench.Headlines(figs)))
+		report("headline", figCost+time.Since(secStart))
 	}
-	fmt.Fprintf(stderr, "engine: %v\n", suite.Engine().Stats())
-	fmt.Fprintf(stderr, "total time: %v\n", time.Since(start).Round(time.Millisecond))
+	stats := suite.Engine().Stats()
+	total := time.Since(start)
+	fmt.Fprintf(stderr, "engine: %v\n", stats)
+	fmt.Fprintf(stderr, "total time: %v\n", total.Round(time.Millisecond))
+
+	if *benchjson != "" {
+		res := benchResults{
+			Schema:       "krallbench-results/v1",
+			Budget:       cfg.Budget,
+			Quick:        *quick,
+			Workers:      workers,
+			TotalSeconds: total.Seconds(),
+			Engine: engineResults{
+				Jobs:           stats.Jobs,
+				JobSeconds:     stats.JobTime.Seconds(),
+				CacheHits:      stats.CacheHits,
+				CacheMisses:    stats.CacheMisses,
+				TraceRecords:   stats.TraceRecords,
+				RecordedEvents: stats.RecordedEvents,
+				Replays:        stats.Replays,
+				ReplayedEvents: stats.ReplayedEvents,
+				LiveRuns:       stats.LiveRuns,
+			},
+			Experiments: timings,
+		}
+		if secs := total.Seconds(); secs > 0 {
+			res.BranchesPerSecond = float64(stats.RecordedEvents+stats.ReplayedEvents) / secs
+		}
+		buf, err := json.MarshalIndent(res, "", "  ")
+		if err != nil {
+			return err
+		}
+		buf = append(buf, '\n')
+		if err := os.WriteFile(*benchjson, buf, 0o644); err != nil {
+			return fmt.Errorf("-benchjson: %w", err)
+		}
+		fmt.Fprintf(stderr, "wrote %s\n", *benchjson)
+	}
+
+	if *memprofile != "" {
+		f, err := os.Create(*memprofile)
+		if err != nil {
+			return fmt.Errorf("-memprofile: %w", err)
+		}
+		defer f.Close()
+		runtime.GC()
+		if err := pprof.WriteHeapProfile(f); err != nil {
+			return fmt.Errorf("-memprofile: %w", err)
+		}
+	}
 	return nil
 }

@@ -111,7 +111,13 @@ func runProgram(prog *ir.Program, cfg RunConfig, collectors ...trace.Collector) 
 	case 1:
 		m.Hook = collectors[0].Branch
 	default:
-		m.Hook = trace.Multi(collectors).Branch
+		// Batch the fan-out: the hot interpreter loop pays one buffer
+		// append per branch instead of one interface call per collector
+		// per branch. Release flushes the tail before the collectors are
+		// read and returns the buffer to the shared pool.
+		b := trace.NewBatcher(collectors...)
+		defer b.Release()
+		m.Hook = b.Branch
 	}
 	_, err := m.Run()
 	if err != nil && !errors.Is(err, interp.ErrLimit) {

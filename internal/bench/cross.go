@@ -51,13 +51,13 @@ func (s *Suite) CrossDataset() (*Table, error) {
 			replicate.Options{MaxSizeFactor: 3}); err != nil {
 			return col{}, err
 		}
-		c.replSelf, err = measuredRate(clone, RunConfig{
+		c.replSelf, err = s.measuredRate(clone, RunConfig{
 			Budget: s.Cfg.Budget, Seed: s.Cfg.Seed, Scale: scaleFor(s.Cfg),
 		})
 		if err != nil {
 			return col{}, err
 		}
-		c.replCross, err = measuredRate(clone, RunConfig{
+		c.replCross, err = s.measuredRate(clone, RunConfig{
 			Budget: s.Cfg.Budget, Seed: s.Cfg.CrossSeed, Scale: scaleFor(s.Cfg),
 		})
 		if err != nil {
@@ -84,8 +84,11 @@ func (s *Suite) CrossDataset() (*Table, error) {
 }
 
 // measuredRate runs a statically annotated program and returns its real
-// misprediction rate.
-func measuredRate(prog *ir.Program, cfg RunConfig) (Cell, error) {
+// misprediction rate. Transformed clones have no recorded trace — their
+// branch streams differ from the original's — so this is always a live
+// interpreter run, counted as such in the engine stats.
+func (s *Suite) measuredRate(prog *ir.Program, cfg RunConfig) (Cell, error) {
+	s.countLiveRun()
 	m, err := runProgram(prog, cfg)
 	if err != nil {
 		return Cell{}, err
@@ -106,12 +109,19 @@ func (s *Suite) MeasuredReplication(maxStates int) (*Table, error) {
 	cols, err := runner.Map(s.eng, s.Data, func(_ int, d *WorkloadData) (col, error) {
 		var c col
 		static := predict.ProfileStatic(d.Prof.Counts)
-		baseline := ir.CloneProgram(d.C.Prog)
-		replicate.Annotate(baseline, static.Preds)
 		var err error
-		c.base, err = measuredRate(baseline, RunConfig{Budget: s.Cfg.Budget, Seed: s.Cfg.Seed, Scale: scaleFor(s.Cfg)})
-		if err != nil {
-			return col{}, err
+		if d.Art != nil {
+			// The baseline clone differs from the original only in its
+			// Pred annotations, so its measured rate is the static vector
+			// scored over the recorded trace — no interpreter run needed.
+			c.base = s.staticTraceRate(d.Art, static.Preds)
+		} else {
+			baseline := ir.CloneProgram(d.C.Prog)
+			replicate.Annotate(baseline, static.Preds)
+			c.base, err = s.measuredRate(baseline, RunConfig{Budget: s.Cfg.Budget, Seed: s.Cfg.Seed, Scale: scaleFor(s.Cfg)})
+			if err != nil {
+				return col{}, err
+			}
 		}
 
 		choices, err := s.selectFor(d, statemachine.Options{
@@ -127,7 +137,7 @@ func (s *Suite) MeasuredReplication(maxStates int) (*Table, error) {
 		if err != nil {
 			return col{}, err
 		}
-		c.repl, err = measuredRate(clone, RunConfig{Budget: s.Cfg.Budget, Seed: s.Cfg.Seed, Scale: scaleFor(s.Cfg)})
+		c.repl, err = s.measuredRate(clone, RunConfig{Budget: s.Cfg.Budget, Seed: s.Cfg.Seed, Scale: scaleFor(s.Cfg)})
 		if err != nil {
 			return col{}, err
 		}

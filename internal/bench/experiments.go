@@ -33,6 +33,11 @@ type ExpConfig struct {
 	// path). Parallel runs produce byte-identical output — results merge
 	// by job index, never by completion order.
 	Parallel int
+	// ForceLive disables the record-once/replay-many trace engine: every
+	// experiment interprets the workload live, as the suite did before
+	// traces existed. It exists for the replay-equivalence tests; results
+	// are identical either way, only slower.
+	ForceLive bool
 }
 
 // DefaultConfig is the configuration used by cmd/krallbench.
@@ -108,6 +113,10 @@ type WorkloadData struct {
 	// instructions (for the [FF92] instructions-per-mispredict metric).
 	Branches uint64
 	Steps    uint64
+	// Art is the recorded trace artifact of the profiling run (nil when
+	// the suite runs with ForceLive). Experiments that only consume the
+	// branch stream replay it instead of re-interpreting the workload.
+	Art *RunArtifact
 }
 
 // Suite holds the profiled data of all workloads plus the experiment
@@ -136,6 +145,12 @@ func NewSuiteEngine(cfg ExpConfig, eng *runner.Engine) (*Suite, error) {
 		Cfg:    cfg,
 		eng:    eng,
 		prefix: fmt.Sprintf("b%d/s%d/x%d/", cfg.Budget, cfg.Seed, scaleFor(cfg)),
+	}
+	if cfg.ForceLive {
+		// Live-profiled data is identical to replayed data, but the
+		// equivalence tests compare the two paths, so they must not share
+		// cache entries.
+		s.prefix += "live/"
 	}
 	data, err := runner.Map(eng, Workloads(), func(_ int, w Workload) (*WorkloadData, error) {
 		return s.profileWorkload(w)
@@ -171,13 +186,27 @@ func (s *Suite) profileWorkload(w Workload) (*WorkloadData, error) {
 			},
 			GShare: predict.Eval{P: predict.NewGShare(12)},
 		}
-		m, err := c.Run(RunConfig{Budget: s.Cfg.Budget, Seed: s.Cfg.Seed, Scale: scaleFor(s.Cfg)},
-			d.Prof, d.Local1, d.Global1, &d.Last, &d.TwoBit, &d.TwoLevel, &d.GShare)
+		if s.Cfg.ForceLive {
+			m, err := c.Run(RunConfig{Budget: s.Cfg.Budget, Seed: s.Cfg.Seed, Scale: scaleFor(s.Cfg)},
+				d.Prof, d.Local1, d.Global1, &d.Last, &d.TwoBit, &d.TwoLevel, &d.GShare)
+			if err != nil {
+				return nil, err
+			}
+			s.countLiveRun()
+			d.Branches = m.Branches
+			d.Steps = m.Steps
+			return d, nil
+		}
+		// Record once, replay into every collector: the profile bundle and
+		// the dynamic predictors see the exact event stream of the run.
+		art, err := s.artifactFor(c, s.Cfg.Seed)
 		if err != nil {
 			return nil, err
 		}
-		d.Branches = m.Branches
-		d.Steps = m.Steps
+		d.Art = art
+		s.replay(art, d.Prof, d.Local1, d.Global1, &d.Last, &d.TwoBit, &d.TwoLevel, &d.GShare)
+		d.Branches = art.Branches
+		d.Steps = art.Steps
 		return d, nil
 	})
 }
@@ -189,11 +218,21 @@ func (s *Suite) countsFor(d *WorkloadData, seed int64) (*trace.Counts, error) {
 	key := fmt.Sprintf("%scounts/%s/seed%d", s.prefix, d.C.Workload.Name, seed)
 	return runner.Cached(s.eng.Cache(), key, func() (*trace.Counts, error) {
 		counts := trace.NewCounts(d.C.NSites)
-		if _, err := d.C.Run(RunConfig{
-			Budget: s.Cfg.Budget, Seed: seed, Scale: scaleFor(s.Cfg),
-		}, counts); err != nil {
+		if s.Cfg.ForceLive {
+			if _, err := d.C.Run(RunConfig{
+				Budget: s.Cfg.Budget, Seed: seed, Scale: scaleFor(s.Cfg),
+			}, counts); err != nil {
+				return nil, err
+			}
+			s.countLiveRun()
+			return counts, nil
+		}
+		art, err := s.artifactFor(d.C, seed)
+		if err != nil {
 			return nil, err
 		}
+		art.Trace.ReplayRuns(counts.AddRun)
+		s.countReplay(int64(art.Trace.Len()))
 		return counts, nil
 	})
 }

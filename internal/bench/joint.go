@@ -38,7 +38,7 @@ func (s *Suite) JointTable() (*Table, error) {
 		if err != nil {
 			return col{}, err
 		}
-		c.seqRate, err = measuredRate(seq, runCfg)
+		c.seqRate, err = s.measuredRate(seq, runCfg)
 		if err != nil {
 			return col{}, err
 		}
@@ -49,7 +49,7 @@ func (s *Suite) JointTable() (*Table, error) {
 		if err != nil {
 			return col{}, err
 		}
-		c.jointRate, err = measuredRate(joint, runCfg)
+		c.jointRate, err = s.measuredRate(joint, runCfg)
 		if err != nil {
 			return col{}, err
 		}

@@ -31,9 +31,20 @@ func (s *Suite) LayoutTable() (*Table, error) {
 	cols, err := runner.Map(s.eng, s.Data, func(_ int, d *WorkloadData) (col, error) {
 		var c col
 		var err error
-		c.origNaive, c.origPH, err = layoutRates(d.C.Prog, s.Cfg)
-		if err != nil {
-			return col{}, err
+		if d.Art != nil {
+			// The original program's block counts and branch counts are
+			// already in the recorded artifact and the replayed profile;
+			// both layouts evaluate straight off them.
+			nv := layout.EvaluateProgram(d.C.Prog, d.Art.BlockCounts, d.Prof.Counts, false)
+			pv := layout.EvaluateProgram(d.C.Prog, d.Art.BlockCounts, d.Prof.Counts, true)
+			c.origNaive = Cell{Value: nv.TakenRate(), Valid: true}
+			c.origPH = Cell{Value: pv.TakenRate(), Valid: true}
+		} else {
+			s.countLiveRun()
+			c.origNaive, c.origPH, err = layoutRates(d.C.Prog, s.Cfg)
+			if err != nil {
+				return col{}, err
+			}
 		}
 
 		static := predict.ProfileStatic(d.Prof.Counts)
@@ -49,6 +60,7 @@ func (s *Suite) LayoutTable() (*Table, error) {
 			replicate.Options{MaxSizeFactor: 3}); err != nil {
 			return col{}, err
 		}
+		s.countLiveRun()
 		c.replNaive, c.replPH, err = layoutRates(clone, s.Cfg)
 		if err != nil {
 			return col{}, err

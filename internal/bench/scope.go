@@ -30,11 +30,19 @@ func (s *Suite) ScopeTable() (*Table, error) {
 	}
 	cols, err := runner.Map(s.eng, s.Data, func(_ int, d *WorkloadData) (col, error) {
 		var c col
-		so, _, err := scopeStats(d.C.Prog, s.Cfg)
-		if err != nil {
-			return col{}, err
+		if d.Art != nil {
+			// Trace formation only needs the original program's block and
+			// branch counts, both already captured by the recording run.
+			so := superblock.MeasureProgram(d.C.Prog, d.Art.BlockCounts, d.Prof.Counts)
+			c.orig = Cell{Value: so.AvgDynamicLength(), Valid: true}
+		} else {
+			s.countLiveRun()
+			so, _, err := scopeStats(d.C.Prog, s.Cfg)
+			if err != nil {
+				return col{}, err
+			}
+			c.orig = Cell{Value: so.AvgDynamicLength(), Valid: true}
 		}
-		c.orig = Cell{Value: so.AvgDynamicLength(), Valid: true}
 
 		static := predict.ProfileStatic(d.Prof.Counts)
 		choices, err := s.selectFor(d, statemachine.Options{
@@ -49,6 +57,7 @@ func (s *Suite) ScopeTable() (*Table, error) {
 			replicate.Options{MaxSizeFactor: 3}); err != nil {
 			return col{}, err
 		}
+		s.countLiveRun()
 		sr, nt, err := scopeStats(clone, s.Cfg)
 		if err != nil {
 			return col{}, err

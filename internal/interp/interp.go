@@ -11,6 +11,7 @@ import (
 	"math"
 
 	"repro/internal/ir"
+	"repro/internal/trace"
 )
 
 // ErrLimit is returned when an execution limit (steps, branches, or call
@@ -38,6 +39,12 @@ type BranchFunc func(t *ir.Term, taken bool)
 type Machine struct {
 	// Hook, when non-nil, is invoked for every executed conditional branch.
 	Hook BranchFunc
+	// Rec, when non-nil, records every executed conditional branch into the
+	// event slab — the record-once path of the trace-replay engine. Unlike
+	// Hook it is a direct call on the concrete slab, so recording costs an
+	// append rather than an interface dispatch per branch. Rec and Hook may
+	// be set together; Rec observes the event first.
+	Rec *trace.Slab
 	// MaxSteps bounds executed instructions (0 = unlimited).
 	MaxSteps uint64
 	// MaxBranches bounds executed conditional branches (0 = unlimited).
@@ -368,6 +375,9 @@ func (m *Machine) exec(f *ir.Func, regs []int64, depth int) (int64, error) {
 				if (t.Pred == ir.PredTaken) != taken {
 					m.Mispredicted++
 				}
+			}
+			if m.Rec != nil {
+				m.Rec.Record(t.Site, taken)
 			}
 			if m.Hook != nil {
 				m.Hook(t, taken)

@@ -1,10 +1,6 @@
 package predict
 
-import (
-	"fmt"
-
-	"repro/internal/ir"
-)
+import "fmt"
 
 // Combining is McFarling's combining predictor (1993, contemporaneous with
 // the paper): two component predictors plus a per-branch two-bit chooser
@@ -28,19 +24,19 @@ func (c *Combining) Name() string {
 	return fmt.Sprintf("combining(%s, %s)", c.A.Name(), c.B.Name())
 }
 
-func (c *Combining) Predict(t *ir.Term) bool {
-	if c.chooser[t.Site] >= 2 {
-		return c.B.Predict(t)
+func (c *Combining) Predict(site int32) bool {
+	if c.chooser[site] >= 2 {
+		return c.B.Predict(site)
 	}
-	return c.A.Predict(t)
+	return c.A.Predict(site)
 }
 
-func (c *Combining) Update(t *ir.Term, taken bool) {
-	pa := c.A.Predict(t) == taken
-	pb := c.B.Predict(t) == taken
+func (c *Combining) Update(site int32, taken bool) {
+	pa := c.A.Predict(site) == taken
+	pb := c.B.Predict(site) == taken
 	// The chooser trains only when the components disagree.
 	if pa != pb {
-		ch := c.chooser[t.Site]
+		ch := c.chooser[site]
 		if pb {
 			if ch < 3 {
 				ch++
@@ -48,10 +44,10 @@ func (c *Combining) Update(t *ir.Term, taken bool) {
 		} else if ch > 0 {
 			ch--
 		}
-		c.chooser[t.Site] = ch
+		c.chooser[site] = ch
 	}
-	c.A.Update(t, taken)
-	c.B.Update(t, taken)
+	c.A.Update(site, taken)
+	c.B.Update(site, taken)
 }
 
 func (c *Combining) Reset() {

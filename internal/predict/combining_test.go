@@ -42,13 +42,13 @@ func TestCombiningTracksBetterComponent(t *testing.T) {
 func TestCombiningResetAndName(t *testing.T) {
 	c := NewCombining(NewLastDirection(2), NewTwoBit(2), 2)
 	for i := 0; i < 50; i++ {
-		c.Update(term(0), true)
+		c.Update(0, true)
 	}
-	if !c.Predict(term(0)) {
+	if !c.Predict(0) {
 		t.Fatal("did not learn taken")
 	}
 	c.Reset()
-	if c.Predict(term(0)) {
+	if c.Predict(0) {
 		t.Fatal("reset did not clear state")
 	}
 	if !strings.Contains(c.Name(), "combining") {
@@ -63,7 +63,7 @@ func TestCombiningChooserOnlyTrainsOnDisagreement(t *testing.T) {
 	before := c.chooser[0]
 	// Identical components always agree: the chooser must never move.
 	for i := 0; i < 100; i++ {
-		c.Update(term(0), i%3 == 0)
+		c.Update(0, i%3 == 0)
 	}
 	if c.chooser[0] != before {
 		t.Fatal("chooser moved despite permanent agreement")

@@ -14,14 +14,15 @@ import (
 
 // Predictor is a dynamic branch predictor simulated over the trace: Predict
 // is consulted before each branch, Update is told the real outcome
-// afterwards.
+// afterwards. Predictors are addressed by bare branch site ID, so they can
+// be driven from a live interpreter hook or from a replayed trace alike.
 type Predictor interface {
 	// Name identifies the strategy in result tables.
 	Name() string
 	// Predict returns the predicted direction for the branch site.
-	Predict(t *ir.Term) bool
+	Predict(site int32) bool
 	// Update trains the predictor with the actual outcome.
-	Update(t *ir.Term, taken bool)
+	Update(site int32, taken bool)
 	// Reset restores the initial state.
 	Reset()
 }
@@ -35,12 +36,15 @@ type Eval struct {
 }
 
 // Branch implements trace.Collector.
-func (e *Eval) Branch(t *ir.Term, taken bool) {
-	if e.P.Predict(t) != taken {
+func (e *Eval) Branch(t *ir.Term, taken bool) { e.RecordBranch(t.Site, taken) }
+
+// RecordBranch implements trace.SiteCollector.
+func (e *Eval) RecordBranch(site int32, taken bool) {
+	if e.P.Predict(site) != taken {
 		e.Misses++
 	}
 	e.Total++
-	e.P.Update(t, taken)
+	e.P.Update(site, taken)
 }
 
 // Rate is the misprediction rate in percent.
@@ -67,11 +71,11 @@ func NewLastDirection(nSites int) *LastDirection {
 
 func (p *LastDirection) Name() string { return "last direction" }
 
-func (p *LastDirection) Predict(t *ir.Term) bool { return p.last[t.Site] }
+func (p *LastDirection) Predict(site int32) bool { return p.last[site] }
 
-func (p *LastDirection) Update(t *ir.Term, taken bool) {
-	p.last[t.Site] = taken
-	p.seen[t.Site] = true
+func (p *LastDirection) Update(site int32, taken bool) {
+	p.last[site] = taken
+	p.seen[site] = true
 }
 
 func (p *LastDirection) Reset() {
@@ -97,10 +101,10 @@ func NewTwoBit(nSites int) *TwoBit {
 
 func (p *TwoBit) Name() string { return "2 bit counter" }
 
-func (p *TwoBit) Predict(t *ir.Term) bool { return p.ctr[t.Site] >= 2 }
+func (p *TwoBit) Predict(site int32) bool { return p.ctr[site] >= 2 }
 
-func (p *TwoBit) Update(t *ir.Term, taken bool) {
-	c := p.ctr[t.Site]
+func (p *TwoBit) Update(site int32, taken bool) {
+	c := p.ctr[site]
 	if taken {
 		if c < 3 {
 			c++
@@ -108,7 +112,7 @@ func (p *TwoBit) Update(t *ir.Term, taken bool) {
 	} else if c > 0 {
 		c--
 	}
-	p.ctr[t.Site] = c
+	p.ctr[site] = c
 }
 
 func (p *TwoBit) Reset() {
@@ -236,15 +240,15 @@ func (p *TwoLevel) patIdx(site int32) int {
 	return int(uint32(site) % uint32(len(p.pats)))
 }
 
-func (p *TwoLevel) Predict(t *ir.Term) bool {
-	h := p.hist[p.histIdx(t.Site)]
-	return p.pats[p.patIdx(t.Site)][h] >= 2
+func (p *TwoLevel) Predict(site int32) bool {
+	h := p.hist[p.histIdx(site)]
+	return p.pats[p.patIdx(site)][h] >= 2
 }
 
-func (p *TwoLevel) Update(t *ir.Term, taken bool) {
-	hi := p.histIdx(t.Site)
+func (p *TwoLevel) Update(site int32, taken bool) {
+	hi := p.histIdx(site)
 	h := p.hist[hi]
-	tab := p.pats[p.patIdx(t.Site)]
+	tab := p.pats[p.patIdx(site)]
 	c := tab[h]
 	if taken {
 		if c < 3 {
@@ -297,10 +301,10 @@ func (p *GShare) idx(site int32) uint32 {
 	return (p.ghr ^ uint32(site)) & (uint32(len(p.tab)) - 1)
 }
 
-func (p *GShare) Predict(t *ir.Term) bool { return p.tab[p.idx(t.Site)] >= 2 }
+func (p *GShare) Predict(site int32) bool { return p.tab[p.idx(site)] >= 2 }
 
-func (p *GShare) Update(t *ir.Term, taken bool) {
-	i := p.idx(t.Site)
+func (p *GShare) Update(site int32, taken bool) {
+	i := p.idx(site)
 	c := p.tab[i]
 	var bit uint32
 	if taken {

@@ -59,19 +59,18 @@ func TestTwoBitHysteresis(t *testing.T) {
 
 func TestTwoBitSaturation(t *testing.T) {
 	p := NewTwoBit(1)
-	tm := term(0)
 	for i := 0; i < 100; i++ {
-		p.Update(tm, true)
+		p.Update(0, true)
 	}
-	if !p.Predict(tm) {
+	if !p.Predict(0) {
 		t.Fatal("saturated-up counter must predict taken")
 	}
-	p.Update(tm, false)
-	if !p.Predict(tm) {
+	p.Update(0, false)
+	if !p.Predict(0) {
 		t.Fatal("one not-taken must not flip a saturated counter")
 	}
-	p.Update(tm, false)
-	if p.Predict(tm) {
+	p.Update(0, false)
+	if p.Predict(0) {
 		t.Fatal("two not-taken must flip it")
 	}
 }
@@ -148,7 +147,7 @@ func TestGShare(t *testing.T) {
 		t.Fatalf("gshare on alternation: %.2f%%", e.Rate())
 	}
 	p.Reset()
-	if p.Predict(term(3)) {
+	if p.Predict(3) {
 		t.Fatal("reset gshare must predict not-taken initially")
 	}
 }
@@ -162,14 +161,14 @@ func TestResetRestores(t *testing.T) {
 	}
 	for _, p := range preds {
 		for i := 0; i < 50; i++ {
-			p.Update(term(1), true)
+			p.Update(1, true)
 		}
-		was := p.Predict(term(1))
+		was := p.Predict(1)
 		if !was {
 			t.Fatalf("%s did not learn taken", p.Name())
 		}
 		p.Reset()
-		if p.Predict(term(1)) {
+		if p.Predict(1) {
 			t.Fatalf("%s still predicts taken after Reset", p.Name())
 		}
 	}

@@ -89,8 +89,11 @@ func NewLocalHistory(nSites, k int) *LocalHistory {
 }
 
 // Branch implements trace.Collector.
-func (h *LocalHistory) Branch(t *ir.Term, taken bool) {
-	s := t.Site
+func (h *LocalHistory) Branch(t *ir.Term, taken bool) { h.RecordBranch(t.Site, taken) }
+
+// RecordBranch implements trace.SiteCollector (the replay-side entry
+// point: a bare site ID, no *ir.Term).
+func (h *LocalHistory) RecordBranch(s int32, taken bool) {
 	if h.seen[s] >= uint32(h.K) {
 		tab := h.tabs[s]
 		if tab == nil {
@@ -185,12 +188,15 @@ func NewGlobalHistory(nSites, k int) *GlobalHistory {
 }
 
 // Branch implements trace.Collector.
-func (h *GlobalHistory) Branch(t *ir.Term, taken bool) {
+func (h *GlobalHistory) Branch(t *ir.Term, taken bool) { h.RecordBranch(t.Site, taken) }
+
+// RecordBranch implements trace.SiteCollector.
+func (h *GlobalHistory) RecordBranch(s int32, taken bool) {
 	if h.seen >= uint32(h.K) {
-		tab := h.tabs[t.Site]
+		tab := h.tabs[s]
 		if tab == nil {
 			tab = make([]Pair, 1<<uint(h.K))
-			h.tabs[t.Site] = tab
+			h.tabs[s] = tab
 		}
 		tab[h.ghr].Add(taken)
 		h.total++
@@ -297,15 +303,18 @@ func NewPathHistory(nSites, m int) *PathHistory {
 }
 
 // Branch implements trace.Collector.
-func (h *PathHistory) Branch(t *ir.Term, taken bool) {
-	if t.Site >= 1<<15 {
+func (h *PathHistory) Branch(t *ir.Term, taken bool) { h.RecordBranch(t.Site, taken) }
+
+// RecordBranch implements trace.SiteCollector.
+func (h *PathHistory) RecordBranch(s int32, taken bool) {
+	if s >= 1<<15 {
 		panic("profile: site id does not fit in a path element")
 	}
 	if h.seen >= uint32(h.M) {
-		tab := h.tabs[t.Site]
+		tab := h.tabs[s]
 		if tab == nil {
 			tab = make(map[PathKey]*Pair)
-			h.tabs[t.Site] = tab
+			h.tabs[s] = tab
 		}
 		key := h.key.Suffix(h.M)
 		p := tab[key]
@@ -318,7 +327,7 @@ func (h *PathHistory) Branch(t *ir.Term, taken bool) {
 	} else {
 		h.seen++
 	}
-	h.key = h.key<<16 | PathKey(pathElem(t.Site, taken))
+	h.key = h.key<<16 | PathKey(pathElem(s, taken))
 	h.key = h.key.Suffix(4)
 }
 
@@ -474,10 +483,13 @@ func New(nSites int, opts Options) *Profile {
 }
 
 // Branch implements trace.Collector, feeding all tables.
-func (p *Profile) Branch(t *ir.Term, taken bool) {
-	p.Counts.Branch(t, taken)
-	p.Local.Branch(t, taken)
-	p.Global.Branch(t, taken)
-	p.Path.Branch(t, taken)
-	p.Streams.Branch(t, taken)
+func (p *Profile) Branch(t *ir.Term, taken bool) { p.RecordBranch(t.Site, taken) }
+
+// RecordBranch implements trace.SiteCollector, feeding all tables.
+func (p *Profile) RecordBranch(site int32, taken bool) {
+	p.Counts.RecordBranch(site, taken)
+	p.Local.RecordBranch(site, taken)
+	p.Global.RecordBranch(site, taken)
+	p.Path.RecordBranch(site, taken)
+	p.Streams.RecordBranch(site, taken)
 }

@@ -43,8 +43,11 @@ func NewStreams(nSites int) *Streams {
 }
 
 // Branch implements trace.Collector.
-func (c *Streams) Branch(t *ir.Term, taken bool) {
-	c.sites[t.Site].Append(taken)
+func (c *Streams) Branch(t *ir.Term, taken bool) { c.RecordBranch(t.Site, taken) }
+
+// RecordBranch implements trace.SiteCollector.
+func (c *Streams) RecordBranch(site int32, taken bool) {
+	c.sites[site].Append(taken)
 	c.total++
 }
 

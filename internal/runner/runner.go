@@ -27,7 +27,35 @@ type Engine struct {
 	cache   *Cache
 	jobs    atomic.Int64
 	jobNS   atomic.Int64
+
+	// Trace-replay engine counters (see internal/bench): recordings are
+	// interpreter runs that produced a branch trace, replays are trace
+	// playbacks into collectors, and live runs are interpreter executions
+	// that could not be served from a trace (transformed clones).
+	records        atomic.Int64
+	recordedEvents atomic.Int64
+	replays        atomic.Int64
+	replayedEvents atomic.Int64
+	liveRuns       atomic.Int64
 }
+
+// CountRecord notes one record-mode interpreter run that captured events
+// branch events into a trace.
+func (e *Engine) CountRecord(events int64) {
+	e.records.Add(1)
+	e.recordedEvents.Add(events)
+}
+
+// CountReplay notes one trace replay that fed events branch events into
+// collectors without re-interpreting the workload.
+func (e *Engine) CountReplay(events int64) {
+	e.replays.Add(1)
+	e.replayedEvents.Add(events)
+}
+
+// CountLiveRun notes one interpreter execution that could not be served
+// from a recorded trace (typically a transformed program clone).
+func (e *Engine) CountLiveRun() { e.liveRuns.Add(1) }
 
 // New creates an engine with the given worker count; workers <= 0 selects
 // runtime.GOMAXPROCS(0).
@@ -56,22 +84,38 @@ type Stats struct {
 	// CacheHits and CacheMisses count artifact-cache lookups: a hit means a
 	// profile, trace, or selection sweep was reused instead of recomputed.
 	CacheHits, CacheMisses int64
+	// TraceRecords is the number of record-mode interpreter runs and
+	// RecordedEvents the branch events they captured; Replays/ReplayedEvents
+	// count trace playbacks serving experiments without re-interpretation;
+	// LiveRuns counts interpreter executions that bypassed the trace path.
+	TraceRecords   int64
+	RecordedEvents int64
+	Replays        int64
+	ReplayedEvents int64
+	LiveRuns       int64
 }
 
 func (s Stats) String() string {
-	return fmt.Sprintf("%d workers, %d jobs (%v job time), cache %d hits / %d misses",
-		s.Workers, s.Jobs, s.JobTime.Round(time.Millisecond), s.CacheHits, s.CacheMisses)
+	return fmt.Sprintf("%d workers, %d jobs (%v job time), cache %d hits / %d misses, "+
+		"%d recordings (%d events), %d replays (%d events), %d live runs",
+		s.Workers, s.Jobs, s.JobTime.Round(time.Millisecond), s.CacheHits, s.CacheMisses,
+		s.TraceRecords, s.RecordedEvents, s.Replays, s.ReplayedEvents, s.LiveRuns)
 }
 
 // Stats returns the engine's current counters.
 func (e *Engine) Stats() Stats {
 	hits, misses := e.cache.Counters()
 	return Stats{
-		Workers:     e.workers,
-		Jobs:        e.jobs.Load(),
-		JobTime:     time.Duration(e.jobNS.Load()),
-		CacheHits:   hits,
-		CacheMisses: misses,
+		Workers:        e.workers,
+		Jobs:           e.jobs.Load(),
+		JobTime:        time.Duration(e.jobNS.Load()),
+		CacheHits:      hits,
+		CacheMisses:    misses,
+		TraceRecords:   e.records.Load(),
+		RecordedEvents: e.recordedEvents.Load(),
+		Replays:        e.replays.Load(),
+		ReplayedEvents: e.replayedEvents.Load(),
+		LiveRuns:       e.liveRuns.Load(),
 	}
 }
 

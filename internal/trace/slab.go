@@ -1,0 +1,339 @@
+package trace
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+	"sync"
+
+	"repro/internal/ir"
+)
+
+// SiteCollector is the replay-side collector contract: events arrive as a
+// bare (site, taken) pair with no *ir.Term. Every collector in this
+// repository implements it next to Collector; replaying through
+// RecordBranch skips both the Term synthesis and the interface indirection
+// of the live hook path.
+type SiteCollector interface {
+	RecordBranch(site int32, taken bool)
+}
+
+// RecordBranch implements SiteCollector.
+func (l *Log) RecordBranch(site int32, taken bool) {
+	l.Seen++
+	if l.Max != 0 && len(l.Events) >= l.Max {
+		return
+	}
+	l.Events = append(l.Events, Event{Site: site, Taken: taken})
+}
+
+// RecordBranch implements SiteCollector.
+func (c *Counts) RecordBranch(site int32, taken bool) {
+	if taken {
+		c.Taken[site]++
+	} else {
+		c.NotTaken[site]++
+	}
+}
+
+// AddRun accumulates a run of n identical outcomes at once (the run-length
+// fast path used when replaying a Slab into plain counts).
+func (c *Counts) AddRun(site int32, taken bool, n uint64) {
+	if taken {
+		c.Taken[site] += n
+	} else {
+		c.NotTaken[site] += n
+	}
+}
+
+// RecordBranch implements SiteCollector, fanning out to every member. For
+// sustained multi-collector streams prefer a Batcher, which resolves each
+// member's fast path once instead of per event.
+func (m Multi) RecordBranch(site int32, taken bool) {
+	for _, c := range m {
+		if sc, ok := c.(SiteCollector); ok {
+			sc.RecordBranch(site, taken)
+		} else {
+			t := ir.Term{Op: ir.TermBr, Site: site, Orig: site}
+			c.Branch(&t, taken)
+		}
+	}
+}
+
+// Slab is the record-once/replay-many in-memory branch trace: the event
+// stream of one interpreted run, encoded with the same varint+RLE scheme as
+// the on-disk format (Writer), so two million branch events occupy a few
+// hundred kilobytes to a few megabytes. A Slab is recorded by the
+// interpreter's fast-path hook (interp.Machine.Rec), sealed, cached as an
+// immutable artifact, and then replayed into any number of collectors at
+// memory-bandwidth speed — no interpreter dispatch per event.
+type Slab struct {
+	buf    []byte
+	last   uint64
+	run    uint64
+	n      uint64
+	sealed bool
+}
+
+// NewSlab creates an empty slab. sizeHint is the expected number of events
+// (a branch budget); it pre-sizes the buffer and may be 0.
+func NewSlab(sizeHint int) *Slab {
+	capBytes := sizeHint
+	if capBytes < 1024 {
+		capBytes = 1024
+	}
+	if capBytes > 1<<24 {
+		capBytes = 1 << 24
+	}
+	return &Slab{buf: make([]byte, 0, capBytes)}
+}
+
+// Record appends one branch event. It must not be called after Seal.
+func (s *Slab) Record(site int32, taken bool) {
+	code := (uint64(site)+1)<<1 | b2u(taken)
+	s.n++
+	if code == s.last {
+		s.run++
+		return
+	}
+	if s.run > 0 {
+		s.buf = binary.AppendUvarint(s.buf, 1)
+		s.buf = binary.AppendUvarint(s.buf, s.run)
+		s.run = 0
+	}
+	s.buf = binary.AppendUvarint(s.buf, code)
+	s.last = code
+}
+
+// Seal flushes the pending run and freezes the slab; budget-truncated runs
+// (the interpreter stopping at MaxBranches) are sealed exactly where they
+// stopped. Seal is idempotent, and a sealed slab is safe for concurrent
+// replay from multiple goroutines.
+func (s *Slab) Seal() {
+	if s.sealed {
+		return
+	}
+	if s.run > 0 {
+		s.buf = binary.AppendUvarint(s.buf, 1)
+		s.buf = binary.AppendUvarint(s.buf, s.run)
+		s.run = 0
+	}
+	s.sealed = true
+}
+
+// Len is the number of recorded events.
+func (s *Slab) Len() uint64 { return s.n }
+
+// EncodedBytes is the size of the encoded event stream.
+func (s *Slab) EncodedBytes() int { return len(s.buf) }
+
+// decodeStep decodes the next code at buf[i:], returning the new offset.
+// A malformed slab is a programming error (slabs are produced in-process
+// by Record), so corruption panics instead of returning an error.
+func decodeUvarint(buf []byte, i int) (uint64, int) {
+	v, k := binary.Uvarint(buf[i:])
+	if k <= 0 {
+		panic(fmt.Sprintf("trace: corrupt slab at byte %d", i))
+	}
+	return v, i + k
+}
+
+// Replay feeds every recorded event, in order, to fn.
+func (s *Slab) Replay(fn func(site int32, taken bool)) {
+	s.mustSealed("Replay")
+	buf := s.buf
+	var site int32
+	var taken bool
+	for i := 0; i < len(buf); {
+		var code uint64
+		code, i = decodeUvarint(buf, i)
+		if code == 1 {
+			var n uint64
+			n, i = decodeUvarint(buf, i)
+			for ; n > 0; n-- {
+				fn(site, taken)
+			}
+			continue
+		}
+		site, taken = int32(code>>1)-1, code&1 == 1
+		fn(site, taken)
+	}
+}
+
+// ReplayRuns feeds the events as (site, taken, count) runs — the
+// run-length fast path for order-insensitive consumers such as Counts.
+// Consecutive calls may repeat the same (site, taken) pair.
+func (s *Slab) ReplayRuns(fn func(site int32, taken bool, n uint64)) {
+	s.mustSealed("ReplayRuns")
+	buf := s.buf
+	var site int32
+	var taken bool
+	for i := 0; i < len(buf); {
+		var code uint64
+		code, i = decodeUvarint(buf, i)
+		if code == 1 {
+			var n uint64
+			n, i = decodeUvarint(buf, i)
+			fn(site, taken, n)
+			continue
+		}
+		site, taken = int32(code>>1)-1, code&1 == 1
+		fn(site, taken, 1)
+	}
+}
+
+// ReplayInto feeds the slab through trace.Collector values, resolving each
+// collector's fastest entry point (SiteCollector when available) once up
+// front rather than per event.
+func (s *Slab) ReplayInto(cs ...Collector) {
+	fns := make([]func(int32, bool), len(cs))
+	for i, c := range cs {
+		if sc, ok := c.(SiteCollector); ok {
+			fns[i] = sc.RecordBranch
+		} else {
+			c := c
+			terms := map[int32]*ir.Term{}
+			fns[i] = func(site int32, taken bool) {
+				t := terms[site]
+				if t == nil {
+					t = &ir.Term{Op: ir.TermBr, Site: site, Orig: site}
+					terms[site] = t
+				}
+				c.Branch(t, taken)
+			}
+		}
+	}
+	for _, fn := range fns {
+		s.Replay(fn)
+	}
+}
+
+// Events decodes the whole slab (tests and small consumers).
+func (s *Slab) Events() []Event {
+	out := make([]Event, 0, s.n)
+	s.Replay(func(site int32, taken bool) {
+		out = append(out, Event{Site: site, Taken: taken})
+	})
+	return out
+}
+
+// WriteTo serialises the slab in the on-disk trace format (header, events,
+// footer); the result round-trips through Reader/ReadAll.
+func (s *Slab) WriteTo(w io.Writer) (int64, error) {
+	s.mustSealed("WriteTo")
+	var total int64
+	n, err := io.WriteString(w, magic)
+	total += int64(n)
+	if err != nil {
+		return total, err
+	}
+	n, err = w.Write(s.buf)
+	total += int64(n)
+	if err != nil {
+		return total, err
+	}
+	var footer [2 * binary.MaxVarintLen64]byte
+	k := binary.PutUvarint(footer[:], 0)
+	k += binary.PutUvarint(footer[k:], s.n)
+	n, err = w.Write(footer[:k])
+	total += int64(n)
+	return total, err
+}
+
+func (s *Slab) mustSealed(op string) {
+	if !s.sealed {
+		panic("trace: Slab." + op + " before Seal")
+	}
+}
+
+// eventPool recycles Event slices across runner jobs: Batcher buffers and
+// pooled Logs draw their storage here, so a parallel experiment sweep stops
+// reallocating per-job event storage.
+var eventPool = sync.Pool{
+	New: func() any { return make([]Event, 0, batchSize) },
+}
+
+// batchSize is the Batcher flush threshold: 4096 events (32 KiB) stay well
+// inside L2 while amortising the per-collector dispatch.
+const batchSize = 4096
+
+// NewLog returns a Log whose event slice comes from the shared pool; cap
+// bounds recorded events as Log.Max. Call Release when done with it.
+func NewLog(max int) *Log {
+	return &Log{Events: eventPool.Get().([]Event)[:0], Max: max}
+}
+
+// Release returns the log's event slice to the pool. The Log must not be
+// used afterwards.
+func (l *Log) Release() {
+	if l.Events != nil {
+		eventPool.Put(l.Events[:0])
+		l.Events = nil
+	}
+}
+
+// Batcher is the live-path answer to per-branch fan-out cost: it buffers
+// events and flushes them collector-by-collector in batches, so a hot
+// interpreter loop pays one append per branch instead of one interface
+// call per collector per branch. Event order per collector is preserved,
+// and collectors are independent, so results are identical to unbatched
+// Multi dispatch. Flush must be called after the run (bench.runProgram
+// does); Release returns the buffer to the shared pool.
+type Batcher struct {
+	fns []func(int32, bool)
+	buf []Event
+}
+
+// NewBatcher wraps the collectors, resolving each one's fast path once.
+func NewBatcher(cs ...Collector) *Batcher {
+	b := &Batcher{buf: eventPool.Get().([]Event)[:0]}
+	b.fns = make([]func(int32, bool), len(cs))
+	for i, c := range cs {
+		if sc, ok := c.(SiteCollector); ok {
+			b.fns[i] = sc.RecordBranch
+		} else {
+			c := c
+			terms := map[int32]*ir.Term{}
+			b.fns[i] = func(site int32, taken bool) {
+				t := terms[site]
+				if t == nil {
+					t = &ir.Term{Op: ir.TermBr, Site: site, Orig: site}
+					terms[site] = t
+				}
+				c.Branch(t, taken)
+			}
+		}
+	}
+	return b
+}
+
+// Branch implements Collector.
+func (b *Batcher) Branch(t *ir.Term, taken bool) { b.RecordBranch(t.Site, taken) }
+
+// RecordBranch implements SiteCollector.
+func (b *Batcher) RecordBranch(site int32, taken bool) {
+	b.buf = append(b.buf, Event{Site: site, Taken: taken})
+	if len(b.buf) >= batchSize {
+		b.Flush()
+	}
+}
+
+// Flush drains the buffer into every collector.
+func (b *Batcher) Flush() {
+	for _, fn := range b.fns {
+		for i := range b.buf {
+			fn(b.buf[i].Site, b.buf[i].Taken)
+		}
+	}
+	b.buf = b.buf[:0]
+}
+
+// Release flushes and returns the buffer to the pool. The Batcher must not
+// be used afterwards.
+func (b *Batcher) Release() {
+	b.Flush()
+	if b.buf != nil {
+		eventPool.Put(b.buf[:0])
+		b.buf = nil
+	}
+}

@@ -1,0 +1,243 @@
+package trace
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+
+	"repro/internal/ir"
+)
+
+// genEvents produces a stream with long runs (loop-shaped) and random
+// jumps, the same shape the interpreter records.
+func genEvents(rng *rand.Rand, n int) []Event {
+	out := make([]Event, 0, n)
+	for len(out) < n {
+		site := int32(rng.Intn(40))
+		taken := rng.Intn(2) == 1
+		run := 1
+		if rng.Intn(3) == 0 {
+			run = rng.Intn(50) + 1
+		}
+		for i := 0; i < run && len(out) < n; i++ {
+			out = append(out, Event{Site: site, Taken: taken})
+		}
+	}
+	return out
+}
+
+func recordSlab(events []Event) *Slab {
+	s := NewSlab(len(events))
+	for _, ev := range events {
+		s.Record(ev.Site, ev.Taken)
+	}
+	s.Seal()
+	return s
+}
+
+func TestSlabRoundTripProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	// Sizes chosen to hit empty, single-event, run-boundary, and
+	// budget-truncated shapes (a budget stop just seals mid-stream, so any
+	// prefix length must round-trip).
+	for _, n := range []int{0, 1, 2, 3, 100, 4095, 4096, 4097, 20000} {
+		events := genEvents(rng, n)
+		s := recordSlab(events)
+		if s.Len() != uint64(n) {
+			t.Fatalf("n=%d: Len=%d", n, s.Len())
+		}
+		got := s.Events()
+		if len(got) != n {
+			t.Fatalf("n=%d: decoded %d events", n, len(got))
+		}
+		for i := range events {
+			if got[i] != events[i] {
+				t.Fatalf("n=%d: event %d = %+v, want %+v", n, i, got[i], events[i])
+			}
+		}
+	}
+}
+
+func TestSlabReplayRunsMatchesReplay(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	events := genEvents(rng, 5000)
+	s := recordSlab(events)
+	var flat []Event
+	s.ReplayRuns(func(site int32, taken bool, n uint64) {
+		for ; n > 0; n-- {
+			flat = append(flat, Event{Site: site, Taken: taken})
+		}
+	})
+	if len(flat) != len(events) {
+		t.Fatalf("ReplayRuns expanded to %d events, want %d", len(flat), len(events))
+	}
+	for i := range events {
+		if flat[i] != events[i] {
+			t.Fatalf("event %d = %+v, want %+v", i, flat[i], events[i])
+		}
+	}
+}
+
+func TestSlabWriteToReaderRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	for _, n := range []int{0, 1, 777, 10000} {
+		events := genEvents(rng, n)
+		s := recordSlab(events)
+		var buf bytes.Buffer
+		if _, err := s.WriteTo(&buf); err != nil {
+			t.Fatal(err)
+		}
+		got, err := ReadAll(&buf)
+		if err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		if len(got) != n {
+			t.Fatalf("n=%d: decoded %d events", n, len(got))
+		}
+		for i := range events {
+			if got[i] != events[i] {
+				t.Fatalf("n=%d: event %d = %+v, want %+v", n, i, got[i], events[i])
+			}
+		}
+	}
+}
+
+func TestSlabMatchesWriterEncoding(t *testing.T) {
+	// The slab uses the Writer's exact wire encoding: same events, same
+	// bytes.
+	rng := rand.New(rand.NewSource(10))
+	events := genEvents(rng, 3000)
+	s := recordSlab(events)
+	var slabBuf bytes.Buffer
+	if _, err := s.WriteTo(&slabBuf); err != nil {
+		t.Fatal(err)
+	}
+	var writerBuf bytes.Buffer
+	w, err := NewWriter(&writerBuf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, ev := range events {
+		w.RecordBranch(ev.Site, ev.Taken)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(slabBuf.Bytes(), writerBuf.Bytes()) {
+		t.Fatalf("slab encoding (%d bytes) differs from Writer encoding (%d bytes)",
+			slabBuf.Len(), writerBuf.Len())
+	}
+}
+
+func TestSlabReplayBeforeSealPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("want panic")
+		}
+	}()
+	s := NewSlab(0)
+	s.Record(0, true)
+	s.Replay(func(int32, bool) {})
+}
+
+func TestSlabReplayInto(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	events := genEvents(rng, 2000)
+	s := recordSlab(events)
+	// One SiteCollector, one Collector-only consumer: both must see the
+	// full ordered stream.
+	counts := NewCounts(40)
+	var termOnly termLog
+	s.ReplayInto(counts, &termOnly)
+	var wantTaken, wantNot uint64
+	for _, ev := range events {
+		if ev.Taken {
+			wantTaken++
+		} else {
+			wantNot++
+		}
+	}
+	var gotTaken, gotNot uint64
+	for i := range counts.Taken {
+		gotTaken += counts.Taken[i]
+		gotNot += counts.NotTaken[i]
+	}
+	if gotTaken != wantTaken || gotNot != wantNot {
+		t.Fatalf("counts %d/%d, want %d/%d", gotTaken, gotNot, wantTaken, wantNot)
+	}
+	if len(termOnly.events) != len(events) {
+		t.Fatalf("term-only collector saw %d events, want %d", len(termOnly.events), len(events))
+	}
+	for i, ev := range termOnly.events {
+		if ev != events[i] {
+			t.Fatalf("event %d = %+v, want %+v", i, ev, events[i])
+		}
+	}
+}
+
+// termLog implements only the legacy Collector interface, exercising the
+// Term-synthesis fallback of ReplayInto and Batcher.
+type termLog struct {
+	events []Event
+}
+
+func (l *termLog) Branch(t *ir.Term, taken bool) {
+	l.events = append(l.events, Event{Site: t.Site, Taken: taken})
+}
+
+func TestBatcherEquivalentToMulti(t *testing.T) {
+	rng := rand.New(rand.NewSource(12))
+	events := genEvents(rng, 3*batchSize+17) // cross several flush boundaries
+	nSites := int32(40)
+
+	direct := []Collector{NewCounts(int(nSites)), &Log{}, &termLog{}}
+	batched := []Collector{NewCounts(int(nSites)), &Log{}, &termLog{}}
+	multi := Multi(direct)
+	b := NewBatcher(batched...)
+	for _, ev := range events {
+		tm := ir.Term{Op: ir.TermBr, Site: ev.Site, Orig: ev.Site}
+		multi.Branch(&tm, ev.Taken)
+		b.Branch(&tm, ev.Taken)
+	}
+	b.Release()
+
+	dc, bc := direct[0].(*Counts), batched[0].(*Counts)
+	for i := range dc.Taken {
+		if dc.Taken[i] != bc.Taken[i] || dc.NotTaken[i] != bc.NotTaken[i] {
+			t.Fatalf("site %d: counts diverge", i)
+		}
+	}
+	dl, bl := direct[1].(*Log), batched[1].(*Log)
+	if len(dl.Events) != len(bl.Events) {
+		t.Fatalf("log lengths diverge: %d vs %d", len(dl.Events), len(bl.Events))
+	}
+	for i := range dl.Events {
+		if dl.Events[i] != bl.Events[i] {
+			t.Fatalf("log event %d diverges", i)
+		}
+	}
+	dt, bt := direct[2].(*termLog), batched[2].(*termLog)
+	if len(dt.events) != len(bt.events) {
+		t.Fatalf("term log lengths diverge: %d vs %d", len(dt.events), len(bt.events))
+	}
+	for i := range dt.events {
+		if dt.events[i] != bt.events[i] {
+			t.Fatalf("term log event %d diverges", i)
+		}
+	}
+}
+
+func TestPooledLogRelease(t *testing.T) {
+	l := NewLog(10)
+	for i := 0; i < 20; i++ {
+		l.RecordBranch(int32(i%3), i%2 == 0)
+	}
+	if len(l.Events) != 10 || l.Seen != 20 {
+		t.Fatalf("events=%d seen=%d", len(l.Events), l.Seen)
+	}
+	l.Release()
+	if l.Events != nil {
+		t.Fatal("Release must clear the slice")
+	}
+	l.Release() // idempotent
+}

@@ -47,13 +47,7 @@ type Log struct {
 }
 
 // Branch implements Collector.
-func (l *Log) Branch(t *ir.Term, taken bool) {
-	l.Seen++
-	if l.Max != 0 && len(l.Events) >= l.Max {
-		return
-	}
-	l.Events = append(l.Events, Event{Site: t.Site, Taken: taken})
-}
+func (l *Log) Branch(t *ir.Term, taken bool) { l.RecordBranch(t.Site, taken) }
 
 // Counts accumulates per-site taken/not-taken totals, the "profile"
 // strategy's entire data requirement.
@@ -68,13 +62,7 @@ func NewCounts(nSites int) *Counts {
 }
 
 // Branch implements Collector.
-func (c *Counts) Branch(t *ir.Term, taken bool) {
-	if taken {
-		c.Taken[t.Site]++
-	} else {
-		c.NotTaken[t.Site]++
-	}
-}
+func (c *Counts) Branch(t *ir.Term, taken bool) { c.RecordBranch(t.Site, taken) }
 
 // Total returns the number of events recorded for site s.
 func (c *Counts) Total(s int32) uint64 { return c.Taken[s] + c.NotTaken[s] }
@@ -134,8 +122,11 @@ func (w *Writer) putUvarint(v uint64) {
 }
 
 // Branch implements Collector.
-func (w *Writer) Branch(t *ir.Term, taken bool) {
-	code := (uint64(t.Site)+1)<<1 | b2u(taken)
+func (w *Writer) Branch(t *ir.Term, taken bool) { w.RecordBranch(t.Site, taken) }
+
+// RecordBranch implements SiteCollector.
+func (w *Writer) RecordBranch(site int32, taken bool) {
+	code := (uint64(site)+1)<<1 | b2u(taken)
 	w.total++
 	if code == w.last {
 		w.run++
