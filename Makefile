@@ -1,7 +1,7 @@
 GO ?= go
 FUZZTIME ?= 10s
 
-.PHONY: all build vet test race bench benchjson profile fuzz golden ci
+.PHONY: all build vet test race bench benchjson profile fuzz golden serve loadcheck ci
 
 all: build test
 
@@ -38,9 +38,21 @@ fuzz:
 	$(GO) test -run='^$$' -fuzz=FuzzParse -fuzztime=$(FUZZTIME) ./internal/lang
 
 # Regenerate the committed krallbench golden files after an intended
-# output change.
+# output change. The service's golden JSON responses regenerate the same
+# way: `go test ./internal/service -run TestGolden -update`.
 golden:
 	$(GO) test ./cmd/krallbench -run TestGolden -update
+	$(GO) test ./internal/service -run TestGolden -update
+
+# Run the prediction service; see SERVICE.md for the API.
+serve:
+	$(GO) run ./cmd/kralld -addr :8723
+
+# Boot kralld on a loopback port, drive every endpoint with the load
+# client (asserting byte-stable responses and 429 backpressure), and
+# leave a /metrics snapshot in kralld-metrics.txt.
+loadcheck:
+	$(GO) run ./cmd/kralld -selfcheck -quiet -metrics-out kralld-metrics.txt
 
 ci:
 	./ci.sh

@@ -102,6 +102,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 		all        = fs.Bool("all", false, "print everything")
 		states     = fs.Int("states", 5, "machine size for measured replication")
 		parallel   = fs.Int("parallel", runtime.GOMAXPROCS(0), "experiment-engine workers (1 = sequential)")
+		quiet      = fs.Bool("quiet", false, "suppress progress and engine-stats chatter on stderr")
 		forceLive  = fs.Bool("forcelive", false, "disable the trace-replay engine (interpret every experiment live)")
 		benchjson  = fs.String("benchjson", "", "write machine-readable results (JSON) to `file`")
 		cpuprofile = fs.String("cpuprofile", "", "write a CPU profile to `file`")
@@ -110,6 +111,11 @@ func run(args []string, stdout, stderr io.Writer) error {
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *quiet {
+		// Tables still go to stdout; only the progress/stats chatter is
+		// silenced, so library-style callers get clean streams.
+		stderr = io.Discard
 	}
 
 	if *cpuprofile != "" {

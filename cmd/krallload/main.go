@@ -1,0 +1,55 @@
+// Command krallload drives a running kralld with the load-generator
+// client: it fires every pipeline endpoint for the chosen workloads,
+// repeats each request, and fails unless all repeats return byte-identical
+// responses and every overload is a proper 429 + Retry-After.
+//
+// Usage:
+//
+//	krallload [-addr http://localhost:8723] [-workloads a,b] [-budget N]
+//	          [-repeats N] [-concurrency N]
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+
+	"repro/internal/service"
+)
+
+func main() {
+	fs := flag.NewFlagSet("krallload", flag.ContinueOnError)
+	fs.SetOutput(os.Stderr)
+	var (
+		addr        = fs.String("addr", "http://localhost:8723", "kralld base URL")
+		workloads   = fs.String("workloads", "", "comma-separated workload names (default: all)")
+		budget      = fs.Uint64("budget", 20_000, "branch budget per request")
+		repeats     = fs.Int("repeats", 3, "times each request fires (responses must be byte-identical)")
+		concurrency = fs.Int("concurrency", 8, "in-flight requests")
+	)
+	if err := fs.Parse(os.Args[1:]); err != nil {
+		os.Exit(2)
+	}
+	opts := service.LoadOptions{
+		Budget:      *budget,
+		Repeats:     *repeats,
+		Concurrency: *concurrency,
+	}
+	if *workloads != "" {
+		opts.Workloads = strings.Split(*workloads, ",")
+	}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	report, err := service.Load(ctx, *addr, opts)
+	if report != nil {
+		fmt.Println(report)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "krallload:", err)
+		os.Exit(1)
+	}
+}

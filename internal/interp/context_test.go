@@ -1,0 +1,87 @@
+package interp_test
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"repro/internal/interp"
+	"repro/internal/lang"
+)
+
+// loopSrc spins essentially forever: ~2^62 iterations of a two-block loop.
+const loopSrc = `
+var total int;
+
+func main() int {
+    for var i int = 0; i < 4611686018427387904; i = i + 1 {
+        total = total + i;
+    }
+    return total;
+}`
+
+// TestContextCancelStopsRun proves the service-facing guarantee: a
+// cancelled context stops a long interpreter run promptly instead of
+// pinning the goroutine until a step budget runs out.
+func TestContextCancelStopsRun(t *testing.T) {
+	prog, err := lang.Compile(loopSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := interp.New(prog)
+	ctx, cancel := context.WithCancel(context.Background())
+	m.Ctx = ctx
+	go func() {
+		time.Sleep(10 * time.Millisecond)
+		cancel()
+	}()
+	done := make(chan error, 1)
+	go func() {
+		_, err := m.Run()
+		done <- err
+	}()
+	select {
+	case err := <-done:
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("Run returned %v, want context.Canceled", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("cancelled run did not stop within 5s")
+	}
+}
+
+// TestContextDeadline checks the deadline flavour used by the HTTP layer's
+// request timeouts.
+func TestContextDeadline(t *testing.T) {
+	prog, err := lang.Compile(loopSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := interp.New(prog)
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Millisecond)
+	defer cancel()
+	m.Ctx = ctx
+	m.CtxCheckEvery = 512
+	start := time.Now()
+	if _, err := m.Run(); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("Run returned %v, want context.DeadlineExceeded", err)
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Fatalf("deadline took %v to land", elapsed)
+	}
+}
+
+// TestNilContextUnaffected pins the fast path: without a Ctx the machine
+// runs to its limits exactly as before.
+func TestNilContextUnaffected(t *testing.T) {
+	prog, err := lang.Compile(loopSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := interp.New(prog)
+	m.MaxSteps = 10_000
+	if _, err := m.Run(); !errors.Is(err, interp.ErrLimit) {
+		t.Fatalf("Run returned %v, want ErrLimit", err)
+	}
+}

@@ -6,6 +6,7 @@
 package interp
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
@@ -51,6 +52,16 @@ type Machine struct {
 	MaxBranches uint64
 	// MaxDepth bounds the call stack; the default is 100000 frames.
 	MaxDepth int
+	// Ctx, when non-nil, is polled for cancellation during execution, so a
+	// server whose client disconnected (or whose request deadline expired)
+	// can stop a long run without pinning a worker. Polling happens every
+	// CtxCheckEvery executed blocks; Run/Call return the context's error
+	// (wrapped, so errors.Is(err, context.Canceled) holds).
+	Ctx context.Context
+	// CtxCheckEvery is the cancellation polling interval in executed basic
+	// blocks (0 = the default of 4096). Smaller values cancel faster at a
+	// slightly higher per-block cost.
+	CtxCheckEvery uint32
 
 	// Steps is the number of instructions executed (terminators included).
 	Steps uint64
@@ -71,7 +82,14 @@ type Machine struct {
 	pool    [][]int64
 	// blockCounts[funcID][blockID] counts block executions when enabled.
 	blockCounts [][]uint64
+	// ctxLeft counts down executed blocks until the next Ctx poll.
+	ctxLeft uint32
 }
+
+// defaultCtxCheckEvery is the cancellation polling interval when
+// CtxCheckEvery is 0: cheap enough to be invisible (one counter decrement
+// per block), frequent enough that cancellation lands within microseconds.
+const defaultCtxCheckEvery = 4096
 
 // EnableBlockCounts turns on per-block execution counting (used by the
 // code-layout analyses). Call before Run; counting adds one increment per
@@ -106,6 +124,7 @@ func (m *Machine) Reset() {
 	}
 	m.Steps, m.Branches, m.Predicted, m.Mispredicted = 0, 0, 0, 0
 	m.Checksum, m.Prints = 0, 0
+	m.ctxLeft = 0
 }
 
 // SetGlobal overrides a scalar global before a run; the harness uses it to
@@ -204,6 +223,17 @@ func (m *Machine) exec(f *ir.Func, regs []int64, depth int) (int64, error) {
 	funcs := m.prog.Funcs
 	b := f.Entry
 	for {
+		if m.Ctx != nil {
+			if m.ctxLeft == 0 {
+				if err := m.Ctx.Err(); err != nil {
+					return 0, fmt.Errorf("interp: run cancelled: %w", err)
+				}
+				if m.ctxLeft = m.CtxCheckEvery; m.ctxLeft == 0 {
+					m.ctxLeft = defaultCtxCheckEvery
+				}
+			}
+			m.ctxLeft--
+		}
 		if m.blockCounts != nil {
 			m.blockCounts[f.ID][b.ID]++
 		}

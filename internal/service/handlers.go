@@ -1,0 +1,643 @@
+package service
+
+import (
+	"bytes"
+	"context"
+	"encoding/base64"
+	"errors"
+	"net/http"
+
+	"repro/internal/bench"
+	"repro/internal/interp"
+	"repro/internal/ir"
+	"repro/internal/lang"
+	"repro/internal/predict"
+	"repro/internal/profile"
+	"repro/internal/replicate"
+	"repro/internal/runner"
+	"repro/internal/statemachine"
+	"repro/internal/trace"
+)
+
+// Request is the common body of the four pipeline endpoints; each endpoint
+// reads the fields it needs and rejects combinations that make no sense.
+type Request struct {
+	// Source is BL program text; Workload names a built-in benchmark.
+	// Exactly one of the two selects the program (score may instead take
+	// only a trace).
+	Source   string `json:"source,omitempty"`
+	Workload string `json:"workload,omitempty"`
+
+	// Budget bounds branch events per run (0 = server default, capped by
+	// the server's MaxBudget); Seed/Scale override the wseed/wscale
+	// globals (0 = program defaults).
+	Budget uint64 `json:"budget,omitempty"`
+	Seed   int64  `json:"seed,omitempty"`
+	Scale  int64  `json:"scale,omitempty"`
+
+	// States bounds machine sizes for /v1/machines and /v1/replicate
+	// (default 5); MaxPathLen caps correlated path lengths (default 1,
+	// which keeps every selection realizable by the replicator).
+	States     int `json:"states,omitempty"`
+	MaxPathLen int `json:"max_path_len,omitempty"`
+
+	// MaxSizeFactor bounds code growth in /v1/replicate (default 3);
+	// Joint selects the §6 joint machines; IncludeIR returns the
+	// transformed program text.
+	MaxSizeFactor float64 `json:"max_size_factor,omitempty"`
+	Joint         bool    `json:"joint,omitempty"`
+	IncludeIR     bool    `json:"include_ir,omitempty"`
+
+	// TraceB64 is a base64 BLTRACE1 stream for /v1/score; Strategy picks
+	// the scoring strategy (profile, last, twobit, static); Preds is the
+	// per-site prediction vector for strategy "static" (entries "taken",
+	// "not_taken", or "none").
+	TraceB64 string   `json:"trace_b64,omitempty"`
+	Strategy string   `json:"strategy,omitempty"`
+	Preds    []string `json:"preds,omitempty"`
+}
+
+// compiled is an immutable compiled program shared across requests via the
+// content-addressed store. Branch sites are numbered once here; downstream
+// transforms always work on clones.
+type compiled struct {
+	prog   *ir.Program
+	name   string
+	key    string // content hash of the program, reused in derived keys
+	nsites int
+	feats  []predict.SiteFeatures
+}
+
+// artifact is the record-once product of one (program, budget, seed,
+// scale) cell: the sealed branch trace plus run counters. Immutable; a
+// sealed slab is safe for concurrent replay.
+type artifact struct {
+	slab      *trace.Slab
+	branches  uint64
+	steps     uint64
+	checksum  uint64
+	truncated bool
+}
+
+// RateBlock is the predicted/mispredicted summary used across responses.
+type RateBlock struct {
+	Predicted    uint64  `json:"predicted"`
+	Mispredicted uint64  `json:"mispredicted"`
+	RatePct      float64 `json:"rate_pct"`
+}
+
+func rateBlock(misses, total uint64) RateBlock {
+	b := RateBlock{Predicted: total, Mispredicted: misses}
+	if total > 0 {
+		b.RatePct = 100 * float64(misses) / float64(total)
+	}
+	return b
+}
+
+// resolveProgram compiles (or fetches) the request's program.
+func (s *Server) resolveProgram(req *Request) (*compiled, error) {
+	switch {
+	case req.Workload != "" && req.Source != "":
+		return nil, badRequest("give either workload or source, not both")
+	case req.Workload != "":
+		key := contentKey("prog", "workload", req.Workload)
+		return runner.LRUCached(s.store, key, func() (*compiled, error) {
+			w, err := bench.ByName(req.Workload)
+			if err != nil {
+				return nil, &httpError{http.StatusBadRequest, err.Error()}
+			}
+			c, err := bench.Compile(w)
+			if err != nil {
+				return nil, err
+			}
+			return &compiled{prog: c.Prog, name: w.Name, key: key, nsites: c.NSites, feats: c.Features}, nil
+		})
+	case req.Source != "":
+		key := contentKey("prog", "source", req.Source)
+		return runner.LRUCached(s.store, key, func() (*compiled, error) {
+			prog, err := lang.Compile(req.Source)
+			if err != nil {
+				return nil, &httpError{http.StatusBadRequest, "compiling source: " + err.Error()}
+			}
+			n := prog.NumberBranches(true)
+			return &compiled{prog: prog, name: "source", key: key, nsites: n, feats: predict.Analyze(prog)}, nil
+		})
+	default:
+		return nil, badRequest("request needs a workload or source program")
+	}
+}
+
+// budgetFor applies the server's default and cap.
+func (s *Server) budgetFor(req *Request) (uint64, error) {
+	b := req.Budget
+	if b == 0 {
+		b = s.cfg.DefaultBudget
+	}
+	if b > s.cfg.MaxBudget {
+		return 0, badRequest("budget %d exceeds the server cap %d", b, s.cfg.MaxBudget)
+	}
+	return b, nil
+}
+
+// newMachine prepares an interpreter run of prog under the request's
+// dataset knobs. The context is threaded into the run loop, so a
+// disconnected client or an expired deadline stops the interpreter. The
+// step backstop bounds even branch-free loops.
+func (s *Server) newMachine(ctx context.Context, c *compiled, prog *ir.Program, budget uint64, req *Request) (*interp.Machine, error) {
+	m := interp.New(prog)
+	m.Ctx = ctx
+	m.MaxBranches = budget
+	m.MaxSteps = 512 * budget
+	if req.Seed != 0 {
+		if err := m.SetGlobal("wseed", req.Seed); err != nil {
+			return nil, badRequest("seed override: program %s has no wseed global", c.name)
+		}
+	}
+	switch {
+	case req.Scale != 0:
+		if err := m.SetGlobal("wscale", req.Scale); err != nil {
+			return nil, badRequest("scale override: program %s has no wscale global", c.name)
+		}
+	case budget != 0:
+		// Budgeted runs should not finish early; built-in workloads scale
+		// via wscale, ad-hoc programs need not declare it.
+		_ = m.SetGlobal("wscale", 1<<30)
+	}
+	return m, nil
+}
+
+// runMachine executes m, treating the branch budget as normal completion.
+func runMachine(m *interp.Machine) (truncated bool, err error) {
+	if _, err := m.Run(); err != nil {
+		if errors.Is(err, interp.ErrLimit) {
+			return true, nil
+		}
+		return false, err
+	}
+	return false, nil
+}
+
+// artifactFor records — or fetches from the store — the branch trace of
+// one program cell. Cancelled recordings are not cached (LRU drops
+// errors), so a retry after a timeout starts clean.
+func (s *Server) artifactFor(ctx context.Context, c *compiled, req *Request, budget uint64) (*artifact, error) {
+	key := contentKey("art", c.key, field(budget, req.Seed, req.Scale))
+	return runner.LRUCached(s.store, key, func() (*artifact, error) {
+		m, err := s.newMachine(ctx, c, c.prog, budget, req)
+		if err != nil {
+			return nil, err
+		}
+		slab := trace.NewSlab(int(budget))
+		m.Rec = slab
+		truncated, err := runMachine(m)
+		if err != nil {
+			return nil, err
+		}
+		slab.Seal()
+		s.eng.CountRecord(int64(slab.Len()))
+		return &artifact{
+			slab:      slab,
+			branches:  m.Branches,
+			steps:     m.Steps,
+			checksum:  m.Checksum,
+			truncated: truncated,
+		}, nil
+	})
+}
+
+// profileFor replays an artifact into the full profile bundle (local,
+// global, and path pattern tables), memoised content-addressed.
+func (s *Server) profileFor(ctx context.Context, c *compiled, req *Request, budget uint64) (*profile.Profile, *artifact, error) {
+	art, err := s.artifactFor(ctx, c, req, budget)
+	if err != nil {
+		return nil, nil, err
+	}
+	key := contentKey("prof", c.key, field(budget, req.Seed, req.Scale))
+	prof, err := runner.LRUCached(s.store, key, func() (*profile.Profile, error) {
+		p := profile.New(c.nsites, profile.Options{LocalK: 9, GlobalK: 9, PathM: 3})
+		art.slab.ReplayInto(p)
+		s.eng.CountReplay(int64(art.slab.Len()))
+		return p, nil
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	return prof, art, nil
+}
+
+// --- POST /v1/profile ---------------------------------------------------
+
+// SiteCounts is one branch site's profile row.
+type SiteCounts struct {
+	Site     int32  `json:"site"`
+	Taken    uint64 `json:"taken"`
+	NotTaken uint64 `json:"not_taken"`
+	// Pred is the majority direction ("taken" / "not_taken"); ties predict
+	// not_taken, the repository-wide convention.
+	Pred string `json:"pred"`
+}
+
+// ProfileResponse answers /v1/profile.
+type ProfileResponse struct {
+	SchemaV   string       `json:"schema"`
+	Kind      string       `json:"kind"`
+	Program   string       `json:"program"`
+	NumSites  int          `json:"num_sites"`
+	Events    uint64       `json:"events"`
+	Steps     uint64       `json:"steps"`
+	Checksum  uint64       `json:"checksum"`
+	Truncated bool         `json:"truncated"`
+	Profile   RateBlock    `json:"profile"`
+	Sites     []SiteCounts `json:"sites"`
+}
+
+func (s *Server) handleProfile(ctx context.Context, req *Request) (any, error) {
+	c, err := s.resolveProgram(req)
+	if err != nil {
+		return nil, err
+	}
+	budget, err := s.budgetFor(req)
+	if err != nil {
+		return nil, err
+	}
+	art, err := s.artifactFor(ctx, c, req, budget)
+	if err != nil {
+		return nil, err
+	}
+	counts := trace.NewCounts(c.nsites)
+	art.slab.ReplayRuns(counts.AddRun)
+	s.eng.CountReplay(int64(art.slab.Len()))
+	r := predict.ProfileResult(counts)
+	resp := &ProfileResponse{
+		SchemaV:   Schema,
+		Kind:      "profile",
+		Program:   c.name,
+		NumSites:  c.nsites,
+		Events:    art.branches,
+		Steps:     art.steps,
+		Checksum:  art.checksum,
+		Truncated: art.truncated,
+		Profile:   rateBlock(r.Misses, r.Total),
+	}
+	for site := int32(0); site < int32(c.nsites); site++ {
+		if counts.Total(site) == 0 {
+			continue
+		}
+		pred := "not_taken"
+		if counts.Taken[site] > counts.NotTaken[site] {
+			pred = "taken"
+		}
+		resp.Sites = append(resp.Sites, SiteCounts{
+			Site: site, Taken: counts.Taken[site], NotTaken: counts.NotTaken[site], Pred: pred,
+		})
+	}
+	return resp, nil
+}
+
+// --- POST /v1/machines --------------------------------------------------
+
+// ChoiceJSON is one branch's selected strategy.
+type ChoiceJSON struct {
+	Site   int32  `json:"site"`
+	Kind   string `json:"kind"`
+	States int    `json:"states"`
+	RateBlock
+	ProfileRatePct float64 `json:"profile_rate_pct"`
+}
+
+// MachinesResponse answers /v1/machines.
+type MachinesResponse struct {
+	SchemaV    string       `json:"schema"`
+	Kind       string       `json:"kind"`
+	Program    string       `json:"program"`
+	NumSites   int          `json:"num_sites"`
+	Events     uint64       `json:"events"`
+	States     int          `json:"states"`
+	MaxPathLen int          `json:"max_path_len"`
+	Aggregate  RateBlock    `json:"aggregate"`
+	Profile    RateBlock    `json:"profile"`
+	Choices    []ChoiceJSON `json:"choices"`
+}
+
+func (req *Request) machineOpts() (states, pathLen int, err error) {
+	states = req.States
+	if states == 0 {
+		states = 5
+	}
+	if states < 2 || states > 64 {
+		return 0, 0, badRequest("states %d out of range [2,64]", states)
+	}
+	pathLen = req.MaxPathLen
+	if pathLen == 0 {
+		pathLen = 1
+	}
+	if pathLen < 1 || pathLen > 3 {
+		return 0, 0, badRequest("max_path_len %d out of range [1,3]", pathLen)
+	}
+	return states, pathLen, nil
+}
+
+func (s *Server) handleMachines(ctx context.Context, req *Request) (any, error) {
+	c, err := s.resolveProgram(req)
+	if err != nil {
+		return nil, err
+	}
+	budget, err := s.budgetFor(req)
+	if err != nil {
+		return nil, err
+	}
+	states, pathLen, err := req.machineOpts()
+	if err != nil {
+		return nil, err
+	}
+	prof, art, err := s.profileFor(ctx, c, req, budget)
+	if err != nil {
+		return nil, err
+	}
+	choices := statemachine.Select(prof, c.feats, statemachine.Options{
+		MaxStates:  states,
+		MaxPathLen: pathLen,
+	})
+	misses, total := statemachine.Aggregate(choices)
+	r := predict.ProfileResult(prof.Counts)
+	resp := &MachinesResponse{
+		SchemaV:    Schema,
+		Kind:       "machines",
+		Program:    c.name,
+		NumSites:   c.nsites,
+		Events:     art.branches,
+		States:     states,
+		MaxPathLen: pathLen,
+		Aggregate:  rateBlock(misses, total),
+		Profile:    rateBlock(r.Misses, r.Total),
+	}
+	for i := range choices {
+		ch := &choices[i]
+		if ch.Total == 0 {
+			continue
+		}
+		cj := ChoiceJSON{
+			Site:      ch.Site,
+			Kind:      ch.Kind.String(),
+			States:    ch.NumStates(),
+			RateBlock: rateBlock(ch.Misses(), ch.Total),
+		}
+		if ch.ProfileTotal > 0 {
+			cj.ProfileRatePct = 100 * float64(ch.ProfileTotal-ch.ProfileHits) / float64(ch.ProfileTotal)
+		}
+		resp.Choices = append(resp.Choices, cj)
+	}
+	return resp, nil
+}
+
+// --- POST /v1/replicate -------------------------------------------------
+
+// MeasuredRun is one interpreter-verified run of an annotated program.
+type MeasuredRun struct {
+	RateBlock
+	Checksum uint64 `json:"checksum"`
+}
+
+// ReplicateResponse answers /v1/replicate.
+type ReplicateResponse struct {
+	SchemaV    string      `json:"schema"`
+	Kind       string      `json:"kind"`
+	Program    string      `json:"program"`
+	States     int         `json:"states"`
+	Joint      bool        `json:"joint"`
+	Baseline   MeasuredRun `json:"baseline"`
+	Replicated MeasuredRun `json:"replicated"`
+	Code       struct {
+		InstrsBefore int     `json:"instrs_before"`
+		InstrsAfter  int     `json:"instrs_after"`
+		SizeFactor   float64 `json:"size_factor"`
+	} `json:"code"`
+	Machines struct {
+		Loop          int `json:"loop"`
+		Exit          int `json:"exit"`
+		Correlated    int `json:"correlated"`
+		EdgesRouted   int `json:"edges_routed"`
+		EdgesCatchAll int `json:"edges_catch_all"`
+		Skipped       int `json:"skipped"`
+	} `json:"machines"`
+	SemanticsVerified bool   `json:"semantics_verified"`
+	IR                string `json:"ir,omitempty"`
+}
+
+func (s *Server) handleReplicate(ctx context.Context, req *Request) (any, error) {
+	c, err := s.resolveProgram(req)
+	if err != nil {
+		return nil, err
+	}
+	budget, err := s.budgetFor(req)
+	if err != nil {
+		return nil, err
+	}
+	states, pathLen, err := req.machineOpts()
+	if err != nil {
+		return nil, err
+	}
+	sizeFactor := req.MaxSizeFactor
+	if sizeFactor == 0 {
+		sizeFactor = 3
+	}
+	if sizeFactor < 1 || sizeFactor > 64 {
+		return nil, badRequest("max_size_factor %.2f out of range [1,64]", sizeFactor)
+	}
+	prof, _, err := s.profileFor(ctx, c, req, budget)
+	if err != nil {
+		return nil, err
+	}
+	choices := statemachine.Select(prof, c.feats, statemachine.Options{
+		MaxStates:  states,
+		MaxPathLen: pathLen,
+	})
+	preds := predict.ProfileStatic(prof.Counts).Preds
+
+	// Both measuring runs are live interpreter executions: the transformed
+	// clone's branch stream is exactly what the recorded trace cannot
+	// provide.
+	measure := func(prog *ir.Program) (MeasuredRun, error) {
+		m, err := s.newMachine(ctx, c, prog, budget, req)
+		if err != nil {
+			return MeasuredRun{}, err
+		}
+		if _, err := runMachine(m); err != nil {
+			return MeasuredRun{}, err
+		}
+		s.eng.CountLiveRun()
+		return MeasuredRun{
+			RateBlock: rateBlock(m.Mispredicted, m.Predicted),
+			Checksum:  m.Checksum,
+		}, nil
+	}
+
+	baseline := ir.CloneProgram(c.prog)
+	replicate.Annotate(baseline, preds)
+	base, err := measure(baseline)
+	if err != nil {
+		return nil, err
+	}
+
+	clone := ir.CloneProgram(c.prog)
+	apply := replicate.ApplyOpts
+	if req.Joint {
+		apply = replicate.ApplyJoint
+	}
+	st, err := apply(clone, choices, preds, replicate.Options{MaxSizeFactor: sizeFactor})
+	if err != nil {
+		return nil, err
+	}
+	repl, err := measure(clone)
+	if err != nil {
+		return nil, err
+	}
+
+	resp := &ReplicateResponse{
+		SchemaV:           Schema,
+		Kind:              "replicate",
+		Program:           c.name,
+		States:            states,
+		Joint:             req.Joint,
+		Baseline:          base,
+		Replicated:        repl,
+		SemanticsVerified: base.Checksum == repl.Checksum,
+	}
+	resp.Code.InstrsBefore = st.InstrsBefore
+	resp.Code.InstrsAfter = st.InstrsAfter
+	resp.Code.SizeFactor = st.SizeFactor()
+	resp.Machines.Loop = st.LoopApplied
+	resp.Machines.Exit = st.ExitApplied
+	resp.Machines.Correlated = st.PathApplied
+	resp.Machines.EdgesRouted = st.PathEdgesRouted
+	resp.Machines.EdgesCatchAll = st.PathEdgesCatchAll
+	resp.Machines.Skipped = st.Skipped
+	if req.IncludeIR {
+		resp.IR = clone.String()
+	}
+	return resp, nil
+}
+
+// --- POST /v1/score -----------------------------------------------------
+
+// ScoreResponse answers /v1/score.
+type ScoreResponse struct {
+	SchemaV  string `json:"schema"`
+	Kind     string `json:"kind"`
+	Strategy string `json:"strategy"`
+	Source   string `json:"source"`
+	NumSites int       `json:"num_sites"`
+	Events   uint64    `json:"events"`
+	Score    RateBlock `json:"score"`
+}
+
+func (s *Server) handleScore(ctx context.Context, req *Request) (any, error) {
+	strategy := req.Strategy
+	if strategy == "" {
+		strategy = "profile"
+	}
+
+	var slab *trace.Slab
+	var source string
+	switch {
+	case req.TraceB64 != "":
+		if req.Workload != "" || req.Source != "" {
+			return nil, badRequest("give either trace_b64 or a program, not both")
+		}
+		raw, err := base64.StdEncoding.DecodeString(req.TraceB64)
+		if err != nil {
+			return nil, badRequest("trace_b64: %v", err)
+		}
+		slab, err = trace.ReadSlab(bytes.NewReader(raw), s.cfg.TraceLimits)
+		if err != nil {
+			if errors.Is(err, trace.ErrTooLarge) {
+				return nil, &httpError{http.StatusRequestEntityTooLarge, err.Error()}
+			}
+			return nil, badRequest("decoding trace: %v", err)
+		}
+		source = "upload"
+	default:
+		c, err := s.resolveProgram(req)
+		if err != nil {
+			return nil, err
+		}
+		budget, err := s.budgetFor(req)
+		if err != nil {
+			return nil, err
+		}
+		art, err := s.artifactFor(ctx, c, req, budget)
+		if err != nil {
+			return nil, err
+		}
+		slab = art.slab
+		source = c.name
+	}
+
+	// Site table sizes come from the trace itself, so uploaded traces need
+	// no side channel describing their program.
+	nsites := 0
+	slab.ReplayRuns(func(site int32, _ bool, _ uint64) {
+		if int(site) >= nsites {
+			nsites = int(site) + 1
+		}
+	})
+
+	var score RateBlock
+	switch strategy {
+	case "profile":
+		counts := trace.NewCounts(nsites)
+		slab.ReplayRuns(counts.AddRun)
+		r := predict.ProfileResult(counts)
+		score = rateBlock(r.Misses, r.Total)
+	case "last":
+		eval := predict.Eval{P: predict.NewLastDirection(nsites)}
+		slab.ReplayInto(&eval)
+		score = rateBlock(eval.Misses, eval.Total)
+	case "twobit":
+		eval := predict.Eval{P: predict.NewTwoBit(nsites)}
+		slab.ReplayInto(&eval)
+		score = rateBlock(eval.Misses, eval.Total)
+	case "static":
+		preds := make([]ir.Prediction, nsites)
+		if len(req.Preds) > nsites {
+			return nil, badRequest("preds has %d entries for %d sites", len(req.Preds), nsites)
+		}
+		for i, p := range req.Preds {
+			switch p {
+			case "taken":
+				preds[i] = ir.PredTaken
+			case "not_taken":
+				preds[i] = ir.PredNotTaken
+			case "none", "":
+				preds[i] = ir.PredNone
+			default:
+				return nil, badRequest("preds[%d]: unknown prediction %q", i, p)
+			}
+		}
+		var predicted, mispredicted uint64
+		slab.ReplayRuns(func(site int32, taken bool, n uint64) {
+			p := preds[site]
+			if p == ir.PredNone {
+				return
+			}
+			predicted += n
+			if (p == ir.PredTaken) != taken {
+				mispredicted += n
+			}
+		})
+		score = rateBlock(mispredicted, predicted)
+	default:
+		return nil, badRequest("unknown strategy %q (want profile, last, twobit, or static)", strategy)
+	}
+	s.eng.CountReplay(int64(slab.Len()))
+
+	return &ScoreResponse{
+		SchemaV:  Schema,
+		Kind:     "score",
+		Strategy: strategy,
+		Source:   source,
+		NumSites: nsites,
+		Events:   slab.Len(),
+		Score:    score,
+	}, nil
+}

@@ -1,0 +1,124 @@
+package service
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/runner"
+)
+
+// latencyBuckets are the histogram upper bounds in seconds, chosen around
+// the service's working range: cache hits answer in microseconds, a cold
+// 2M-branch recording in tens of milliseconds, a replicate request with
+// two live measuring runs in the hundreds.
+var latencyBuckets = [...]float64{0.001, 0.005, 0.025, 0.1, 0.5, 2.5, 10}
+
+// endpointMetrics aggregates one endpoint's request counters.
+type endpointMetrics struct {
+	inflight atomic.Int64
+	rejected atomic.Int64
+	buckets  [len(latencyBuckets) + 1]atomic.Int64
+
+	mu    sync.Mutex
+	codes map[int]int64
+	sum   float64
+	count int64
+}
+
+// metrics is the /metrics registry: per-endpoint request counts by status
+// code, in-flight gauges, 429 rejections, and latency histograms.
+type metrics struct {
+	endpoints map[string]*endpointMetrics
+	names     []string
+}
+
+func newMetrics(names []string) *metrics {
+	m := &metrics{endpoints: map[string]*endpointMetrics{}, names: append([]string(nil), names...)}
+	sort.Strings(m.names)
+	for _, n := range m.names {
+		m.endpoints[n] = &endpointMetrics{codes: map[int]int64{}}
+	}
+	return m
+}
+
+func (m *metrics) inflight(name string, delta int64) {
+	m.endpoints[name].inflight.Add(delta)
+}
+
+func (m *metrics) rejected(name string) {
+	m.endpoints[name].rejected.Add(1)
+}
+
+func (m *metrics) observe(name string, code int, elapsed time.Duration) {
+	e := m.endpoints[name]
+	secs := elapsed.Seconds()
+	i := 0
+	for ; i < len(latencyBuckets); i++ {
+		if secs <= latencyBuckets[i] {
+			break
+		}
+	}
+	e.buckets[i].Add(1)
+	e.mu.Lock()
+	e.codes[code]++
+	e.sum += secs
+	e.count++
+	e.mu.Unlock()
+}
+
+// storeSnapshot carries the artifact store's counters into write.
+type storeSnapshot struct {
+	entries      int
+	hits, misses int64
+}
+
+// write renders the registry in Prometheus text exposition format, with
+// deterministic ordering (sorted endpoints, sorted codes, buckets in
+// bound order) so snapshots diff cleanly.
+func (m *metrics) write(w io.Writer, eng runner.Stats, store storeSnapshot, uptime time.Duration) {
+	for _, name := range m.names {
+		e := m.endpoints[name]
+		e.mu.Lock()
+		codes := make([]int, 0, len(e.codes))
+		for c := range e.codes {
+			codes = append(codes, c)
+		}
+		sort.Ints(codes)
+		for _, c := range codes {
+			fmt.Fprintf(w, "kralld_requests_total{endpoint=%q,code=\"%d\"} %d\n", name, c, e.codes[c])
+		}
+		sum, count := e.sum, e.count
+		e.mu.Unlock()
+		var cum int64
+		for i, ub := range latencyBuckets {
+			cum += e.buckets[i].Load()
+			fmt.Fprintf(w, "kralld_request_seconds_bucket{endpoint=%q,le=\"%g\"} %d\n", name, ub, cum)
+		}
+		cum += e.buckets[len(latencyBuckets)].Load()
+		fmt.Fprintf(w, "kralld_request_seconds_bucket{endpoint=%q,le=\"+Inf\"} %d\n", name, cum)
+		fmt.Fprintf(w, "kralld_request_seconds_sum{endpoint=%q} %g\n", name, sum)
+		fmt.Fprintf(w, "kralld_request_seconds_count{endpoint=%q} %d\n", name, count)
+		fmt.Fprintf(w, "kralld_inflight{endpoint=%q} %d\n", name, e.inflight.Load())
+		fmt.Fprintf(w, "kralld_rejected_total{endpoint=%q} %d\n", name, e.rejected.Load())
+	}
+	// The experiment engine's counters: the same numbers krallbench prints
+	// to stderr, exported instead of logged.
+	fmt.Fprintf(w, "kralld_engine_workers %d\n", eng.Workers)
+	fmt.Fprintf(w, "kralld_engine_jobs_total %d\n", eng.Jobs)
+	fmt.Fprintf(w, "kralld_engine_job_seconds_total %g\n", eng.JobTime.Seconds())
+	fmt.Fprintf(w, "kralld_engine_cache_hits_total %d\n", eng.CacheHits)
+	fmt.Fprintf(w, "kralld_engine_cache_misses_total %d\n", eng.CacheMisses)
+	fmt.Fprintf(w, "kralld_engine_trace_records_total %d\n", eng.TraceRecords)
+	fmt.Fprintf(w, "kralld_engine_recorded_events_total %d\n", eng.RecordedEvents)
+	fmt.Fprintf(w, "kralld_engine_replays_total %d\n", eng.Replays)
+	fmt.Fprintf(w, "kralld_engine_replayed_events_total %d\n", eng.ReplayedEvents)
+	fmt.Fprintf(w, "kralld_engine_live_runs_total %d\n", eng.LiveRuns)
+	fmt.Fprintf(w, "kralld_store_entries %d\n", store.entries)
+	fmt.Fprintf(w, "kralld_store_hits_total %d\n", store.hits)
+	fmt.Fprintf(w, "kralld_store_misses_total %d\n", store.misses)
+	fmt.Fprintf(w, "kralld_uptime_seconds %g\n", uptime.Seconds())
+}

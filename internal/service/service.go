@@ -1,0 +1,323 @@
+// Package service implements kralld, the long-running prediction service:
+// an HTTP/JSON daemon that serves the paper's profile → state-machine →
+// replication pipeline over the wire. It accepts programs in the BL
+// language and uploaded BLTRACE1 trace slabs, and exposes
+//
+//	POST /v1/profile    profile a program's branches
+//	POST /v1/machines   select branch prediction state machines
+//	POST /v1/replicate  replicate code and measure the transformed program
+//	POST /v1/score      score a trace against a prediction strategy
+//	GET  /metrics       engine counters and request latency histograms
+//	GET  /healthz       liveness
+//
+// Every response carries schema "kralld/v1" and is byte-stable: the same
+// request body always produces the same response bytes, which is what lets
+// the load client (Load) assert correctness under concurrency. Expensive
+// intermediates — compiled programs and recorded trace slabs — live in a
+// content-addressed LRU store shared by all endpoints, so a hot program is
+// interpreted once and replayed many times, exactly like the batch
+// engine's record-once/replay-many path.
+package service
+
+import (
+	"context"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"log/slog"
+	"net"
+	"net/http"
+	"strings"
+	"time"
+
+	"repro/internal/runner"
+	"repro/internal/trace"
+)
+
+// Schema identifies the response format of every endpoint.
+const Schema = "kralld/v1"
+
+// Endpoints lists the POST pipeline endpoints in metrics order.
+var Endpoints = []string{"machines", "profile", "replicate", "score"}
+
+// Config parameterises a Server. The zero value is usable: every field
+// has a production-shaped default.
+type Config struct {
+	// Workers is the experiment engine's worker count (0 = GOMAXPROCS).
+	Workers int
+	// MaxInflight bounds concurrently-served requests per endpoint;
+	// excess requests are refused with 429 + Retry-After. 0 = 2×Workers.
+	MaxInflight int
+	// RequestTimeout bounds one request's total service time, threaded as
+	// a context deadline into the interpreter loop (default 30s).
+	RequestTimeout time.Duration
+	// DefaultBudget is the branch budget applied when a request omits one
+	// (default 200k); MaxBudget caps requested budgets (default 5M).
+	DefaultBudget, MaxBudget uint64
+	// MaxBodyBytes caps request bodies (default 8 MiB).
+	MaxBodyBytes int64
+	// TraceLimits bounds uploaded BLTRACE1 slabs (default: MaxBudget
+	// events, MaxBodyBytes bytes).
+	TraceLimits trace.Limits
+	// CacheEntries sizes the content-addressed artifact store (default 128).
+	CacheEntries int
+	// Logger receives structured request/lifecycle lines (nil = discard).
+	Logger *slog.Logger
+}
+
+func (c *Config) setDefaults() {
+	if c.MaxInflight == 0 {
+		c.MaxInflight = 2 * runner.New(c.Workers).Workers()
+	}
+	if c.RequestTimeout == 0 {
+		c.RequestTimeout = 30 * time.Second
+	}
+	if c.DefaultBudget == 0 {
+		c.DefaultBudget = 200_000
+	}
+	if c.MaxBudget == 0 {
+		c.MaxBudget = 5_000_000
+	}
+	if c.MaxBodyBytes == 0 {
+		c.MaxBodyBytes = 8 << 20
+	}
+	if c.TraceLimits == (trace.Limits{}) {
+		c.TraceLimits = trace.Limits{MaxEvents: c.MaxBudget, MaxBytes: c.MaxBodyBytes}
+	}
+	if c.CacheEntries == 0 {
+		c.CacheEntries = 128
+	}
+	if c.Logger == nil {
+		c.Logger = slog.New(slog.NewTextHandler(io.Discard, nil))
+	}
+}
+
+// Server is the kralld HTTP service. Create with New; it is safe for
+// concurrent use by any number of requests.
+type Server struct {
+	cfg     Config
+	eng     *runner.Engine
+	store   *runner.LRU
+	metrics *metrics
+	mux     *http.ServeMux
+	sems    map[string]chan struct{}
+	log     *slog.Logger
+	started time.Time
+}
+
+// New builds a server. The engine provides bounded job execution and the
+// record/replay counters surfaced on /metrics; the LRU store holds
+// compiled programs and recorded trace slabs keyed by content hash.
+func New(cfg Config) *Server {
+	cfg.setDefaults()
+	s := &Server{
+		cfg:     cfg,
+		eng:     runner.New(cfg.Workers),
+		store:   runner.NewLRU(cfg.CacheEntries),
+		metrics: newMetrics(Endpoints),
+		mux:     http.NewServeMux(),
+		sems:    map[string]chan struct{}{},
+		log:     cfg.Logger,
+		started: time.Now(),
+	}
+	for _, ep := range Endpoints {
+		s.sems[ep] = make(chan struct{}, cfg.MaxInflight)
+	}
+	s.mux.HandleFunc("/v1/profile", s.endpoint("profile", s.handleProfile))
+	s.mux.HandleFunc("/v1/machines", s.endpoint("machines", s.handleMachines))
+	s.mux.HandleFunc("/v1/replicate", s.endpoint("replicate", s.handleReplicate))
+	s.mux.HandleFunc("/v1/score", s.endpoint("score", s.handleScore))
+	s.mux.HandleFunc("/metrics", s.handleMetrics)
+	s.mux.HandleFunc("/healthz", s.handleHealthz)
+	return s
+}
+
+// Engine exposes the server's experiment engine (counters, artifact cache).
+func (s *Server) Engine() *runner.Engine { return s.eng }
+
+// Handler is the server's root handler.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// Serve accepts connections on l until ctx is cancelled, then drains:
+// the listener closes immediately (new requests are refused), in-flight
+// requests get up to drainTimeout to complete. This is the SIGTERM path of
+// cmd/kralld.
+func (s *Server) Serve(ctx context.Context, l net.Listener, drainTimeout time.Duration) error {
+	srv := &http.Server{Handler: s.mux}
+	errc := make(chan error, 1)
+	go func() { errc <- srv.Serve(l) }()
+	select {
+	case err := <-errc:
+		return err
+	case <-ctx.Done():
+	}
+	s.log.Info("draining", "timeout", drainTimeout)
+	dctx, cancel := context.WithTimeout(context.Background(), drainTimeout)
+	defer cancel()
+	err := srv.Shutdown(dctx)
+	<-errc // http.ErrServerClosed from Serve
+	stats := s.eng.Stats()
+	s.log.Info("engine stats",
+		"jobs", stats.Jobs,
+		"cache_hits", stats.CacheHits, "cache_misses", stats.CacheMisses,
+		"recordings", stats.TraceRecords, "replays", stats.Replays,
+		"live_runs", stats.LiveRuns)
+	return err
+}
+
+// httpError carries a status code through the handler return path.
+type httpError struct {
+	code int
+	msg  string
+}
+
+func (e *httpError) Error() string { return e.msg }
+
+func badRequest(format string, args ...any) error {
+	return &httpError{code: http.StatusBadRequest, msg: fmt.Sprintf(format, args...)}
+}
+
+// endpoint wraps one pipeline handler with the service plumbing: method
+// check, per-endpoint admission (429 + Retry-After on overload), body
+// limit, request deadline, metrics, structured logging, and stable JSON
+// encoding. The handler body runs as an engine job, so it is
+// panic-protected and counted like any batch job.
+func (s *Server) endpoint(name string, h func(ctx context.Context, req *Request) (any, error)) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodPost {
+			w.Header().Set("Allow", http.MethodPost)
+			s.writeError(w, name, &httpError{http.StatusMethodNotAllowed, "use POST"}, time.Now())
+			return
+		}
+		start := time.Now()
+		select {
+		case s.sems[name] <- struct{}{}:
+			defer func() { <-s.sems[name] }()
+		default:
+			// Backpressure: the endpoint is at its concurrency limit.
+			// Refuse instead of queueing so load sheds at the edge.
+			w.Header().Set("Retry-After", "1")
+			s.metrics.rejected(name)
+			s.writeError(w, name, &httpError{http.StatusTooManyRequests,
+				fmt.Sprintf("endpoint %s at its concurrency limit (%d)", name, s.cfg.MaxInflight)}, start)
+			return
+		}
+		s.metrics.inflight(name, +1)
+		defer s.metrics.inflight(name, -1)
+
+		var req Request
+		body := http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
+		dec := json.NewDecoder(body)
+		dec.DisallowUnknownFields()
+		if err := dec.Decode(&req); err != nil {
+			code := http.StatusBadRequest
+			var tooLarge *http.MaxBytesError
+			if errors.As(err, &tooLarge) {
+				code = http.StatusRequestEntityTooLarge
+			}
+			s.writeError(w, name, &httpError{code, "decoding request: " + err.Error()}, start)
+			return
+		}
+
+		ctx, cancel := context.WithTimeout(r.Context(), s.cfg.RequestTimeout)
+		defer cancel()
+		resp, err := runJob(s.eng, func() (any, error) { return h(ctx, &req) })
+		if err != nil {
+			s.writeError(w, name, err, start)
+			return
+		}
+		buf, err := json.Marshal(resp)
+		if err != nil {
+			s.writeError(w, name, err, start)
+			return
+		}
+		buf = append(buf, '\n')
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(http.StatusOK)
+		_, _ = w.Write(buf)
+		s.metrics.observe(name, http.StatusOK, time.Since(start))
+		s.log.Debug("request", "endpoint", name, "code", http.StatusOK,
+			"bytes", len(buf), "elapsed", time.Since(start))
+	}
+}
+
+// runJob executes fn as a single engine job: panic-protected, counted in
+// the engine's job/time counters, run inline in the request goroutine.
+func runJob(eng *runner.Engine, fn func() (any, error)) (any, error) {
+	out, err := runner.Map(eng, []struct{}{{}}, func(int, struct{}) (any, error) {
+		return fn()
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out[0], nil
+}
+
+// errorBody is the JSON error envelope.
+type errorBody struct {
+	Schema string `json:"schema"`
+	Error  string `json:"error"`
+}
+
+func (s *Server) writeError(w http.ResponseWriter, name string, err error, start time.Time) {
+	code := http.StatusInternalServerError
+	var he *httpError
+	switch {
+	case errors.As(err, &he):
+		code = he.code
+	case errors.Is(err, context.DeadlineExceeded):
+		code = http.StatusGatewayTimeout
+	case errors.Is(err, context.Canceled):
+		// The client went away; the status is for the log only.
+		code = 499
+	case errors.Is(err, trace.ErrTooLarge):
+		code = http.StatusRequestEntityTooLarge
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	buf, _ := json.Marshal(errorBody{Schema: Schema, Error: err.Error()})
+	_, _ = w.Write(append(buf, '\n'))
+	s.metrics.observe(name, code, time.Since(start))
+	level := slog.LevelWarn
+	if code >= 500 {
+		level = slog.LevelError
+	}
+	s.log.Log(context.Background(), level, "request failed",
+		"endpoint", name, "code", code, "error", err.Error())
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+	storeHits, storeMisses := s.store.Counters()
+	s.metrics.write(w, s.eng.Stats(), storeSnapshot{
+		entries: s.store.Len(), hits: storeHits, misses: storeMisses,
+	}, time.Since(s.started))
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	fmt.Fprintf(w, "{\"schema\":%q,\"status\":\"ok\"}\n", Schema)
+}
+
+// contentKey builds a content-addressed store key: the kind namespace plus
+// the hash of every input that determines the artifact.
+func contentKey(kind string, parts ...string) string {
+	h := sha256.New()
+	for _, p := range parts {
+		fmt.Fprintf(h, "%d:", len(p))
+		h.Write([]byte(p))
+	}
+	return kind + "/" + hex.EncodeToString(h.Sum(nil)[:16])
+}
+
+// field is a tiny helper for building cache key parts.
+func field(vs ...any) string {
+	var sb strings.Builder
+	for _, v := range vs {
+		fmt.Fprintf(&sb, "%v|", v)
+	}
+	return sb.String()
+}

@@ -1,0 +1,90 @@
+package trace
+
+import (
+	"errors"
+	"fmt"
+	"io"
+)
+
+// ErrTooLarge is returned (wrapped) when a decoded trace exceeds its
+// Limits. Callers distinguish it from corruption with errors.Is.
+var ErrTooLarge = errors.New("trace: stream exceeds size limit")
+
+// Limits bounds decoded branch traces. Both the daemon's upload path and
+// the file loaders enforce them, so a hostile or truncated BLTRACE1 stream
+// cannot balloon into unbounded memory: the run-length encoding can claim
+// 2^60 events in a handful of bytes, and only an event cap stops a decoder
+// from faithfully materialising them.
+type Limits struct {
+	// MaxEvents bounds decoded events (0 = unlimited).
+	MaxEvents uint64
+	// MaxBytes bounds encoded input bytes (0 = unlimited). Enforcement is
+	// on bytes fetched from the underlying reader, so buffered read-ahead
+	// may overshoot the consumed position by one buffer.
+	MaxBytes int64
+}
+
+// DefaultLimits is what the file loaders use: 64M events / 256 MiB input,
+// far above any trace this repository produces (the paper's largest traces
+// are 100M branches; ours default to 2M) but small enough to fail fast on
+// garbage.
+func DefaultLimits() Limits {
+	return Limits{MaxEvents: 1 << 26, MaxBytes: 1 << 28}
+}
+
+// cappedReader returns ErrTooLarge once more than limit bytes were read.
+type cappedReader struct {
+	r    io.Reader
+	left int64
+}
+
+func (c *cappedReader) Read(p []byte) (int, error) {
+	if c.left <= 0 {
+		return 0, fmt.Errorf("input bytes: %w", ErrTooLarge)
+	}
+	if int64(len(p)) > c.left {
+		p = p[:c.left]
+	}
+	n, err := c.r.Read(p)
+	c.left -= int64(n)
+	return n, err
+}
+
+// NewReaderLimits is NewReader with explicit limits; NewReader itself
+// applies DefaultLimits. The event cap is checked as events decode, so a
+// run-length marker claiming billions of repeats fails at the cap instead
+// of looping.
+func NewReaderLimits(r io.Reader, lim Limits) (*Reader, error) {
+	if lim.MaxBytes > 0 {
+		r = &cappedReader{r: r, left: lim.MaxBytes}
+	}
+	tr, err := newReader(r)
+	if err != nil {
+		return nil, err
+	}
+	tr.lim = lim
+	return tr, nil
+}
+
+// ReadSlab decodes a BLTRACE1 stream into a sealed Slab under lim — the
+// daemon's upload path. The events are re-encoded through Slab.Record, so
+// the result is exactly what an in-process recording of the same stream
+// would have produced (and is safe for concurrent replay once returned).
+func ReadSlab(r io.Reader, lim Limits) (*Slab, error) {
+	tr, err := NewReaderLimits(r, lim)
+	if err != nil {
+		return nil, err
+	}
+	s := NewSlab(0)
+	for {
+		ev, err := tr.Next()
+		if err == io.EOF {
+			s.Seal()
+			return s, nil
+		}
+		if err != nil {
+			return nil, err
+		}
+		s.Record(ev.Site, ev.Taken)
+	}
+}

@@ -1,0 +1,146 @@
+package trace
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"io"
+	"testing"
+)
+
+// encodeEvents builds a valid BLTRACE1 stream.
+func encodeEvents(t testing.TB, events []Event) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	w, err := NewWriter(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, ev := range events {
+		w.RecordBranch(ev.Site, ev.Taken)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+func TestReadSlabRoundTrip(t *testing.T) {
+	events := []Event{{0, true}, {0, true}, {1, false}, {2, true}, {2, true}, {2, true}, {0, false}}
+	data := encodeEvents(t, events)
+	s, err := ReadSlab(bytes.NewReader(data), DefaultLimits())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := s.Events(); len(got) != len(events) {
+		t.Fatalf("decoded %d events, want %d", len(got), len(events))
+	} else {
+		for i, ev := range got {
+			if ev != events[i] {
+				t.Fatalf("event %d = %+v, want %+v", i, ev, events[i])
+			}
+		}
+	}
+}
+
+func TestReadSlabEventLimit(t *testing.T) {
+	var events []Event
+	for i := 0; i < 100; i++ {
+		events = append(events, Event{Site: int32(i % 3), Taken: i%2 == 0})
+	}
+	data := encodeEvents(t, events)
+	if _, err := ReadSlab(bytes.NewReader(data), Limits{MaxEvents: 10}); !errors.Is(err, ErrTooLarge) {
+		t.Fatalf("got %v, want ErrTooLarge", err)
+	}
+	if _, err := ReadSlab(bytes.NewReader(data), Limits{MaxEvents: 100}); err != nil {
+		t.Fatalf("at the cap exactly: %v", err)
+	}
+}
+
+// TestReadSlabRunBombLimited is the attack the cap exists for: a few bytes
+// that claim 2^50 identical events must fail at the cap, not materialise.
+func TestReadSlabRunBombLimited(t *testing.T) {
+	var buf bytes.Buffer
+	buf.WriteString("BLTRACE1")
+	b := binary.AppendUvarint(nil, (uint64(7)+1)<<1|1) // one event, site 7 taken
+	b = binary.AppendUvarint(b, 1)                     // run marker
+	b = binary.AppendUvarint(b, 1<<50)                 // claimed repeats
+	buf.Write(b)
+	if _, err := ReadSlab(&buf, Limits{MaxEvents: 1000}); !errors.Is(err, ErrTooLarge) {
+		t.Fatalf("got %v, want ErrTooLarge", err)
+	}
+}
+
+func TestReadSlabByteLimit(t *testing.T) {
+	var events []Event
+	for i := 0; i < 10000; i++ {
+		events = append(events, Event{Site: int32(i % 97), Taken: i%3 == 0})
+	}
+	data := encodeEvents(t, events)
+	if _, err := ReadSlab(bytes.NewReader(data), Limits{MaxBytes: 64}); !errors.Is(err, ErrTooLarge) {
+		t.Fatalf("got %v, want ErrTooLarge", err)
+	}
+}
+
+func TestReadSlabTruncated(t *testing.T) {
+	data := encodeEvents(t, []Event{{0, true}, {1, false}, {2, true}})
+	for cut := 0; cut < len(data); cut++ {
+		_, err := ReadSlab(bytes.NewReader(data[:cut]), DefaultLimits())
+		if err == nil {
+			t.Fatalf("truncation at %d/%d bytes decoded cleanly", cut, len(data))
+		}
+	}
+}
+
+// FuzzReadSlab throws arbitrary and mutated uploads at the daemon's trace
+// decoder: it must never panic, and any stream it accepts must re-encode
+// into a byte stream that decodes to the same events within the limits.
+func FuzzReadSlab(f *testing.F) {
+	f.Add(encodeEvents(f, []Event{{0, true}, {0, true}, {1, false}}))
+	f.Add(encodeEvents(f, nil))
+	f.Add([]byte("BLTRACE1"))
+	f.Add([]byte("NOTATRACE"))
+	bomb := append([]byte("BLTRACE1"), binary.AppendUvarint(nil, 4)...)
+	bomb = append(bomb, binary.AppendUvarint(nil, 1)...)
+	bomb = append(bomb, binary.AppendUvarint(nil, 1<<40)...)
+	f.Add(bomb)
+	lim := Limits{MaxEvents: 4096, MaxBytes: 1 << 16}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		s, err := ReadSlab(bytes.NewReader(data), lim)
+		if err != nil {
+			return
+		}
+		if s.Len() > lim.MaxEvents {
+			t.Fatalf("accepted %d events past the %d cap", s.Len(), lim.MaxEvents)
+		}
+		var buf bytes.Buffer
+		if _, err := s.WriteTo(&buf); err != nil {
+			t.Fatalf("re-encoding accepted slab: %v", err)
+		}
+		s2, err := ReadSlab(bytes.NewReader(buf.Bytes()), lim)
+		if err != nil {
+			t.Fatalf("re-decoding accepted slab: %v", err)
+		}
+		if s2.Len() != s.Len() {
+			t.Fatalf("round trip changed event count: %d != %d", s2.Len(), s.Len())
+		}
+	})
+}
+
+// TestReaderLimitsViaNewReader pins that the plain file loader path
+// (NewReader / ReadAll) enforces DefaultLimits rather than being unbounded.
+func TestReaderLimitsViaNewReader(t *testing.T) {
+	r, err := NewReader(bytes.NewReader(encodeEvents(t, []Event{{0, true}})))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.lim != DefaultLimits() {
+		t.Fatalf("NewReader limits = %+v, want DefaultLimits", r.lim)
+	}
+	if _, err := r.Next(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.Next(); err != io.EOF {
+		t.Fatalf("got %v, want EOF", err)
+	}
+}

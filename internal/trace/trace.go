@@ -168,6 +168,7 @@ func b2u(b bool) uint64 {
 // Reader decodes a trace written by Writer.
 type Reader struct {
 	r     *bufio.Reader
+	lim   Limits
 	last  Event
 	valid bool
 	run   uint64
@@ -176,8 +177,14 @@ type Reader struct {
 	total uint64
 }
 
-// NewReader validates the header and returns a reader.
+// NewReader validates the header and returns a reader enforcing
+// DefaultLimits; use NewReaderLimits to choose different bounds.
 func NewReader(r io.Reader) (*Reader, error) {
+	return NewReaderLimits(r, DefaultLimits())
+}
+
+// newReader validates the header; the caller sets limits.
+func newReader(r io.Reader) (*Reader, error) {
 	br := bufio.NewReaderSize(r, 1<<16)
 	hdr := make([]byte, len(magic))
 	if _, err := io.ReadFull(br, hdr); err != nil {
@@ -195,6 +202,9 @@ func (r *Reader) Next() (Event, error) {
 	if r.run > 0 {
 		r.run--
 		r.count++
+		if err := r.checkEvents(); err != nil {
+			return Event{}, err
+		}
 		return r.last, nil
 	}
 	if r.done {
@@ -229,6 +239,9 @@ func (r *Reader) Next() (Event, error) {
 		}
 		r.run = n - 1
 		r.count++
+		if err := r.checkEvents(); err != nil {
+			return Event{}, err
+		}
 		return r.last, nil
 	default:
 		ev := Event{Site: int32(code>>1) - 1, Taken: code&1 == 1}
@@ -238,8 +251,19 @@ func (r *Reader) Next() (Event, error) {
 		r.last = ev
 		r.valid = true
 		r.count++
+		if err := r.checkEvents(); err != nil {
+			return Event{}, err
+		}
 		return ev, nil
 	}
+}
+
+// checkEvents enforces the event cap after each decoded event.
+func (r *Reader) checkEvents() error {
+	if r.lim.MaxEvents != 0 && r.count > r.lim.MaxEvents {
+		return fmt.Errorf("trace: %d events: %w", r.count, ErrTooLarge)
+	}
+	return nil
 }
 
 // ReadAll decodes the entire stream.
