@@ -3,6 +3,7 @@
 # Mirrored by .github/workflows/ci.yml; run locally with `make ci`.
 set -eux
 
+test -z "$(gofmt -l .)"
 go vet ./...
 go build ./...
 go test ./...

@@ -178,12 +178,17 @@ func runMachine(m *interp.Machine) (truncated bool, err error) {
 }
 
 // artifactFor records — or fetches from the store — the branch trace of
-// one program cell. Cancelled recordings are not cached (LRU drops
-// errors), so a retry after a timeout starts clean.
+// one program cell. Population is single-flight, so the recording runs
+// under a detached context bounded by the server's RequestTimeout rather
+// than the first requester's: one client disconnecting must not fail every
+// concurrent waiter sharing the entry. Failed recordings are not cached
+// (LRU drops errors), so a retry after a timeout starts clean.
 func (s *Server) artifactFor(ctx context.Context, c *compiled, req *Request, budget uint64) (*artifact, error) {
 	key := contentKey("art", c.key, field(budget, req.Seed, req.Scale))
 	return runner.LRUCached(s.store, key, func() (*artifact, error) {
-		m, err := s.newMachine(ctx, c, c.prog, budget, req)
+		rctx, cancel := context.WithTimeout(context.WithoutCancel(ctx), s.cfg.RequestTimeout)
+		defer cancel()
+		m, err := s.newMachine(rctx, c, c.prog, budget, req)
 		if err != nil {
 			return nil, err
 		}
@@ -522,10 +527,10 @@ func (s *Server) handleReplicate(ctx context.Context, req *Request) (any, error)
 
 // ScoreResponse answers /v1/score.
 type ScoreResponse struct {
-	SchemaV  string `json:"schema"`
-	Kind     string `json:"kind"`
-	Strategy string `json:"strategy"`
-	Source   string `json:"source"`
+	SchemaV  string    `json:"schema"`
+	Kind     string    `json:"kind"`
+	Strategy string    `json:"strategy"`
+	Source   string    `json:"source"`
 	NumSites int       `json:"num_sites"`
 	Events   uint64    `json:"events"`
 	Score    RateBlock `json:"score"`

@@ -60,7 +60,10 @@ type Config struct {
 	// MaxBodyBytes caps request bodies (default 8 MiB).
 	MaxBodyBytes int64
 	// TraceLimits bounds uploaded BLTRACE1 slabs (default: MaxBudget
-	// events, MaxBodyBytes bytes).
+	// events, 64k sites, MaxBodyBytes bytes). The site cap matters most:
+	// scoring sizes per-site tables from the largest site in the trace, so
+	// an uncapped upload naming site 2^31-1 would OOM the daemon from a
+	// few bytes of input.
 	TraceLimits trace.Limits
 	// CacheEntries sizes the content-addressed artifact store (default 128).
 	CacheEntries int
@@ -85,7 +88,7 @@ func (c *Config) setDefaults() {
 		c.MaxBodyBytes = 8 << 20
 	}
 	if c.TraceLimits == (trace.Limits{}) {
-		c.TraceLimits = trace.Limits{MaxEvents: c.MaxBudget, MaxBytes: c.MaxBodyBytes}
+		c.TraceLimits = trace.Limits{MaxEvents: c.MaxBudget, MaxSites: 1 << 16, MaxBytes: c.MaxBodyBytes}
 	}
 	if c.CacheEntries == 0 {
 		c.CacheEntries = 128
@@ -146,7 +149,15 @@ func (s *Server) Handler() http.Handler { return s.mux }
 // requests get up to drainTimeout to complete. This is the SIGTERM path of
 // cmd/kralld.
 func (s *Server) Serve(ctx context.Context, l net.Listener, drainTimeout time.Duration) error {
-	srv := &http.Server{Handler: s.mux}
+	// Read deadlines stop a slow client from pinning resources: headers
+	// must arrive promptly and the whole body within the request budget,
+	// so a trickled upload cannot hold a connection (or an admission slot)
+	// open indefinitely.
+	srv := &http.Server{
+		Handler:           s.mux,
+		ReadHeaderTimeout: 10 * time.Second,
+		ReadTimeout:       s.cfg.RequestTimeout,
+	}
 	errc := make(chan error, 1)
 	go func() { errc <- srv.Serve(l) }()
 	select {
@@ -193,6 +204,24 @@ func (s *Server) endpoint(name string, h func(ctx context.Context, req *Request)
 			return
 		}
 		start := time.Now()
+
+		// Read the whole body before taking an admission slot: a client
+		// that trickles its upload must not occupy MaxInflight capacity
+		// while doing so (the server's ReadTimeout bounds the trickle).
+		var req Request
+		body := http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
+		dec := json.NewDecoder(body)
+		dec.DisallowUnknownFields()
+		if err := dec.Decode(&req); err != nil {
+			code := http.StatusBadRequest
+			var tooLarge *http.MaxBytesError
+			if errors.As(err, &tooLarge) {
+				code = http.StatusRequestEntityTooLarge
+			}
+			s.writeError(w, name, &httpError{code, "decoding request: " + err.Error()}, start)
+			return
+		}
+
 		select {
 		case s.sems[name] <- struct{}{}:
 			defer func() { <-s.sems[name] }()
@@ -207,20 +236,6 @@ func (s *Server) endpoint(name string, h func(ctx context.Context, req *Request)
 		}
 		s.metrics.inflight(name, +1)
 		defer s.metrics.inflight(name, -1)
-
-		var req Request
-		body := http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
-		dec := json.NewDecoder(body)
-		dec.DisallowUnknownFields()
-		if err := dec.Decode(&req); err != nil {
-			code := http.StatusBadRequest
-			var tooLarge *http.MaxBytesError
-			if errors.As(err, &tooLarge) {
-				code = http.StatusRequestEntityTooLarge
-			}
-			s.writeError(w, name, &httpError{code, "decoding request: " + err.Error()}, start)
-			return
-		}
 
 		ctx, cancel := context.WithTimeout(r.Context(), s.cfg.RequestTimeout)
 		defer cancel()

@@ -163,6 +163,27 @@ func TestScoreUploadTooLarge(t *testing.T) {
 	}
 }
 
+// TestScoreUploadHugeSite is the site-ID bomb: a tiny upload whose single
+// event names a huge site must be refused with 413, not size per-site
+// tables from it (which would allocate gigabytes and OOM the daemon).
+func TestScoreUploadHugeSite(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	var buf bytes.Buffer
+	w, err := trace.NewWriter(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w.RecordBranch(1<<30, true)
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	body := fmt.Sprintf(`{"trace_b64":%q}`, base64.StdEncoding.EncodeToString(buf.Bytes()))
+	code, out := post(t, ts, "score", body)
+	if code != http.StatusRequestEntityTooLarge {
+		t.Fatalf("status %d (%s), want 413", code, out)
+	}
+}
+
 // TestBadRequests sweeps the request-validation surface.
 func TestBadRequests(t *testing.T) {
 	_, ts := newTestServer(t, Config{})
@@ -253,6 +274,28 @@ func main() int {
     }
     return total;
 }`
+
+// TestArtifactDetachedFromRequester pins the single-flight contract:
+// recording runs under a context detached from the requester's, so a
+// client that disconnects (here: a context cancelled before the call)
+// cannot poison the cache entry for concurrent waiters sharing it.
+func TestArtifactDetachedFromRequester(t *testing.T) {
+	s := New(Config{})
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	req := &Request{Workload: "cc"}
+	c, err := s.resolveProgram(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	art, err := s.artifactFor(ctx, c, req, 5000)
+	if err != nil {
+		t.Fatalf("recording failed under a cancelled requester context: %v", err)
+	}
+	if art.slab.Len() == 0 {
+		t.Fatal("recording produced an empty slab")
+	}
+}
 
 // TestRequestTimeout proves the deadline reaches the interpreter loop: a
 // spinning program must come back 504, not hang.

@@ -18,18 +18,24 @@ var ErrTooLarge = errors.New("trace: stream exceeds size limit")
 type Limits struct {
 	// MaxEvents bounds decoded events (0 = unlimited).
 	MaxEvents uint64
+	// MaxSites rejects any event whose site ID is >= MaxSites (0 = no cap
+	// beyond the int32 encoding range). Consumers size per-site tables
+	// from the largest site they see, so without this cap a few-byte
+	// stream naming site 2^31-1 makes the *consumer* allocate gigabytes
+	// even though the decoder itself stays small.
+	MaxSites int32
 	// MaxBytes bounds encoded input bytes (0 = unlimited). Enforcement is
 	// on bytes fetched from the underlying reader, so buffered read-ahead
 	// may overshoot the consumed position by one buffer.
 	MaxBytes int64
 }
 
-// DefaultLimits is what the file loaders use: 64M events / 256 MiB input,
-// far above any trace this repository produces (the paper's largest traces
-// are 100M branches; ours default to 2M) but small enough to fail fast on
-// garbage.
+// DefaultLimits is what the file loaders use: 64M events / 1M sites /
+// 256 MiB input, far above any trace this repository produces (the paper's
+// largest traces are 100M branches; ours default to 2M) but small enough
+// to fail fast on garbage.
 func DefaultLimits() Limits {
-	return Limits{MaxEvents: 1 << 26, MaxBytes: 1 << 28}
+	return Limits{MaxEvents: 1 << 26, MaxSites: 1 << 20, MaxBytes: 1 << 28}
 }
 
 // cappedReader returns ErrTooLarge once more than limit bytes were read.

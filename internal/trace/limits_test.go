@@ -71,6 +71,37 @@ func TestReadSlabRunBombLimited(t *testing.T) {
 	}
 }
 
+// TestReadSlabSiteLimit is the site-ID bomb: a few-byte stream naming a
+// huge site must be refused before any consumer sizes per-site tables
+// from it.
+func TestReadSlabSiteLimit(t *testing.T) {
+	data := encodeEvents(t, []Event{{1 << 30, true}})
+	if _, err := ReadSlab(bytes.NewReader(data), DefaultLimits()); !errors.Is(err, ErrTooLarge) {
+		t.Fatalf("default limits: got %v, want ErrTooLarge", err)
+	}
+	if _, err := ReadSlab(bytes.NewReader(data), Limits{MaxSites: 1 << 30}); !errors.Is(err, ErrTooLarge) {
+		t.Fatalf("site at the cap: got %v, want ErrTooLarge", err)
+	}
+	if _, err := ReadSlab(bytes.NewReader(data), Limits{MaxSites: 1<<30 + 1}); err != nil {
+		t.Fatalf("site under the cap: %v", err)
+	}
+	if _, err := ReadSlab(bytes.NewReader(data), Limits{}); err != nil {
+		t.Fatalf("unlimited sites: %v", err)
+	}
+}
+
+// TestReadSlabSiteOverflow hand-encodes a site beyond int32: it must be
+// reported as corruption, not wrapped into a small alias.
+func TestReadSlabSiteOverflow(t *testing.T) {
+	var buf bytes.Buffer
+	buf.WriteString("BLTRACE1")
+	buf.Write(binary.AppendUvarint(nil, (uint64(1)<<40)<<1)) // site 2^40-1
+	_, err := ReadSlab(&buf, Limits{})
+	if err == nil || errors.Is(err, ErrTooLarge) {
+		t.Fatalf("got %v, want an overflow corruption error", err)
+	}
+}
+
 func TestReadSlabByteLimit(t *testing.T) {
 	var events []Event
 	for i := 0; i < 10000; i++ {
@@ -104,7 +135,8 @@ func FuzzReadSlab(f *testing.F) {
 	bomb = append(bomb, binary.AppendUvarint(nil, 1)...)
 	bomb = append(bomb, binary.AppendUvarint(nil, 1<<40)...)
 	f.Add(bomb)
-	lim := Limits{MaxEvents: 4096, MaxBytes: 1 << 16}
+	f.Add(encodeEvents(f, []Event{{1 << 28, true}})) // site bomb
+	lim := Limits{MaxEvents: 4096, MaxSites: 1 << 12, MaxBytes: 1 << 16}
 	f.Fuzz(func(t *testing.T, data []byte) {
 		s, err := ReadSlab(bytes.NewReader(data), lim)
 		if err != nil {
@@ -113,6 +145,11 @@ func FuzzReadSlab(f *testing.F) {
 		if s.Len() > lim.MaxEvents {
 			t.Fatalf("accepted %d events past the %d cap", s.Len(), lim.MaxEvents)
 		}
+		s.ReplayRuns(func(site int32, _ bool, _ uint64) {
+			if site >= lim.MaxSites {
+				t.Fatalf("accepted site %d past the %d-site cap", site, lim.MaxSites)
+			}
+		})
 		var buf bytes.Buffer
 		if _, err := s.WriteTo(&buf); err != nil {
 			t.Fatalf("re-encoding accepted slab: %v", err)

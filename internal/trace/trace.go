@@ -11,6 +11,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"math"
 
 	"repro/internal/ir"
 )
@@ -244,9 +245,13 @@ func (r *Reader) Next() (Event, error) {
 		}
 		return r.last, nil
 	default:
-		ev := Event{Site: int32(code>>1) - 1, Taken: code&1 == 1}
-		if ev.Site < 0 {
-			return Event{}, fmt.Errorf("trace: invalid site in code %d", code)
+		site := code>>1 - 1 // code >= 2 here, so this cannot underflow
+		if site > math.MaxInt32 {
+			return Event{}, fmt.Errorf("trace: site %d in code %d overflows int32", site, code)
+		}
+		ev := Event{Site: int32(site), Taken: code&1 == 1}
+		if r.lim.MaxSites > 0 && ev.Site >= r.lim.MaxSites {
+			return Event{}, fmt.Errorf("trace: site %d exceeds the %d-site cap: %w", ev.Site, r.lim.MaxSites, ErrTooLarge)
 		}
 		r.last = ev
 		r.valid = true
