@@ -1,7 +1,7 @@
 GO ?= go
 FUZZTIME ?= 10s
 
-.PHONY: all build vet test race bench benchjson profile fuzz golden serve loadcheck ci
+.PHONY: all build vet test race bench benchjson profile fuzz check golden serve loadcheck ci
 
 all: build test
 
@@ -36,6 +36,13 @@ profile:
 # internal/lang/testdata/fuzz. Raise FUZZTIME for a real session.
 fuzz:
 	$(GO) test -run='^$$' -fuzz=FuzzParse -fuzztime=$(FUZZTIME) ./internal/lang
+
+# Static analysis: lint the example programs and verify that replicating
+# each one preserves replication equivalence (krallcheck), then fuzz the
+# verifier for false positives on generated programs.
+check:
+	$(GO) run ./cmd/krallcheck examples/bl/*.bl
+	$(GO) test -run='^$$' -fuzz=FuzzVerify -fuzztime=$(FUZZTIME) ./internal/analysis
 
 # Regenerate the committed krallbench golden files after an intended
 # output change. The service's golden JSON responses regenerate the same

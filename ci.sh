@@ -10,6 +10,8 @@ go test ./...
 go test -race ./...
 go test -run='^$' -fuzz=FuzzParse -fuzztime=10s ./internal/lang
 go test -run='^$' -fuzz=FuzzReadSlab -fuzztime=10s ./internal/trace
+go test -run='^$' -fuzz=FuzzVerify -fuzztime=10s ./internal/analysis
+go run ./cmd/krallcheck examples/bl/*.bl
 go test -bench=. -benchtime=1x -run='^$' .
 go run ./cmd/krallbench -all -benchjson BENCH_results.json > /dev/null
 go run ./cmd/kralld -selfcheck -quiet -metrics-out kralld-metrics.txt

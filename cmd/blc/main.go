@@ -7,6 +7,7 @@
 //	blc [flags] file.bl
 //
 //	-dump          print the lowered IR and exit
+//	-check         run the static analysis suite and exit
 //	-run           execute main and print the result (default)
 //	-trace FILE    write the branch trace to FILE while running
 //	-budget N      stop after N branch events (0 = run to completion)
@@ -22,6 +23,7 @@ import (
 	"strconv"
 	"strings"
 
+	"repro/internal/analysis"
 	"repro/internal/interp"
 	"repro/internal/lang"
 	"repro/internal/trace"
@@ -39,12 +41,21 @@ func main() {
 	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
 }
 
-// run is the testable entry point; it returns the process exit code.
-func run(args []string, stdout, stderr io.Writer) int {
+// run is the testable entry point; it returns the process exit code: 0 on
+// success, 1 on runtime or analysis failure, 2 on malformed input or an
+// internal fault.
+func run(args []string, stdout, stderr io.Writer) (code int) {
+	defer func() {
+		if r := recover(); r != nil {
+			fmt.Fprintf(stderr, "blc: internal error: %v\n", r)
+			code = 2
+		}
+	}()
 	fs := flag.NewFlagSet("blc", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	var (
 		dump      = fs.Bool("dump", false, "print the lowered IR and exit")
+		check     = fs.Bool("check", false, "run the static analysis suite and exit")
 		doRun     = fs.Bool("run", true, "execute main")
 		traceFile = fs.String("trace", "", "write the branch trace to this file")
 		budget    = fs.Uint64("budget", 0, "stop after this many branch events")
@@ -68,10 +79,21 @@ func run(args []string, stdout, stderr io.Writer) int {
 	prog, err := lang.Compile(string(src))
 	if err != nil {
 		fmt.Fprintln(stderr, "blc:", err)
-		return 1
+		return 2
 	}
 	if *dump {
 		fmt.Fprint(stdout, prog.String())
+		return 0
+	}
+	if *check {
+		diags := analysis.Lint(prog, nil, nil)
+		for _, d := range diags {
+			fmt.Fprintf(stdout, "%s: %s\n", fs.Arg(0), d)
+		}
+		if analysis.HasErrors(diags) {
+			return 1
+		}
+		fmt.Fprintf(stdout, "%s: ok (%d warnings)\n", fs.Arg(0), len(diags))
 		return 0
 	}
 	if !*doRun {

@@ -106,8 +106,8 @@ func TestErrors(t *testing.T) {
 		t.Fatal("missing file must exit 1")
 	}
 	bad := writeProg(t, "func main() int { return x; }")
-	if code, _, errs := runBlc(t, bad); code != 1 || !strings.Contains(errs, "undefined") {
-		t.Fatalf("compile error must surface: %s", errs)
+	if code, _, errs := runBlc(t, bad); code != 2 || !strings.Contains(errs, "undefined") {
+		t.Fatalf("compile error must exit 2 with a diagnostic: %s", errs)
 	}
 	if code, _, _ := runBlc(t, "-set", "garbage", path); code != 1 {
 		t.Fatal("bad -set must exit 1")
@@ -121,5 +121,20 @@ func TestErrors(t *testing.T) {
 	trap := writeProg(t, "func main() int { return 1 / 0; }")
 	if code, _, errs := runBlc(t, trap); code != 1 || !strings.Contains(errs, "division") {
 		t.Fatalf("trap must surface: %s", errs)
+	}
+}
+
+func TestCheckFlag(t *testing.T) {
+	path := writeProg(t, prog)
+	code, out, errs := runBlc(t, "-check", path)
+	if code != 0 {
+		t.Fatalf("exit %d: %s", code, errs)
+	}
+	if !strings.Contains(out, "ok") {
+		t.Fatalf("check output: %s", out)
+	}
+	// -check must not execute the program.
+	if strings.Contains(out, "result:") {
+		t.Fatalf("-check ran the program: %s", out)
 	}
 }

@@ -1,0 +1,213 @@
+// Command krallcheck runs the static analysis suite over BL programs or
+// built-in workloads: CFG lint, state-machine well-formedness, profile
+// consistency, and — unless -lint-only is set — the replication-equivalence
+// verifier, which replays the full profile→machines→replicate pipeline with
+// translation validation enabled and rejects any transform whose output is
+// not a provable control-flow unfolding of its input.
+//
+// Usage:
+//
+//	krallcheck [flags] (file.bl ... | -workload NAME)
+//
+//	-workload NAME   check a built-in workload instead of source files
+//	-states N        maximum machine size (default 5)
+//	-budget N        branch budget for the profiling run (default 200000)
+//	-seed N          dataset seed override
+//	-joint           verify the joint (§6) replication driver
+//	-max-size-factor F  replication size budget (default 3)
+//	-lint-only       skip the replication equivalence check
+//	-q               print errors only
+//
+// Exit status: 0 when no pass reported an error (warnings are allowed), 1
+// when any error diagnostic was reported, 2 on malformed input or internal
+// failure.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"repro/internal/analysis"
+	"repro/internal/bench"
+	"repro/internal/interp"
+	"repro/internal/ir"
+	"repro/internal/lang"
+	"repro/internal/predict"
+	"repro/internal/profile"
+	"repro/internal/replicate"
+	"repro/internal/statemachine"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+type options struct {
+	states   int
+	budget   uint64
+	seed     int64
+	joint    bool
+	sizeFac  float64
+	lintOnly bool
+	quiet    bool
+}
+
+// run is the testable entry point; it returns the process exit code.
+func run(args []string, stdout, stderr io.Writer) (code int) {
+	defer func() {
+		if r := recover(); r != nil {
+			fmt.Fprintf(stderr, "krallcheck: internal error: %v\n", r)
+			code = 2
+		}
+	}()
+	fs := flag.NewFlagSet("krallcheck", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		workload = fs.String("workload", "", "built-in workload name")
+		opts     options
+	)
+	fs.IntVar(&opts.states, "states", 5, "maximum machine size")
+	fs.Uint64Var(&opts.budget, "budget", 200_000, "branch budget for the profiling run")
+	fs.Int64Var(&opts.seed, "seed", 0, "dataset seed override")
+	fs.BoolVar(&opts.joint, "joint", false, "verify the joint replication driver")
+	fs.Float64Var(&opts.sizeFac, "max-size-factor", 3, "replication size budget")
+	fs.BoolVar(&opts.lintOnly, "lint-only", false, "skip the replication equivalence check")
+	fs.BoolVar(&opts.quiet, "q", false, "print errors only")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if opts.states < 2 {
+		fmt.Fprintf(stderr, "krallcheck: -states %d out of range, need at least 2\n", opts.states)
+		return 2
+	}
+
+	type target struct {
+		name string
+		prog func() (*ir.Program, error)
+	}
+	var targets []target
+	switch {
+	case *workload != "":
+		w, err := bench.ByName(*workload)
+		if err != nil {
+			fmt.Fprintln(stderr, "krallcheck:", err)
+			return 2
+		}
+		targets = append(targets, target{name: w.Name, prog: func() (*ir.Program, error) {
+			c, err := bench.Compile(w)
+			if err != nil {
+				return nil, err
+			}
+			return c.Prog, nil
+		}})
+	case fs.NArg() > 0:
+		for _, path := range fs.Args() {
+			path := path
+			targets = append(targets, target{name: path, prog: func() (*ir.Program, error) {
+				src, err := os.ReadFile(path)
+				if err != nil {
+					return nil, err
+				}
+				return lang.Compile(string(src))
+			}})
+		}
+	default:
+		fmt.Fprintln(stderr, "usage: krallcheck [flags] (file.bl ... | -workload NAME)")
+		fs.Usage()
+		return 2
+	}
+
+	for _, tg := range targets {
+		prog, err := tg.prog()
+		if err != nil {
+			fmt.Fprintf(stderr, "krallcheck: %s: %v\n", tg.name, err)
+			return 2
+		}
+		if c := checkOne(tg.name, prog, opts, stdout, stderr); c > code {
+			code = c
+		}
+	}
+	return code
+}
+
+// checkOne analyses one compiled program and returns its exit code.
+func checkOne(name string, prog *ir.Program, opts options, stdout, stderr io.Writer) int {
+	nSites := prog.NumberBranches(true)
+	if err := prog.Validate(); err != nil {
+		fmt.Fprintf(stderr, "krallcheck: %s: invalid IR: %v\n", name, err)
+		return 2
+	}
+
+	// Profile the program so machine selection and the profile-consistency
+	// pass have real data to check.
+	prof := profile.New(nSites, profile.Options{})
+	m := interp.New(prog)
+	m.MaxBranches = opts.budget
+	m.Hook = prof.Branch
+	if opts.seed != 0 {
+		// Only workloads declare wseed; ad-hoc programs simply lack it.
+		_ = m.SetGlobal("wseed", opts.seed)
+	}
+	if _, err := m.Run(); err != nil && err != interp.ErrLimit {
+		fmt.Fprintf(stderr, "krallcheck: %s: profiling run: %v\n", name, err)
+		return 2
+	}
+	feats := predict.Analyze(prog)
+	choices := statemachine.Select(prof, feats, statemachine.Options{
+		MaxStates:  opts.states,
+		MaxPathLen: 1,
+	})
+	preds := predict.ProfileStatic(prof.Counts).Preds
+
+	diags := analysis.Lint(prog, choices, prof)
+	verified := false
+	if !opts.lintOnly {
+		clone := ir.CloneProgram(prog)
+		ropts := replicate.Options{Verify: true, MaxSizeFactor: opts.sizeFac}
+		var st *replicate.Stats
+		var err error
+		if opts.joint {
+			st, err = replicate.ApplyJoint(clone, choices, preds, ropts)
+		} else {
+			st, err = replicate.ApplyOpts(clone, choices, preds, ropts)
+		}
+		if st != nil {
+			diags = append(diags, st.Diags...)
+		}
+		if err != nil && !analysis.HasErrors(diags) {
+			fmt.Fprintf(stderr, "krallcheck: %s: replication: %v\n", name, err)
+			return 2
+		}
+		verified = st != nil && st.Verified
+	}
+
+	errs, warns := 0, 0
+	for _, d := range diags {
+		if d.Sev == analysis.Error {
+			errs++
+			fmt.Fprintf(stdout, "%s: %s\n", name, d)
+		} else {
+			warns++
+			if !opts.quiet {
+				fmt.Fprintf(stdout, "%s: %s\n", name, d)
+			}
+		}
+	}
+	if !opts.quiet {
+		status := "replication not checked"
+		switch {
+		case verified:
+			status = "replication verified"
+		case !opts.lintOnly:
+			status = "replication NOT verified"
+		}
+		fmt.Fprintf(stdout, "%s: %d branch sites, %d errors, %d warnings, %s\n",
+			name, nSites, errs, warns, status)
+	}
+	if errs > 0 {
+		return 1
+	}
+	return 0
+}

@@ -12,6 +12,7 @@
 //	-budget N       branch budget for the profiling and measuring runs
 //	-seed N         dataset seed override
 //	-joint          use joint (§6) machines for same-loop branches
+//	-check          run the replication-equivalence verifier on the transform
 //	-dump           print the transformed IR
 //	-v              per-branch strategy report
 package main
@@ -36,8 +37,15 @@ func main() {
 	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
 }
 
-// run is the testable entry point; it returns the process exit code.
-func run(args []string, stdout, stderr io.Writer) int {
+// run is the testable entry point; it returns the process exit code: 0 on
+// success, 1 on pipeline failure, 2 on malformed input or an internal fault.
+func run(args []string, stdout, stderr io.Writer) (code int) {
+	defer func() {
+		if r := recover(); r != nil {
+			fmt.Fprintf(stderr, "replicate: internal error: %v\n", r)
+			code = 2
+		}
+	}()
 	fs := flag.NewFlagSet("replicate", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	var (
@@ -46,10 +54,15 @@ func run(args []string, stdout, stderr io.Writer) int {
 		budget   = fs.Uint64("budget", 2_000_000, "branch budget per run")
 		seed     = fs.Int64("seed", 0, "dataset seed override")
 		joint    = fs.Bool("joint", false, "use joint machines for same-loop branches")
+		check    = fs.Bool("check", false, "run the replication-equivalence verifier on the transform")
 		dump     = fs.Bool("dump", false, "print the transformed IR")
 		verbose  = fs.Bool("v", false, "per-branch strategy report")
 	)
 	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if *states < 2 {
+		fmt.Fprintf(stderr, "replicate: -states %d out of range, machines need at least 2 states\n", *states)
 		return 2
 	}
 	fail := func(err error) int {
@@ -142,14 +155,18 @@ func run(args []string, stdout, stderr io.Writer) int {
 	}
 
 	clone := ir.CloneProgram(prog)
+	ropts := replicate.Options{MaxSizeFactor: 3, Verify: *check}
 	var st *replicate.Stats
 	if *joint {
-		st, err = replicate.ApplyJoint(clone, choices, preds, replicate.Options{MaxSizeFactor: 3})
+		st, err = replicate.ApplyJoint(clone, choices, preds, ropts)
 	} else {
-		st, err = replicate.ApplyOpts(clone, choices, preds, replicate.Options{MaxSizeFactor: 3})
+		st, err = replicate.ApplyOpts(clone, choices, preds, ropts)
 	}
 	if err != nil {
 		return fail(err)
+	}
+	if st.Verified {
+		fmt.Fprintln(stdout, "transform verified: replication equivalence holds")
 	}
 	mr, err := execute(clone, nil)
 	if err != nil {

@@ -67,4 +67,21 @@ func TestReplicateErrors(t *testing.T) {
 	if code, _, _ := runCmd(t, "/does/not/exist.bl"); code != 1 {
 		t.Fatal("missing file must exit 1")
 	}
+	if code, _, errs := runCmd(t, "-states", "1", "-workload", "compress"); code != 2 || !strings.Contains(errs, "-states") {
+		t.Fatalf("bad -states must exit 2 with a diagnostic, got %d: %s", code, errs)
+	}
+}
+
+func TestReplicateCheckFlag(t *testing.T) {
+	code, out, errs := runCmd(t, "-workload", "compress", "-budget", "40000", "-check")
+	if code != 0 {
+		t.Fatalf("exit %d: %s", code, errs)
+	}
+	if !strings.Contains(out, "transform verified") {
+		t.Fatalf("missing verification line:\n%s", out)
+	}
+	code, out, errs = runCmd(t, "-workload", "compress", "-budget", "40000", "-check", "-joint")
+	if code != 0 || !strings.Contains(out, "transform verified") {
+		t.Fatalf("joint check exit %d:\n%s%s", code, out, errs)
+	}
 }

@@ -1,0 +1,204 @@
+// Package analysis is a pass-manager framework over the ir/cfg packages, in
+// the spirit of translation validation (Necula, PLDI 2000): instead of
+// trusting the replicator, each transformed program is checked against its
+// source by static passes that emit structured diagnostics.
+//
+// The headline pass is Equivalence, which uses the copy provenance recorded
+// by internal/replicate to check a lock-step simulation between the original
+// program and its replicated form: every copy's instruction body matches its
+// origin, every successor edge lands on a copy of the correct original
+// successor, and every static prediction equals the majority direction of
+// the machine state that governs that copy. Supporting passes lint the CFG,
+// check state-machine well-formedness, and cross-check profile tables.
+package analysis
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/cfg"
+	"repro/internal/ir"
+	"repro/internal/profile"
+	"repro/internal/statemachine"
+)
+
+// Severity ranks a diagnostic. Errors mean the checked property is violated;
+// warnings flag suspicious but not incorrect shapes.
+type Severity uint8
+
+const (
+	// Warning flags code that is legal but probably unintended.
+	Warning Severity = iota
+	// Error means a checked invariant is violated.
+	Error
+)
+
+func (s Severity) String() string {
+	if s == Error {
+		return "error"
+	}
+	return "warning"
+}
+
+// Pos locates a diagnostic inside a program. Block and Instr are indices
+// into the named function; -1 means "not applicable" (Instr == -1 points at
+// the block's terminator or the block as a whole; Block == -1 at the
+// function or program).
+type Pos struct {
+	Func  string
+	Block int
+	Instr int
+}
+
+func (p Pos) String() string {
+	switch {
+	case p.Func == "":
+		return "program"
+	case p.Block < 0:
+		return p.Func
+	case p.Instr < 0:
+		return fmt.Sprintf("%s/b%d", p.Func, p.Block)
+	default:
+		return fmt.Sprintf("%s/b%d[%d]", p.Func, p.Block, p.Instr)
+	}
+}
+
+// BlockPos builds a Pos for a block of a function.
+func BlockPos(f *ir.Func, b *ir.Block) Pos {
+	return Pos{Func: f.Name, Block: b.ID, Instr: -1}
+}
+
+// Diagnostic is one finding of one pass.
+type Diagnostic struct {
+	Pass string
+	Sev  Severity
+	Pos  Pos
+	Msg  string
+}
+
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s: %s: %s: %s", d.Sev, d.Pass, d.Pos, d.Msg)
+}
+
+// Pass is one analyzer. Run inspects the Context's program(s) and reports
+// findings through Context.Errorf/Warnf.
+type Pass interface {
+	Name() string
+	Run(c *Context)
+}
+
+// Context carries everything passes need: the program under analysis, the
+// optional original program plus provenance (for Equivalence), the machine
+// choices and profile predictions that were applied, the collected profile
+// (for ProfileConsistency), and per-function CFG/loop caches shared by all
+// passes in one Manager run.
+type Context struct {
+	// Prog is the program under analysis (the replicated program for
+	// Equivalence, any program for lint passes). Required.
+	Prog *ir.Program
+	// Orig is the pre-transform snapshot Equivalence checks against.
+	Orig *ir.Program
+	// Prov is the copy provenance recorded during replication.
+	Prov *Provenance
+	// Choices are the machine selections that were applied.
+	Choices []statemachine.Choice
+	// Preds are the per-Orig-site profile predictions passed to Annotate.
+	Preds []ir.Prediction
+	// Prof is the collected profile, for ProfileConsistency.
+	Prof *profile.Profile
+
+	graphs map[*ir.Func]*cfg.Graph
+	loops  map[*ir.Func]*cfg.LoopForest
+	pass   string
+	diags  []Diagnostic
+}
+
+// NewContext returns a Context for analysing prog.
+func NewContext(prog *ir.Program) *Context {
+	return &Context{
+		Prog:   prog,
+		graphs: make(map[*ir.Func]*cfg.Graph),
+		loops:  make(map[*ir.Func]*cfg.LoopForest),
+	}
+}
+
+// Graph returns the (cached) CFG of f.
+func (c *Context) Graph(f *ir.Func) *cfg.Graph {
+	if c.graphs == nil {
+		c.graphs = make(map[*ir.Func]*cfg.Graph)
+	}
+	g, ok := c.graphs[f]
+	if !ok {
+		g = cfg.Build(f)
+		c.graphs[f] = g
+	}
+	return g
+}
+
+// Loops returns the (cached) loop forest of f.
+func (c *Context) Loops(f *ir.Func) *cfg.LoopForest {
+	if c.loops == nil {
+		c.loops = make(map[*ir.Func]*cfg.LoopForest)
+	}
+	lf, ok := c.loops[f]
+	if !ok {
+		lf = cfg.FindLoops(c.Graph(f))
+		c.loops[f] = lf
+	}
+	return lf
+}
+
+// Errorf records an Error diagnostic at pos for the running pass.
+func (c *Context) Errorf(pos Pos, format string, args ...any) {
+	c.diags = append(c.diags, Diagnostic{Pass: c.pass, Sev: Error, Pos: pos, Msg: fmt.Sprintf(format, args...)})
+}
+
+// Warnf records a Warning diagnostic at pos for the running pass.
+func (c *Context) Warnf(pos Pos, format string, args ...any) {
+	c.diags = append(c.diags, Diagnostic{Pass: c.pass, Sev: Warning, Pos: pos, Msg: fmt.Sprintf(format, args...)})
+}
+
+// Manager runs a fixed sequence of passes over one Context.
+type Manager struct {
+	Passes []Pass
+}
+
+// Run executes the passes in order and returns the accumulated diagnostics,
+// sorted errors-first then by position for stable output.
+func (m *Manager) Run(c *Context) []Diagnostic {
+	for _, p := range m.Passes {
+		c.pass = p.Name()
+		p.Run(c)
+	}
+	c.pass = ""
+	diags := c.diags
+	c.diags = nil
+	sort.SliceStable(diags, func(i, j int) bool {
+		if diags[i].Sev != diags[j].Sev {
+			return diags[i].Sev > diags[j].Sev // errors first
+		}
+		if diags[i].Pos.Func != diags[j].Pos.Func {
+			return diags[i].Pos.Func < diags[j].Pos.Func
+		}
+		if diags[i].Pos.Block != diags[j].Pos.Block {
+			return diags[i].Pos.Block < diags[j].Pos.Block
+		}
+		return diags[i].Pos.Instr < diags[j].Pos.Instr
+	})
+	return diags
+}
+
+// HasErrors reports whether any diagnostic is an Error.
+func HasErrors(diags []Diagnostic) bool {
+	return FirstError(diags) != nil
+}
+
+// FirstError returns the first Error diagnostic, or nil.
+func FirstError(diags []Diagnostic) *Diagnostic {
+	for i := range diags {
+		if diags[i].Sev == Error {
+			return &diags[i]
+		}
+	}
+	return nil
+}

@@ -1,0 +1,35 @@
+package analysis
+
+import (
+	"repro/internal/ir"
+	"repro/internal/profile"
+	"repro/internal/statemachine"
+)
+
+// Verify runs the replication-equivalence verification suite: the
+// Equivalence simulation check of repl against the pre-transform snapshot
+// orig (driven by the provenance the replicator recorded), plus machine
+// well-formedness. It returns the sorted diagnostics; any Error means the
+// transformed program must not be trusted.
+func Verify(orig, repl *ir.Program, prov *Provenance, choices []statemachine.Choice, preds []ir.Prediction) []Diagnostic {
+	c := NewContext(repl)
+	c.Orig = orig
+	c.Prov = prov
+	c.Choices = choices
+	c.Preds = preds
+	m := &Manager{Passes: []Pass{Equivalence{}, Machines{}}}
+	return m.Run(c)
+}
+
+// Lint runs the standalone analysis suite over one program: CFG lint,
+// machine well-formedness for the given choices (may be nil), and profile
+// consistency (when prof is non-nil). Unlike Verify it needs no transform
+// provenance, so it applies to any program — compiled sources as well as
+// replicated output.
+func Lint(prog *ir.Program, choices []statemachine.Choice, prof *profile.Profile) []Diagnostic {
+	c := NewContext(prog)
+	c.Choices = choices
+	c.Prof = prof
+	m := &Manager{Passes: []Pass{CFGLint{}, Machines{}, ProfileConsistency{}}}
+	return m.Run(c)
+}

@@ -33,6 +33,7 @@ func mkFunc(t *testing.T, n int, edges map[int][]int) *ir.Func {
 			t.Fatalf("block %d: too many successors", i)
 		}
 	}
+	ir.MarkUnreachableDead(f)
 	if err := p.Validate(); err != nil {
 		t.Fatal(err)
 	}

@@ -14,7 +14,7 @@ func CloneFunc(f *Func) (*Func, map[*Block]*Block) {
 	}
 	m := make(map[*Block]*Block, len(f.Blocks))
 	for _, b := range f.Blocks {
-		nb := &Block{ID: b.ID, Name: b.Name}
+		nb := &Block{ID: b.ID, Name: b.Name, Dead: b.Dead}
 		nb.Instrs = cloneInstrs(b.Instrs)
 		nb.Term = b.Term // targets fixed below
 		m[b] = nb
@@ -43,7 +43,7 @@ func CloneFunc(f *Func) (*Func, map[*Block]*Block) {
 func CloneBlocks(f *Func, set []*Block, suffix string) map[*Block]*Block {
 	m := make(map[*Block]*Block, len(set))
 	for _, b := range set {
-		nb := &Block{ID: len(f.Blocks), Name: b.Name + suffix}
+		nb := &Block{ID: len(f.Blocks), Name: b.Name + suffix, Dead: b.Dead}
 		nb.Instrs = cloneInstrs(b.Instrs)
 		nb.Term = b.Term
 		f.Blocks = append(f.Blocks, nb)
@@ -100,10 +100,8 @@ func CloneProgram(p *Program) *Program {
 	return np
 }
 
-// RemoveUnreachable drops blocks not reachable from the entry, renumbers the
-// survivors, and returns how many blocks were removed. The replicator calls
-// it after rewiring state copies (the paper's discarded "2b"/"3a" blocks).
-func RemoveUnreachable(f *Func) int {
+// reachableBlocks computes the set of blocks reachable from f's entry.
+func reachableBlocks(f *Func) map[*Block]bool {
 	reach := make(map[*Block]bool, len(f.Blocks))
 	stack := []*Block{f.Entry}
 	reach[f.Entry] = true
@@ -119,6 +117,30 @@ func RemoveUnreachable(f *Func) int {
 			}
 		}
 	}
+	return reach
+}
+
+// MarkUnreachableDead sets the Dead flag on every block not reachable from
+// the entry and returns how many blocks it marked. Front ends call it after
+// sealing dangling join points so the function satisfies Validate's
+// reachable-or-dead invariant without disturbing the block list.
+func MarkUnreachableDead(f *Func) int {
+	reach := reachableBlocks(f)
+	n := 0
+	for _, b := range f.Blocks {
+		if !reach[b] && !b.Dead {
+			b.Dead = true
+			n++
+		}
+	}
+	return n
+}
+
+// RemoveUnreachable drops blocks not reachable from the entry, renumbers the
+// survivors, and returns how many blocks were removed. The replicator calls
+// it after rewiring state copies (the paper's discarded "2b"/"3a" blocks).
+func RemoveUnreachable(f *Func) int {
+	reach := reachableBlocks(f)
 	if len(reach) == len(f.Blocks) {
 		return 0
 	}

@@ -162,6 +162,11 @@ type Block struct {
 	Name   string
 	Instrs []Instr
 	Term   Term
+	// Dead marks a block that is intentionally unreachable from the entry
+	// (e.g. a join point sealed by the front end after both arms returned).
+	// Validate requires every block to be reachable or marked dead, so
+	// transforms cannot silently orphan live code.
+	Dead bool
 }
 
 // Succs appends the successor blocks of b to dst and returns it. The order

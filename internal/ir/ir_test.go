@@ -243,6 +243,12 @@ func TestCloneBlocksRedirectsInsideSet(t *testing.T) {
 		t.Fatal("back edge not redirected")
 	}
 	f.Renumber()
+	if err := p.Validate(); err == nil {
+		t.Fatal("expected Validate to reject unwired copies as unreachable")
+	}
+	if n := MarkUnreachableDead(f); n != 2 {
+		t.Fatalf("MarkUnreachableDead = %d, want 2", n)
+	}
 	if err := p.Validate(); err != nil {
 		t.Fatalf("after CloneBlocks: %v", err)
 	}
@@ -256,6 +262,9 @@ func TestRemoveUnreachable(t *testing.T) {
 	dead2 := f.NewBlock("dead2")
 	dead2.Term = Term{Op: TermJmp, Then: dead}
 	f.Renumber()
+	if n := MarkUnreachableDead(f); n != 2 {
+		t.Fatalf("MarkUnreachableDead = %d, want 2", n)
+	}
 	if err := p.Validate(); err != nil {
 		t.Fatal(err)
 	}

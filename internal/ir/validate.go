@@ -16,7 +16,9 @@ import (
 //   - every register operand is within the function frame;
 //   - global and function indices in instructions are in range, and call
 //     argument counts match the callee's parameter count;
-//   - array accesses name array globals, scalar accesses name scalars.
+//   - array accesses name array globals, scalar accesses name scalars;
+//   - every block is reachable from the entry or explicitly marked Dead;
+//   - Prediction annotations appear only on conditional-branch terminators.
 func (p *Program) Validate() error {
 	for _, f := range p.Funcs {
 		if err := p.validateFunc(f); err != nil {
@@ -116,6 +118,9 @@ func (p *Program) validateFunc(f *Func) error {
 			if b.Term.Then == nil || !member[b.Term.Then] {
 				return fmt.Errorf("%s: jmp target not in function", b)
 			}
+			if b.Term.Pred != PredNone {
+				return fmt.Errorf("%s: prediction %s on unconditional jump", b, b.Term.Pred)
+			}
 		case TermBr:
 			if err := checkReg(b, -1, b.Term.Cond, "branch cond"); err != nil {
 				return err
@@ -132,8 +137,17 @@ func (p *Program) validateFunc(f *Func) error {
 					return err
 				}
 			}
+			if b.Term.Pred != PredNone {
+				return fmt.Errorf("%s: prediction %s on return", b, b.Term.Pred)
+			}
 		default:
 			return fmt.Errorf("%s: missing terminator", b)
+		}
+	}
+	reach := reachableBlocks(f)
+	for _, b := range f.Blocks {
+		if !reach[b] && !b.Dead {
+			return fmt.Errorf("%s: unreachable from entry and not marked dead", b)
 		}
 	}
 	return nil

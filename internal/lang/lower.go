@@ -141,6 +141,9 @@ func (lw *lowerer) lowerFunc(fd *FuncDecl) error {
 			}
 		}
 	}
+	// Blocks sealed above may be unreachable (both arms of a join returned);
+	// mark them dead so Validate's reachability invariant holds.
+	ir.MarkUnreachableDead(f)
 	return nil
 }
 

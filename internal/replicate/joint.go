@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sort"
 
+	"repro/internal/analysis"
 	"repro/internal/cfg"
 	"repro/internal/ir"
 	"repro/internal/statemachine"
@@ -17,6 +18,10 @@ import (
 // branches alone in their loop are handled exactly as Apply does.
 func ApplyJoint(prog *ir.Program, choices []statemachine.Choice, profilePreds []ir.Prediction, opts Options) (*Stats, error) {
 	st := &Stats{InstrsBefore: prog.NumInstrs()}
+	if opts.Verify {
+		st.Orig = ir.CloneProgram(prog)
+		st.Prov = analysis.NewProvenance(prog)
+	}
 	Annotate(prog, profilePreds)
 	branchy := branchyFuncs(prog)
 	budget := 0
@@ -124,7 +129,7 @@ func ApplyJoint(prog *ir.Program, choices []statemachine.Choice, profilePreds []
 			if len(cs) == 0 {
 				continue
 			}
-			clones, err := replicateLoopJoint(f, l, blocks, jm)
+			clones, err := replicateLoopJoint(f, l, blocks, jm, st.Prov)
 			if err != nil {
 				st.Skipped += len(blocks)
 				continue
@@ -148,7 +153,7 @@ func ApplyJoint(prog *ir.Program, choices []statemachine.Choice, profilePreds []
 		for _, f := range prog.Funcs {
 			for _, b := range f.Blocks {
 				if b.Term.Op == ir.TermBr && b.Term.Orig == c.Site {
-					routed, catch := replicatePath(prog, f, b, c.Path, branchy)
+					routed, catch := replicatePath(prog, f, b, c.Path, branchy, st.Prov)
 					st.PathEdgesRouted += routed
 					st.PathEdgesCatchAll += catch
 					st.PathApplied++
@@ -162,6 +167,9 @@ func ApplyJoint(prog *ir.Program, choices []statemachine.Choice, profilePreds []
 		return st, fmt.Errorf("replicate: joint-transformed program invalid: %w", err)
 	}
 	st.InstrsAfter = prog.NumInstrs()
+	if err := verify(st, prog, choices, profilePreds, opts); err != nil {
+		return st, err
+	}
 	return st, nil
 }
 
@@ -169,11 +177,13 @@ func ApplyJoint(prog *ir.Program, choices []statemachine.Choice, profilePreds []
 // every machine branch's successors through the joint transition function.
 // It returns the branch-block clones it created so the driver can mark
 // them processed.
-func replicateLoopJoint(f *ir.Func, l *cfg.Loop, branches []*ir.Block, jm *statemachine.JointMachine) ([]*ir.Block, error) {
+func replicateLoopJoint(f *ir.Func, l *cfg.Loop, branches []*ir.Block, jm *statemachine.JointMachine, prov *analysis.Provenance) ([]*ir.Block, error) {
 	if jm.States < 2 {
 		// One state: just annotate the branches.
+		app := prov.NewMachineApp(analysis.JointMachineModel{M: jm})
 		for bi, b := range branches {
 			b.Term.Pred = predOf(jm.Predict(0, bi))
+			app.SetBranch(b, 0, bi)
 		}
 		return nil, nil
 	}
@@ -183,15 +193,21 @@ func replicateLoopJoint(f *ir.Func, l *cfg.Loop, branches []*ir.Block, jm *state
 	preClone := make([]*ir.Block, len(f.Blocks))
 	copy(preClone, f.Blocks)
 
+	app := prov.NewMachineApp(analysis.JointMachineModel{M: jm})
 	copies := make([]map[*ir.Block]*ir.Block, jm.States)
 	for s := 0; s < jm.States; s++ {
 		copies[s] = ir.CloneBlocks(f, l.Blocks, fmt.Sprintf(".j%d", s))
+		prov.RecordClones(copies[s])
+		for _, cp := range copies[s] {
+			app.SetState(cp, s)
+		}
 	}
 	for bi, b := range branches {
 		origThen, origElse := b.Term.Then, b.Term.Else
 		for s := 0; s < jm.States; s++ {
 			bc := copies[s][b]
 			bc.Term.Pred = predOf(jm.Predict(s, bi))
+			app.SetBranch(bc, s, bi)
 			if l.Contains(origThen) {
 				bc.Term.Then = copies[jm.Next(s, bi, true)][origThen]
 			}

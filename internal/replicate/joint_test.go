@@ -50,7 +50,7 @@ func TestJointBeatsSequentialOnSize(t *testing.T) {
 	}
 	// Joint.
 	joint := ir.CloneProgram(p.orig)
-	jointStats, err := ApplyJoint(joint, choices, p.preds, Options{})
+	jointStats, err := ApplyJoint(joint, choices, p.preds, Options{Verify: true})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -109,8 +109,12 @@ func TestJointPreservesSemanticsOnRandomPrograms(t *testing.T) {
 		})
 		preds := predict.ProfileStatic(prof.Counts).Preds
 		clone := ir.CloneProgram(prog)
-		if _, err := ApplyJoint(clone, choices, preds, Options{MaxSizeFactor: 4}); err != nil {
+		st, err := ApplyJoint(clone, choices, preds, Options{MaxSizeFactor: 4, Verify: true})
+		if err != nil {
 			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if !st.Verified {
+			t.Fatalf("seed %d: Verify requested but Stats.Verified not set", seed)
 		}
 		m := interp.New(clone)
 		m.MaxSteps = 40_000_000
@@ -139,7 +143,7 @@ func main() int {
 }`
 	p, choices := jointPipeline(t, src, 3)
 	clone := ir.CloneProgram(p.orig)
-	st, err := ApplyJoint(clone, choices, p.preds, Options{MaxSizeFactor: 8})
+	st, err := ApplyJoint(clone, choices, p.preds, Options{MaxSizeFactor: 8, Verify: true})
 	if err != nil {
 		t.Fatal(err)
 	}

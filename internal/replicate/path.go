@@ -1,6 +1,7 @@
 package replicate
 
 import (
+	"repro/internal/analysis"
 	"repro/internal/ir"
 	"repro/internal/statemachine"
 )
@@ -56,7 +57,7 @@ type pathElem struct {
 // absorbs them, so the measured misprediction rate upper-bounds the
 // predicted one. It returns the number of edges routed to a specific state
 // and the number left on the catch-all.
-func replicatePath(prog *ir.Program, f *ir.Func, b *ir.Block, pm *statemachine.PathMachine, branchy []bool) (routed, catchAll int) {
+func replicatePath(prog *ir.Program, f *ir.Func, b *ir.Block, pm *statemachine.PathMachine, branchy []bool, prov *analysis.Provenance) (routed, catchAll int) {
 	stateOf := map[pathElem]int{}
 	for i, p := range pm.Paths {
 		if p.Len() != 1 {
@@ -68,6 +69,8 @@ func replicatePath(prog *ir.Program, f *ir.Func, b *ir.Block, pm *statemachine.P
 		}
 		stateOf[pathElem{site, taken}] = i
 	}
+	papp := prov.NewPathApp(pm)
+	papp.SetCatchAll(b)
 	b.Term.Pred = predOf(pm.CatchPred)
 	if len(stateOf) == 0 {
 		return 0, 0
@@ -83,6 +86,7 @@ func replicatePath(prog *ir.Program, f *ir.Func, b *ir.Block, pm *statemachine.P
 			return c
 		}
 		m := ir.CloneBlocks(f, []*ir.Block{b}, ".p")
+		prov.RecordClones(m)
 		c := m[b]
 		if c.Term.Then == c {
 			c.Term.Then = b.Term.Then
@@ -91,6 +95,7 @@ func replicatePath(prog *ir.Program, f *ir.Func, b *ir.Block, pm *statemachine.P
 			c.Term.Else = b.Term.Else
 		}
 		c.Term.Pred = predOf(pm.PredTaken[state])
+		papp.SetStateCopy(c, state)
 		copies[state] = c
 		return c
 	}
@@ -163,6 +168,7 @@ func replicatePath(prog *ir.Program, f *ir.Func, b *ir.Block, pm *statemachine.P
 				chain := u
 				if i > 0 {
 					m := ir.CloneBlocks(f, []*ir.Block{u}, ".s")
+					prov.RecordClones(m)
 					chain = m[u]
 					chain.Term = u.Term // jump to b, not to the clone set
 					chain.Term.Then = b
@@ -179,6 +185,7 @@ func replicatePath(prog *ir.Program, f *ir.Func, b *ir.Block, pm *statemachine.P
 	// unresolvable predecessors) land on the catch-all copy: fold their
 	// profiled counts back into the catch-all pair so its static
 	// prediction covers what it will actually see.
+	papp.Finish(stateRouted)
 	adjusted := pm.CatchPair
 	for i := range pm.Paths {
 		if !stateRouted[i] {

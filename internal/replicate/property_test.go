@@ -54,12 +54,16 @@ func TestReplicationPreservesSemanticsOnRandomPrograms(t *testing.T) {
 		preds := predict.ProfileStatic(prof.Counts).Preds
 
 		clone := ir.CloneProgram(prog)
-		opts := Options{}
+		opts := Options{Verify: true}
 		if seed%3 == 0 {
 			opts.MaxSizeFactor = 2
 		}
-		if _, err := ApplyOpts(clone, choices, preds, opts); err != nil {
+		st, err := ApplyOpts(clone, choices, preds, opts)
+		if err != nil {
 			t.Fatalf("seed %d: apply: %v\n%s", seed, err, src)
+		}
+		if !st.Verified {
+			t.Fatalf("seed %d: Verify requested but Stats.Verified not set", seed)
 		}
 		if err := clone.Validate(); err != nil {
 			t.Fatalf("seed %d: transformed invalid: %v", seed, err)

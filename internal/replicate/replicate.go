@@ -9,13 +9,20 @@
 package replicate
 
 import (
+	"errors"
 	"fmt"
 	"sort"
 
+	"repro/internal/analysis"
 	"repro/internal/cfg"
 	"repro/internal/ir"
 	"repro/internal/statemachine"
 )
+
+// ErrVerify wraps the first verifier Error when Options.Verify is set and
+// the transformed program fails the equivalence check. Callers test with
+// errors.Is; the full diagnostic list is in Stats.Diags.
+var ErrVerify = errors.New("replicate: verification failed")
 
 // Stats reports what one Apply call did.
 type Stats struct {
@@ -33,6 +40,15 @@ type Stats struct {
 	Skipped int
 	// InstrsBefore/After measure code size (the paper's size metric).
 	InstrsBefore, InstrsAfter int
+	// Verified reports that Options.Verify was set and the equivalence
+	// verifier found no errors; Diags holds its full output (including
+	// warnings). Orig and Prov are the pre-transform snapshot and the copy
+	// provenance the verification ran against, for callers that want to
+	// re-run or extend the analysis.
+	Verified bool
+	Diags    []analysis.Diagnostic
+	Orig     *ir.Program
+	Prov     *analysis.Provenance
 }
 
 // SizeFactor is the code growth ratio.
@@ -66,17 +82,20 @@ type machine interface {
 	Next(i int, taken bool) int
 	predTaken(i int) bool
 	initState() int
+	model() analysis.Machine
 }
 
 type loopM struct{ *statemachine.LoopMachine }
 
-func (m loopM) predTaken(i int) bool { return m.PredTaken[i] }
-func (m loopM) initState() int       { return m.Init }
+func (m loopM) predTaken(i int) bool    { return m.PredTaken[i] }
+func (m loopM) initState() int          { return m.Init }
+func (m loopM) model() analysis.Machine { return analysis.LoopMachineModel{M: m.LoopMachine} }
 
 type exitM struct{ *statemachine.ExitMachine }
 
-func (m exitM) predTaken(i int) bool { return m.PredTaken[i] }
-func (m exitM) initState() int       { return 0 }
+func (m exitM) predTaken(i int) bool    { return m.PredTaken[i] }
+func (m exitM) initState() int          { return 0 }
+func (m exitM) model() analysis.Machine { return analysis.ExitMachineModel{M: m.ExitMachine} }
 
 func predOf(taken bool) ir.Prediction {
 	if taken {
@@ -94,6 +113,11 @@ type Options struct {
 	// bound, and §5's optimizer applies replication only where a cost
 	// function allows it.
 	MaxSizeFactor float64
+	// Verify makes Apply record copy provenance while transforming and run
+	// the analysis.Verify equivalence suite on the result: any verifier
+	// Error fails the call with ErrVerify. The snapshot, provenance, and
+	// diagnostics are returned in Stats.
+	Verify bool
 }
 
 // Apply replicates code for every non-profile choice, after annotating all
@@ -115,6 +139,10 @@ func Apply(prog *ir.Program, choices []statemachine.Choice, profilePreds []ir.Pr
 // exhausted (remaining machines are counted as Skipped).
 func ApplyOpts(prog *ir.Program, choices []statemachine.Choice, profilePreds []ir.Prediction, opts Options) (*Stats, error) {
 	st := &Stats{InstrsBefore: prog.NumInstrs()}
+	if opts.Verify {
+		st.Orig = ir.CloneProgram(prog)
+		st.Prov = analysis.NewProvenance(prog)
+	}
 	Annotate(prog, profilePreds)
 	branchy := branchyFuncs(prog)
 	// Apply in decreasing gain density (correct predictions gained per
@@ -191,17 +219,17 @@ func ApplyOpts(prog *ir.Program, choices []statemachine.Choice, profilePreds []i
 			var err error
 			switch c.Kind {
 			case statemachine.KindLoop:
-				err = replicateLoop(s.f, s.b, loopM{c.Loop})
+				err = replicateLoop(s.f, s.b, loopM{c.Loop}, st.Prov)
 				if err == nil {
 					st.LoopApplied++
 				}
 			case statemachine.KindExit:
-				err = replicateLoop(s.f, s.b, exitM{c.Exit})
+				err = replicateLoop(s.f, s.b, exitM{c.Exit}, st.Prov)
 				if err == nil {
 					st.ExitApplied++
 				}
 			case statemachine.KindPath:
-				routed, catch := replicatePath(prog, s.f, s.b, c.Path, branchy)
+				routed, catch := replicatePath(prog, s.f, s.b, c.Path, branchy, st.Prov)
 				st.PathEdgesRouted += routed
 				st.PathEdgesCatchAll += catch
 				st.PathApplied++
@@ -216,7 +244,24 @@ func ApplyOpts(prog *ir.Program, choices []statemachine.Choice, profilePreds []i
 		return st, fmt.Errorf("replicate: transformed program invalid: %w", err)
 	}
 	st.InstrsAfter = prog.NumInstrs()
+	if err := verify(st, prog, choices, profilePreds, opts); err != nil {
+		return st, err
+	}
 	return st, nil
+}
+
+// verify runs the equivalence suite over the transformed program when
+// Options.Verify is set, recording the diagnostics in st.
+func verify(st *Stats, prog *ir.Program, choices []statemachine.Choice, profilePreds []ir.Prediction, opts Options) error {
+	if !opts.Verify {
+		return nil
+	}
+	st.Diags = analysis.Verify(st.Orig, prog, st.Prov, choices, profilePreds)
+	if d := analysis.FirstError(st.Diags); d != nil {
+		return fmt.Errorf("%w: %s", ErrVerify, d)
+	}
+	st.Verified = true
+	return nil
 }
 
 // estimateLoopGrowth bounds the instruction growth of replicating the
@@ -238,7 +283,7 @@ func estimateLoopGrowth(f *ir.Func, b *ir.Block, n int) int {
 // not-taken successors jump into the copies designated by the transition
 // function. Entries into the loop go to the initial state's copy; exits
 // leave unchanged; unreachable copies are pruned.
-func replicateLoop(f *ir.Func, b *ir.Block, m machine) error {
+func replicateLoop(f *ir.Func, b *ir.Block, m machine, prov *analysis.Provenance) error {
 	n := m.NumStates()
 	if n < 2 {
 		return nil
@@ -255,15 +300,21 @@ func replicateLoop(f *ir.Func, b *ir.Block, m machine) error {
 	preClone := make([]*ir.Block, len(f.Blocks))
 	copy(preClone, f.Blocks)
 
+	app := prov.NewMachineApp(m.model())
 	copies := make([]map[*ir.Block]*ir.Block, n)
 	for s := 0; s < n; s++ {
 		copies[s] = ir.CloneBlocks(f, l.Blocks, fmt.Sprintf(".q%d", s))
+		prov.RecordClones(copies[s])
+		for _, cp := range copies[s] {
+			app.SetState(cp, s)
+		}
 	}
 	// Wire the replicated branch: state transitions happen only here.
 	origThen, origElse := b.Term.Then, b.Term.Else
 	for s := 0; s < n; s++ {
 		bc := copies[s][b]
 		bc.Term.Pred = predOf(m.predTaken(s))
+		app.SetBranch(bc, s, 0)
 		if l.Contains(origThen) {
 			bc.Term.Then = copies[m.Next(s, true)][origThen]
 		}

@@ -43,10 +43,13 @@ type Request struct {
 
 	// MaxSizeFactor bounds code growth in /v1/replicate (default 3);
 	// Joint selects the §6 joint machines; IncludeIR returns the
-	// transformed program text.
+	// transformed program text; Check runs the replication-equivalence
+	// verifier on the transform (also settable as the check=true query
+	// parameter).
 	MaxSizeFactor float64 `json:"max_size_factor,omitempty"`
 	Joint         bool    `json:"joint,omitempty"`
 	IncludeIR     bool    `json:"include_ir,omitempty"`
+	Check         bool    `json:"check,omitempty"`
 
 	// TraceB64 is a base64 BLTRACE1 stream for /v1/score; Strategy picks
 	// the scoring strategy (profile, last, twobit, static); Preds is the
@@ -425,8 +428,11 @@ type ReplicateResponse struct {
 		EdgesCatchAll int `json:"edges_catch_all"`
 		Skipped       int `json:"skipped"`
 	} `json:"machines"`
-	SemanticsVerified bool   `json:"semantics_verified"`
-	IR                string `json:"ir,omitempty"`
+	SemanticsVerified bool `json:"semantics_verified"`
+	// Verified reports the replication-equivalence verifier's verdict; it
+	// is false unless the request asked for verification (check).
+	Verified bool   `json:"verified"`
+	IR       string `json:"ir,omitempty"`
 }
 
 func (s *Server) handleReplicate(ctx context.Context, req *Request) (any, error) {
@@ -489,9 +495,18 @@ func (s *Server) handleReplicate(ctx context.Context, req *Request) (any, error)
 	if req.Joint {
 		apply = replicate.ApplyJoint
 	}
-	st, err := apply(clone, choices, preds, replicate.Options{MaxSizeFactor: sizeFactor})
+	st, err := apply(clone, choices, preds, replicate.Options{MaxSizeFactor: sizeFactor, Verify: req.Check})
 	if err != nil {
+		if errors.Is(err, replicate.ErrVerify) {
+			// The transform produced a program the verifier cannot prove
+			// equivalent — a daemon-side fault, never the client's.
+			s.verifyFail.Add(1)
+			return nil, &httpError{http.StatusInternalServerError, err.Error()}
+		}
 		return nil, err
+	}
+	if st.Verified {
+		s.verifyOK.Add(1)
 	}
 	repl, err := measure(clone)
 	if err != nil {
@@ -507,6 +522,7 @@ func (s *Server) handleReplicate(ctx context.Context, req *Request) (any, error)
 		Baseline:          base,
 		Replicated:        repl,
 		SemanticsVerified: base.Checksum == repl.Checksum,
+		Verified:          st.Verified,
 	}
 	resp.Code.InstrsBefore = st.InstrsBefore
 	resp.Code.InstrsAfter = st.InstrsAfter

@@ -121,8 +121,11 @@ func Load(ctx context.Context, baseURL string, opts LoadOptions) (*LoadReport, e
 		}); err != nil {
 			return nil, err
 		}
+		// check:true routes every replicate through the
+		// replication-equivalence verifier, so a selfcheck also proves the
+		// transform sound on the whole catalog.
 		if err := addCall("replicate", map[string]any{
-			"workload": name, "budget": opts.Budget, "states": opts.States,
+			"workload": name, "budget": opts.Budget, "states": opts.States, "check": true,
 		}); err != nil {
 			return nil, err
 		}

@@ -76,10 +76,16 @@ type storeSnapshot struct {
 	hits, misses int64
 }
 
+// verifySnapshot carries the replication-equivalence verifier's verdict
+// counters into write.
+type verifySnapshot struct {
+	verified, failed int64
+}
+
 // write renders the registry in Prometheus text exposition format, with
 // deterministic ordering (sorted endpoints, sorted codes, buckets in
 // bound order) so snapshots diff cleanly.
-func (m *metrics) write(w io.Writer, eng runner.Stats, store storeSnapshot, uptime time.Duration) {
+func (m *metrics) write(w io.Writer, eng runner.Stats, store storeSnapshot, verify verifySnapshot, uptime time.Duration) {
 	for _, name := range m.names {
 		e := m.endpoints[name]
 		e.mu.Lock()
@@ -120,5 +126,7 @@ func (m *metrics) write(w io.Writer, eng runner.Stats, store storeSnapshot, upti
 	fmt.Fprintf(w, "kralld_store_entries %d\n", store.entries)
 	fmt.Fprintf(w, "kralld_store_hits_total %d\n", store.hits)
 	fmt.Fprintf(w, "kralld_store_misses_total %d\n", store.misses)
+	fmt.Fprintf(w, "krallcheck_verified_total %d\n", verify.verified)
+	fmt.Fprintf(w, "krallcheck_failed_total %d\n", verify.failed)
 	fmt.Fprintf(w, "kralld_uptime_seconds %g\n", uptime.Seconds())
 }

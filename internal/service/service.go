@@ -31,6 +31,7 @@ import (
 	"net"
 	"net/http"
 	"strings"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/runner"
@@ -109,6 +110,12 @@ type Server struct {
 	sems    map[string]chan struct{}
 	log     *slog.Logger
 	started time.Time
+
+	// verifyOK/verifyFail count replication-equivalence verifier verdicts
+	// on /v1/replicate requests that asked for checking; both are exported
+	// on /metrics as krallcheck_{verified,failed}_total.
+	verifyOK   atomic.Int64
+	verifyFail atomic.Int64
 }
 
 // New builds a server. The engine provides bounded job execution and the
@@ -221,6 +228,12 @@ func (s *Server) endpoint(name string, h func(ctx context.Context, req *Request)
 			s.writeError(w, name, &httpError{code, "decoding request: " + err.Error()}, start)
 			return
 		}
+		// The check=true query knob turns on the replication-equivalence
+		// verifier without touching the body — so a curl against a canned
+		// request file can still opt in. Only replicate reads Check.
+		if v := r.URL.Query().Get("check"); v == "true" || v == "1" {
+			req.Check = true
+		}
 
 		select {
 		case s.sems[name] <- struct{}{}:
@@ -309,6 +322,8 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	storeHits, storeMisses := s.store.Counters()
 	s.metrics.write(w, s.eng.Stats(), storeSnapshot{
 		entries: s.store.Len(), hits: storeHits, misses: storeMisses,
+	}, verifySnapshot{
+		verified: s.verifyOK.Load(), failed: s.verifyFail.Load(),
 	}, time.Since(s.started))
 }
 

@@ -469,6 +469,78 @@ func main() int {
 	}
 }
 
+// TestReplicateVerification covers the check knob end to end: the body
+// flag and the check=true query parameter both turn on the
+// replication-equivalence verifier, the response reports verified, and
+// the verdict counters show up on /metrics.
+func TestReplicateVerification(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+
+	// Without check, the verifier must not run.
+	code, out := post(t, ts, "replicate", `{"workload":"compress","budget":20000}`)
+	if code != http.StatusOK {
+		t.Fatalf("status %d: %s", code, out)
+	}
+	var resp ReplicateResponse
+	if err := json.Unmarshal(out, &resp); err != nil {
+		t.Fatal(err)
+	}
+	if resp.Verified {
+		t.Error("verified=true without check")
+	}
+
+	// Body flag, sequential and joint.
+	for _, body := range []string{
+		`{"workload":"compress","budget":20000,"check":true}`,
+		`{"workload":"compress","budget":20000,"check":true,"joint":true}`,
+	} {
+		code, out := post(t, ts, "replicate", body)
+		if code != http.StatusOK {
+			t.Fatalf("status %d: %s", code, out)
+		}
+		resp = ReplicateResponse{}
+		if err := json.Unmarshal(out, &resp); err != nil {
+			t.Fatal(err)
+		}
+		if !resp.Verified {
+			t.Errorf("verified=false for %s", body)
+		}
+	}
+
+	// Query knob on a body that does not mention check.
+	r, err := http.Post(ts.URL+"/v1/replicate?check=true", "application/json",
+		strings.NewReader(`{"workload":"compress","budget":20000}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Body.Close()
+	out, _ = io.ReadAll(r.Body)
+	if r.StatusCode != http.StatusOK {
+		t.Fatalf("query knob: status %d: %s", r.StatusCode, out)
+	}
+	resp = ReplicateResponse{}
+	if err := json.Unmarshal(out, &resp); err != nil {
+		t.Fatal(err)
+	}
+	if !resp.Verified {
+		t.Error("verified=false via check=true query parameter")
+	}
+
+	// Three checked requests succeeded; the counter must say so.
+	mresp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mresp.Body.Close()
+	mbody, _ := io.ReadAll(mresp.Body)
+	if !strings.Contains(string(mbody), "krallcheck_verified_total 3") {
+		t.Errorf("/metrics missing krallcheck_verified_total 3:\n%s", mbody)
+	}
+	if !strings.Contains(string(mbody), "krallcheck_failed_total 0") {
+		t.Errorf("/metrics missing krallcheck_failed_total 0")
+	}
+}
+
 // TestUploadRoundTripMatchesLocal scores the same trace server-side and
 // locally and demands identical results: the wire format loses nothing.
 func TestUploadRoundTripMatchesLocal(t *testing.T) {

@@ -53,6 +53,17 @@ func (m *LoopMachine) StateIndex(p Pattern) int {
 // move to the longest state matching the new truncated history. The state
 // set's completeness guarantees a match.
 func (m *LoopMachine) Next(i int, taken bool) int {
+	j, ok := m.NextIndex(i, taken)
+	if !ok {
+		panic(fmt.Sprintf("statemachine: incomplete state set %v lacks match for %v", m.States, m.States[i].Shift(taken)))
+	}
+	return j
+}
+
+// NextIndex is the non-panicking transition function: it reports false when
+// the state set is incomplete (no state matches the shifted history), which
+// well-formedness analyses diagnose instead of crashing.
+func (m *LoopMachine) NextIndex(i int, taken bool) (int, bool) {
 	cand := m.States[i].Shift(taken)
 	best := -1
 	var bestLen uint8
@@ -64,9 +75,9 @@ func (m *LoopMachine) Next(i int, taken bool) int {
 		}
 	}
 	if best == -1 {
-		panic(fmt.Sprintf("statemachine: incomplete state set %v lacks match for %v", m.States, cand))
+		return -1, false
 	}
-	return best
+	return best, true
 }
 
 func (m *LoopMachine) String() string {
