@@ -1,7 +1,7 @@
 GO ?= go
 FUZZTIME ?= 10s
 
-.PHONY: all build vet test race bench benchjson profile fuzz check golden serve loadcheck ci
+.PHONY: all build vet test race bench benchjson compare throughput profile fuzz check golden serve loadcheck ci
 
 all: build test
 
@@ -22,10 +22,23 @@ race:
 bench:
 	$(GO) test -bench=. -benchtime=1x -run=NONE .
 
-# Machine-readable results of the full sweep (timings, engine counters);
-# the format is documented in EXPERIMENTS.md.
+# Refresh the committed throughput baseline: the full sweep plus the
+# service throughput harness, both into BENCH_results.json. The format is
+# documented in EXPERIMENTS.md; `make compare` gates against this file.
 benchjson:
 	$(GO) run ./cmd/krallbench -all -benchjson BENCH_results.json > /dev/null
+	$(GO) run ./cmd/krallload -serve -throughput -quiet -benchjson BENCH_results.json
+
+# Measure single vs batched kralld requests/sec over a loopback server.
+throughput:
+	$(GO) run ./cmd/krallload -serve -throughput
+
+# Bench-regression gate: measure the working tree into bench-new.json and
+# fail if throughput dropped >15% below the committed baseline.
+compare:
+	$(GO) run ./cmd/krallbench -all -benchjson bench-new.json > /dev/null
+	$(GO) run ./cmd/krallload -serve -throughput -quiet -benchjson bench-new.json
+	$(GO) run ./cmd/krallbench -compare BENCH_results.json bench-new.json -tolerance 0.15
 
 # CPU/heap profiles of the full krallbench sweep; inspect with
 # `go tool pprof cpu.pprof` / `go tool pprof mem.pprof`.

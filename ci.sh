@@ -1,17 +1,35 @@
 #!/bin/sh
 # CI entry point: everything a PR must pass, in the order cheapest-first.
-# Mirrored by .github/workflows/ci.yml; run locally with `make ci`.
+# .github/workflows/ci.yml invokes this script directly (plus caching and
+# artifact upload, which only exist there), so the two cannot diverge;
+# run locally with `make ci`.
 set -eux
 
 test -z "$(gofmt -l .)"
 go vet ./...
 go build ./...
 go test ./...
+# Shuffled re-run flushes out inter-test ordering dependencies.
+go test -shuffle=on ./...
 go test -race ./...
+# Known-vulnerability scan; advisory-gated on the tool being installed so
+# the script still runs on boxes without network access.
+if command -v govulncheck >/dev/null 2>&1; then
+    govulncheck ./...
+else
+    echo "govulncheck not installed, skipping (go install golang.org/x/vuln/cmd/govulncheck@latest)"
+fi
 go test -run='^$' -fuzz=FuzzParse -fuzztime=10s ./internal/lang
 go test -run='^$' -fuzz=FuzzReadSlab -fuzztime=10s ./internal/trace
 go test -run='^$' -fuzz=FuzzVerify -fuzztime=10s ./internal/analysis
 go run ./cmd/krallcheck examples/bl/*.bl
 go test -bench=. -benchtime=1x -run='^$' .
-go run ./cmd/krallbench -all -benchjson BENCH_results.json > /dev/null
+# Bench-regression gate: run the sweep and the service throughput harness
+# into a fresh document, then compare it against the committed baseline.
+go run ./cmd/krallbench -all -benchjson bench-new.json > /dev/null
+go run ./cmd/krallload -serve -throughput -quiet -benchjson bench-new.json
+go run ./cmd/krallbench -compare BENCH_results.json bench-new.json -tolerance 0.15
+# Prove the gate fires: a synthetic 20% regression must fail the compare.
+go run ./cmd/krallbench -compare bench-new.json -degrade 0.8 -out bench-regressed.json
+! go run ./cmd/krallbench -compare bench-new.json bench-regressed.json
 go run ./cmd/kralld -selfcheck -quiet -metrics-out kralld-metrics.txt

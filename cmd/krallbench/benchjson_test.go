@@ -2,11 +2,12 @@ package main
 
 import (
 	"bytes"
-	"encoding/json"
 	"io"
 	"os"
 	"path/filepath"
 	"testing"
+
+	"repro/internal/results"
 )
 
 // TestBenchJSON runs a small full sweep with -benchjson and validates the
@@ -19,13 +20,9 @@ func TestBenchJSON(t *testing.T) {
 	if err := run(args, io.Discard, io.Discard); err != nil {
 		t.Fatal(err)
 	}
-	buf, err := os.ReadFile(path)
+	res, err := results.Read(path)
 	if err != nil {
 		t.Fatal(err)
-	}
-	var res benchResults
-	if err := json.Unmarshal(buf, &res); err != nil {
-		t.Fatalf("invalid JSON: %v", err)
 	}
 	if res.Schema != "krallbench-results/v1" {
 		t.Fatalf("schema = %q", res.Schema)

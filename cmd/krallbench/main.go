@@ -24,13 +24,22 @@
 //	-memprofile F write a heap profile to F
 //	-trace F      write a runtime execution trace to F
 //
+// A second mode gates CI on throughput instead of running the sweep:
+//
+//	krallbench -compare OLD NEW [-tolerance 0.15]
+//	krallbench -compare OLD -degrade 0.8 -out FILE
+//
+// -compare reads two -benchjson documents and exits non-zero when
+// branches/sec or the service requests/sec dropped more than the
+// tolerance below OLD; -degrade writes a synthetically regressed copy so
+// CI can prove the gate fires.
+//
 // Tables and figures go to stdout; progress, timing, and the engine's
 // job/cache counters go to stderr, so stdout is reproducible byte-for-byte
 // (the golden tests in main_test.go rely on this).
 package main
 
 import (
-	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
@@ -43,6 +52,7 @@ import (
 	"time"
 
 	"repro/internal/bench"
+	"repro/internal/results"
 )
 
 func main() {
@@ -52,40 +62,12 @@ func main() {
 	}
 }
 
-// benchResults is the -benchjson document ("krallbench-results/v1"). The
-// format is documented in EXPERIMENTS.md; CI archives it as an artifact.
-type benchResults struct {
-	Schema  string `json:"schema"`
-	Budget  uint64 `json:"budget"`
-	Quick   bool   `json:"quick"`
-	Workers int    `json:"workers"`
-	// TotalSeconds is end-to-end wall clock; BranchesPerSecond is the
-	// trace-event throughput (recorded + replayed events over wall clock).
-	TotalSeconds      float64          `json:"total_seconds"`
-	BranchesPerSecond float64          `json:"branches_per_second"`
-	Engine            engineResults    `json:"engine"`
-	Experiments       []sectionResults `json:"experiments"`
-}
-
-type engineResults struct {
-	Jobs           int64   `json:"jobs"`
-	JobSeconds     float64 `json:"job_seconds"`
-	CacheHits      int64   `json:"cache_hits"`
-	CacheMisses    int64   `json:"cache_misses"`
-	TraceRecords   int64   `json:"trace_records"`
-	RecordedEvents int64   `json:"recorded_events"`
-	Replays        int64   `json:"replays"`
-	ReplayedEvents int64   `json:"replayed_events"`
-	LiveRuns       int64   `json:"live_runs"`
-}
-
-type sectionResults struct {
-	ID              string  `json:"id"`
-	TraceSufficient bool    `json:"trace_sufficient"`
-	Seconds         float64 `json:"seconds"`
-}
-
 func run(args []string, stdout, stderr io.Writer) error {
+	// -compare is a distinct mode: it reads two result documents and
+	// gates on throughput instead of running the sweep.
+	if len(args) > 0 && (args[0] == "-compare" || args[0] == "--compare") {
+		return runCompare(args[1:], stdout, stderr)
+	}
 	fs := flag.NewFlagSet("krallbench", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	var (
@@ -172,9 +154,9 @@ func run(args []string, stdout, stderr io.Writer) error {
 		*figures, *measured, *crossdata, *headline, *layoutExp, *scopeExp, *jointExp = true, true, true, true, true, true, true
 	}
 
-	var timings []sectionResults
+	var timings []results.Section
 	report := func(id string, d time.Duration) {
-		timings = append(timings, sectionResults{
+		timings = append(timings, results.Section{
 			ID:              id,
 			TraceSufficient: bench.TraceSufficient(id),
 			Seconds:         d.Seconds(),
@@ -293,13 +275,13 @@ func run(args []string, stdout, stderr io.Writer) error {
 	fmt.Fprintf(stderr, "total time: %v\n", total.Round(time.Millisecond))
 
 	if *benchjson != "" {
-		res := benchResults{
-			Schema:       "krallbench-results/v1",
+		res := &results.Document{
+			Schema:       results.Schema,
 			Budget:       cfg.Budget,
 			Quick:        *quick,
 			Workers:      workers,
 			TotalSeconds: total.Seconds(),
-			Engine: engineResults{
+			Engine: results.Engine{
 				Jobs:           stats.Jobs,
 				JobSeconds:     stats.JobTime.Seconds(),
 				CacheHits:      stats.CacheHits,
@@ -315,12 +297,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 		if secs := total.Seconds(); secs > 0 {
 			res.BranchesPerSecond = float64(stats.RecordedEvents+stats.ReplayedEvents) / secs
 		}
-		buf, err := json.MarshalIndent(res, "", "  ")
-		if err != nil {
-			return err
-		}
-		buf = append(buf, '\n')
-		if err := os.WriteFile(*benchjson, buf, 0o644); err != nil {
+		if err := results.Write(*benchjson, res); err != nil {
 			return fmt.Errorf("-benchjson: %w", err)
 		}
 		fmt.Fprintf(stderr, "wrote %s\n", *benchjson)

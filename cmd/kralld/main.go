@@ -5,7 +5,8 @@
 // Usage:
 //
 //	kralld [-addr :8723] [-workers N] [-limit N] [-timeout 30s]
-//	       [-budget N] [-maxbudget N] [-cache N] [-drain 10s] [-quiet]
+//	       [-budget N] [-maxbudget N] [-cache N] [-shards N] [-maxbatch N]
+//	       [-drain 10s] [-quiet]
 //	kralld -selfcheck [-metrics-out file]
 //
 // The daemon drains gracefully on SIGINT/SIGTERM: the listener closes
@@ -51,6 +52,8 @@ func run(args []string, stdout, stderr io.Writer) error {
 		budget     = fs.Uint64("budget", 200_000, "default branch budget per run")
 		maxBudget  = fs.Uint64("maxbudget", 5_000_000, "hard cap on requested budgets")
 		cacheSize  = fs.Int("cache", 128, "artifact store entries")
+		shards     = fs.Int("shards", 0, "artifact store shards, rounded up to a power of two (0 = 8)")
+		maxBatch   = fs.Int("maxbatch", 0, "max items per /v1/batch request (0 = 64)")
 		drain      = fs.Duration("drain", 10*time.Second, "graceful-shutdown drain window")
 		quiet      = fs.Bool("quiet", false, "log warnings and errors only")
 		selfcheck  = fs.Bool("selfcheck", false, "boot on a loopback port, run the load client, and exit")
@@ -73,6 +76,8 @@ func run(args []string, stdout, stderr io.Writer) error {
 		DefaultBudget:  *budget,
 		MaxBudget:      *maxBudget,
 		CacheEntries:   *cacheSize,
+		CacheShards:    *shards,
+		MaxBatchItems:  *maxBatch,
 		Logger:         logger,
 	}
 

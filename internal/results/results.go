@@ -1,0 +1,116 @@
+// Package results defines the krallbench-results/v1 document: the
+// machine-readable output of a krallbench sweep, extended by the service
+// throughput harness (krallload -throughput) with a "service" section.
+// Three consumers share it — cmd/krallbench writes it, cmd/krallload
+// merges the service section into an existing file, and the
+// bench-regression gate (krallbench -compare) reads two of them and
+// refuses throughput drops — so the schema lives here rather than in any
+// one command.
+package results
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+)
+
+// Schema identifies the document format.
+const Schema = "krallbench-results/v1"
+
+// Document is one benchmark run: configuration, end-to-end timing, the
+// experiment engine's counters, per-section timings, and (when the
+// throughput harness has run) the service section.
+type Document struct {
+	Schema string `json:"schema"`
+	Budget uint64 `json:"budget"`
+	Quick  bool   `json:"quick"`
+	// Workers is the experiment engine's pool width for the sweep.
+	Workers int `json:"workers"`
+	// TotalSeconds is end-to-end wall clock; BranchesPerSecond is the
+	// trace-event throughput (recorded + replayed events over wall clock).
+	TotalSeconds      float64   `json:"total_seconds"`
+	BranchesPerSecond float64   `json:"branches_per_second"`
+	Engine            Engine    `json:"engine"`
+	Experiments       []Section `json:"experiments"`
+	// Service holds the kralld throughput measurement; absent until
+	// krallload -throughput -benchjson has merged one in.
+	Service *Service `json:"service,omitempty"`
+}
+
+// Engine mirrors runner.Stats in JSON form.
+type Engine struct {
+	Jobs           int64   `json:"jobs"`
+	JobSeconds     float64 `json:"job_seconds"`
+	CacheHits      int64   `json:"cache_hits"`
+	CacheMisses    int64   `json:"cache_misses"`
+	TraceRecords   int64   `json:"trace_records"`
+	RecordedEvents int64   `json:"recorded_events"`
+	Replays        int64   `json:"replays"`
+	ReplayedEvents int64   `json:"replayed_events"`
+	LiveRuns       int64   `json:"live_runs"`
+}
+
+// Section is one experiment section's timing.
+type Section struct {
+	ID              string  `json:"id"`
+	TraceSufficient bool    `json:"trace_sufficient"`
+	Seconds         float64 `json:"seconds"`
+}
+
+// Service is the kralld throughput section: the same request mix served
+// one sub-request per HTTP POST (Single) and batched through /v1/batch
+// (Batch), with the requests/sec ratio between the two.
+type Service struct {
+	Workloads   []string `json:"workloads"`
+	Budget      uint64   `json:"budget"`
+	Concurrency int      `json:"concurrency"`
+	// Rounds is how many times each phase ran; the phases report their
+	// best round, damping scheduler and GC noise.
+	Rounds int   `json:"rounds"`
+	Single Phase `json:"single"`
+	Batch  Phase `json:"batch"`
+	// Speedup is Batch.RequestsPerSecond / Single.RequestsPerSecond.
+	Speedup float64 `json:"speedup"`
+}
+
+// Phase is one throughput measurement: N sub-requests served at a given
+// batch size.
+type Phase struct {
+	BatchSize int `json:"batch_size"`
+	// HTTPPosts is the number of HTTP round trips; Requests the pipeline
+	// sub-requests they carried (equal when BatchSize is 1).
+	HTTPPosts int `json:"http_posts"`
+	Requests  int `json:"requests"`
+	// Branches sums the "events" field of every sub-response: the branch
+	// events the service accounted for while answering.
+	Branches          uint64  `json:"branches"`
+	Seconds           float64 `json:"seconds"`
+	RequestsPerSecond float64 `json:"requests_per_second"`
+	BranchesPerSecond float64 `json:"branches_per_second"`
+}
+
+// Read loads and validates a document.
+func Read(path string) (*Document, error) {
+	buf, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var doc Document
+	if err := json.Unmarshal(buf, &doc); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	if doc.Schema != Schema {
+		return nil, fmt.Errorf("%s: schema %q, want %q", path, doc.Schema, Schema)
+	}
+	return &doc, nil
+}
+
+// Write marshals the document with stable indentation and a trailing
+// newline, the format committed as BENCH_results.json.
+func Write(path string, doc *Document) error {
+	buf, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(buf, '\n'), 0o644)
+}

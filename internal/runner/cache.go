@@ -61,13 +61,3 @@ func (c *Cache) Len() int {
 	defer c.mu.Unlock()
 	return len(c.entries)
 }
-
-// Cached is the typed wrapper over Cache.Do.
-func Cached[V any](c *Cache, key string, fn func() (V, error)) (V, error) {
-	v, err := c.Do(key, func() (any, error) { return fn() })
-	if v == nil {
-		var zero V
-		return zero, err
-	}
-	return v.(V), err
-}

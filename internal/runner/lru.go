@@ -98,12 +98,8 @@ func (l *LRU) Len() int {
 // Cap is the configured capacity.
 func (l *LRU) Cap() int { return l.cap }
 
-// LRUCached is the typed wrapper over LRU.Do.
+// LRUCached is the typed wrapper over LRU.Do; Cached is the same thing
+// over any Store.
 func LRUCached[V any](l *LRU, key string, fn func() (V, error)) (V, error) {
-	v, err := l.Do(key, func() (any, error) { return fn() })
-	if v == nil {
-		var zero V
-		return zero, err
-	}
-	return v.(V), err
+	return Cached[V](l, key, fn)
 }

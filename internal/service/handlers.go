@@ -104,7 +104,7 @@ func (s *Server) resolveProgram(req *Request) (*compiled, error) {
 		return nil, badRequest("give either workload or source, not both")
 	case req.Workload != "":
 		key := contentKey("prog", "workload", req.Workload)
-		return runner.LRUCached(s.store, key, func() (*compiled, error) {
+		return runner.Cached(s.store, key, func() (*compiled, error) {
 			w, err := bench.ByName(req.Workload)
 			if err != nil {
 				return nil, &httpError{http.StatusBadRequest, err.Error()}
@@ -117,7 +117,7 @@ func (s *Server) resolveProgram(req *Request) (*compiled, error) {
 		})
 	case req.Source != "":
 		key := contentKey("prog", "source", req.Source)
-		return runner.LRUCached(s.store, key, func() (*compiled, error) {
+		return runner.Cached(s.store, key, func() (*compiled, error) {
 			prog, err := lang.Compile(req.Source)
 			if err != nil {
 				return nil, &httpError{http.StatusBadRequest, "compiling source: " + err.Error()}
@@ -188,7 +188,7 @@ func runMachine(m *interp.Machine) (truncated bool, err error) {
 // (LRU drops errors), so a retry after a timeout starts clean.
 func (s *Server) artifactFor(ctx context.Context, c *compiled, req *Request, budget uint64) (*artifact, error) {
 	key := contentKey("art", c.key, field(budget, req.Seed, req.Scale))
-	return runner.LRUCached(s.store, key, func() (*artifact, error) {
+	return runner.Cached(s.store, key, func() (*artifact, error) {
 		rctx, cancel := context.WithTimeout(context.WithoutCancel(ctx), s.cfg.RequestTimeout)
 		defer cancel()
 		m, err := s.newMachine(rctx, c, c.prog, budget, req)
@@ -221,7 +221,7 @@ func (s *Server) profileFor(ctx context.Context, c *compiled, req *Request, budg
 		return nil, nil, err
 	}
 	key := contentKey("prof", c.key, field(budget, req.Seed, req.Scale))
-	prof, err := runner.LRUCached(s.store, key, func() (*profile.Profile, error) {
+	prof, err := runner.Cached(s.store, key, func() (*profile.Profile, error) {
 		p := profile.New(c.nsites, profile.Options{LocalK: 9, GlobalK: 9, PathM: 3})
 		art.slab.ReplayInto(p)
 		s.eng.CountReplay(int64(art.slab.Len()))
@@ -268,13 +268,14 @@ func (s *Server) handleProfile(ctx context.Context, req *Request) (any, error) {
 	if err != nil {
 		return nil, err
 	}
-	art, err := s.artifactFor(ctx, c, req, budget)
+	// The profile bundle is memoised in the store; serving a hot program
+	// replays nothing. (Cold cost is the full bundle — pattern tables
+	// included — but /v1/machines needs those anyway.)
+	prof, art, err := s.profileFor(ctx, c, req, budget)
 	if err != nil {
 		return nil, err
 	}
-	counts := trace.NewCounts(c.nsites)
-	art.slab.ReplayRuns(counts.AddRun)
-	s.eng.CountReplay(int64(art.slab.Len()))
+	counts := prof.Counts
 	r := predict.ProfileResult(counts)
 	resp := &ProfileResponse{
 		SchemaV:   Schema,
@@ -362,10 +363,18 @@ func (s *Server) handleMachines(ctx context.Context, req *Request) (any, error) 
 	if err != nil {
 		return nil, err
 	}
-	choices := statemachine.Select(prof, c.feats, statemachine.Options{
-		MaxStates:  states,
-		MaxPathLen: pathLen,
+	// Selection is a pure function of the (memoised) profile and the
+	// request's machine options, so it is content-addressed too.
+	mkey := contentKey("mach", c.key, field(budget, req.Seed, req.Scale, states, pathLen))
+	choices, err := runner.Cached(s.store, mkey, func() ([]statemachine.Choice, error) {
+		return statemachine.Select(prof, c.feats, statemachine.Options{
+			MaxStates:  states,
+			MaxPathLen: pathLen,
+		}), nil
 	})
+	if err != nil {
+		return nil, err
+	}
 	misses, total := statemachine.Aggregate(choices)
 	r := predict.ProfileResult(prof.Counts)
 	resp := &MachinesResponse{
@@ -559,7 +568,7 @@ func (s *Server) handleScore(ctx context.Context, req *Request) (any, error) {
 	}
 
 	var slab *trace.Slab
-	var source string
+	var source, cacheKey string
 	switch {
 	case req.TraceB64 != "":
 		if req.Workload != "" || req.Source != "" {
@@ -592,10 +601,54 @@ func (s *Server) handleScore(ctx context.Context, req *Request) (any, error) {
 		}
 		slab = art.slab
 		source = c.name
+		// A score of a stored trace is a pure function of the artifact key
+		// and the strategy parameters, so it is memoised too; scoring a hot
+		// program replays nothing. (Uploaded traces have no content key and
+		// are scored directly.)
+		cacheKey = contentKey("score", c.key,
+			field(budget, req.Seed, req.Scale, strategy), field(req.Preds))
 	}
 
-	// Site table sizes come from the trace itself, so uploaded traces need
-	// no side channel describing their program.
+	var nsites int
+	var score RateBlock
+	if cacheKey != "" {
+		ent, err := runner.Cached(s.store, cacheKey, func() (scoreEntry, error) {
+			return s.scoreSlab(slab, strategy, req.Preds)
+		})
+		if err != nil {
+			return nil, err
+		}
+		nsites, score = ent.nsites, ent.score
+	} else {
+		ent, err := s.scoreSlab(slab, strategy, req.Preds)
+		if err != nil {
+			return nil, err
+		}
+		nsites, score = ent.nsites, ent.score
+	}
+
+	return &ScoreResponse{
+		SchemaV:  Schema,
+		Kind:     "score",
+		Strategy: strategy,
+		Source:   source,
+		NumSites: nsites,
+		Events:   slab.Len(),
+		Score:    score,
+	}, nil
+}
+
+// scoreEntry is a memoised score: the trace's observed site-table size
+// plus the strategy's misprediction block.
+type scoreEntry struct {
+	nsites int
+	score  RateBlock
+}
+
+// scoreSlab replays one trace against a strategy. Site table sizes come
+// from the trace itself, so uploaded traces need no side channel
+// describing their program.
+func (s *Server) scoreSlab(slab *trace.Slab, strategy string, reqPreds []string) (scoreEntry, error) {
 	nsites := 0
 	slab.ReplayRuns(func(site int32, _ bool, _ uint64) {
 		if int(site) >= nsites {
@@ -620,10 +673,10 @@ func (s *Server) handleScore(ctx context.Context, req *Request) (any, error) {
 		score = rateBlock(eval.Misses, eval.Total)
 	case "static":
 		preds := make([]ir.Prediction, nsites)
-		if len(req.Preds) > nsites {
-			return nil, badRequest("preds has %d entries for %d sites", len(req.Preds), nsites)
+		if len(reqPreds) > nsites {
+			return scoreEntry{}, badRequest("preds has %d entries for %d sites", len(reqPreds), nsites)
 		}
-		for i, p := range req.Preds {
+		for i, p := range reqPreds {
 			switch p {
 			case "taken":
 				preds[i] = ir.PredTaken
@@ -632,7 +685,7 @@ func (s *Server) handleScore(ctx context.Context, req *Request) (any, error) {
 			case "none", "":
 				preds[i] = ir.PredNone
 			default:
-				return nil, badRequest("preds[%d]: unknown prediction %q", i, p)
+				return scoreEntry{}, badRequest("preds[%d]: unknown prediction %q", i, p)
 			}
 		}
 		var predicted, mispredicted uint64
@@ -648,17 +701,8 @@ func (s *Server) handleScore(ctx context.Context, req *Request) (any, error) {
 		})
 		score = rateBlock(mispredicted, predicted)
 	default:
-		return nil, badRequest("unknown strategy %q (want profile, last, twobit, or static)", strategy)
+		return scoreEntry{}, badRequest("unknown strategy %q (want profile, last, twobit, or static)", strategy)
 	}
 	s.eng.CountReplay(int64(slab.Len()))
-
-	return &ScoreResponse{
-		SchemaV:  Schema,
-		Kind:     "score",
-		Strategy: strategy,
-		Source:   source,
-		NumSites: nsites,
-		Events:   slab.Len(),
-		Score:    score,
-	}, nil
+	return scoreEntry{nsites: nsites, score: score}, nil
 }

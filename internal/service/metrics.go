@@ -30,19 +30,37 @@ type endpointMetrics struct {
 }
 
 // metrics is the /metrics registry: per-endpoint request counts by status
-// code, in-flight gauges, 429 rejections, and latency histograms.
+// code, in-flight gauges, 429 rejections, latency histograms, and the
+// per-item outcomes of /v1/batch.
 type metrics struct {
 	endpoints map[string]*endpointMetrics
 	names     []string
+
+	itemMu sync.Mutex
+	items  map[string]map[int]int64 // batch sub-request outcomes by endpoint then code
 }
 
 func newMetrics(names []string) *metrics {
-	m := &metrics{endpoints: map[string]*endpointMetrics{}, names: append([]string(nil), names...)}
+	m := &metrics{
+		endpoints: map[string]*endpointMetrics{},
+		names:     append([]string(nil), names...),
+		items:     map[string]map[int]int64{},
+	}
 	sort.Strings(m.names)
 	for _, n := range m.names {
 		m.endpoints[n] = &endpointMetrics{codes: map[int]int64{}}
 	}
 	return m
+}
+
+// observeItem counts one /v1/batch sub-request outcome.
+func (m *metrics) observeItem(endpoint string, code int) {
+	m.itemMu.Lock()
+	if m.items[endpoint] == nil {
+		m.items[endpoint] = map[int]int64{}
+	}
+	m.items[endpoint][code]++
+	m.itemMu.Unlock()
 }
 
 func (m *metrics) inflight(name string, delta int64) {
@@ -70,10 +88,12 @@ func (m *metrics) observe(name string, code int, elapsed time.Duration) {
 	e.mu.Unlock()
 }
 
-// storeSnapshot carries the artifact store's counters into write.
+// storeSnapshot carries the artifact store's counters into write, both
+// the whole-store totals and the per-shard breakdown.
 type storeSnapshot struct {
 	entries      int
 	hits, misses int64
+	shards       []runner.ShardCounters
 }
 
 // verifySnapshot carries the replication-equivalence verifier's verdict
@@ -111,6 +131,23 @@ func (m *metrics) write(w io.Writer, eng runner.Stats, store storeSnapshot, veri
 		fmt.Fprintf(w, "kralld_inflight{endpoint=%q} %d\n", name, e.inflight.Load())
 		fmt.Fprintf(w, "kralld_rejected_total{endpoint=%q} %d\n", name, e.rejected.Load())
 	}
+	m.itemMu.Lock()
+	itemEPs := make([]string, 0, len(m.items))
+	for ep := range m.items {
+		itemEPs = append(itemEPs, ep)
+	}
+	sort.Strings(itemEPs)
+	for _, ep := range itemEPs {
+		codes := make([]int, 0, len(m.items[ep]))
+		for c := range m.items[ep] {
+			codes = append(codes, c)
+		}
+		sort.Ints(codes)
+		for _, c := range codes {
+			fmt.Fprintf(w, "kralld_batch_items_total{endpoint=%q,code=\"%d\"} %d\n", ep, c, m.items[ep][c])
+		}
+	}
+	m.itemMu.Unlock()
 	// The experiment engine's counters: the same numbers krallbench prints
 	// to stderr, exported instead of logged.
 	fmt.Fprintf(w, "kralld_engine_workers %d\n", eng.Workers)
@@ -126,6 +163,12 @@ func (m *metrics) write(w io.Writer, eng runner.Stats, store storeSnapshot, veri
 	fmt.Fprintf(w, "kralld_store_entries %d\n", store.entries)
 	fmt.Fprintf(w, "kralld_store_hits_total %d\n", store.hits)
 	fmt.Fprintf(w, "kralld_store_misses_total %d\n", store.misses)
+	fmt.Fprintf(w, "kralld_store_shards %d\n", len(store.shards))
+	for i, sh := range store.shards {
+		fmt.Fprintf(w, "kralld_store_shard_entries{shard=\"%d\"} %d\n", i, sh.Entries)
+		fmt.Fprintf(w, "kralld_store_shard_hits_total{shard=\"%d\"} %d\n", i, sh.Hits)
+		fmt.Fprintf(w, "kralld_store_shard_misses_total{shard=\"%d\"} %d\n", i, sh.Misses)
+	}
 	fmt.Fprintf(w, "krallcheck_verified_total %d\n", verify.verified)
 	fmt.Fprintf(w, "krallcheck_failed_total %d\n", verify.failed)
 	fmt.Fprintf(w, "kralld_uptime_seconds %g\n", uptime.Seconds())

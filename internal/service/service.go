@@ -41,8 +41,12 @@ import (
 // Schema identifies the response format of every endpoint.
 const Schema = "kralld/v1"
 
-// Endpoints lists the POST pipeline endpoints in metrics order.
+// Endpoints lists the POST pipeline endpoints in metrics order; "batch"
+// (POST /v1/batch, which multiplexes the four) is metered separately.
 var Endpoints = []string{"machines", "profile", "replicate", "score"}
+
+// batchEndpoint is the metrics/admission name of POST /v1/batch.
+const batchEndpoint = "batch"
 
 // Config parameterises a Server. The zero value is usable: every field
 // has a production-shaped default.
@@ -66,8 +70,18 @@ type Config struct {
 	// an uncapped upload naming site 2^31-1 would OOM the daemon from a
 	// few bytes of input.
 	TraceLimits trace.Limits
-	// CacheEntries sizes the content-addressed artifact store (default 128).
+	// CacheEntries sizes the content-addressed artifact store (default 128);
+	// CacheShards splits it into independently locked shards (rounded up to
+	// a power of two; default 8). One shard reproduces the old single-mutex
+	// LRU exactly.
 	CacheEntries int
+	CacheShards  int
+	// MaxBatchItems caps the sub-requests accepted in one /v1/batch call
+	// (default 64); BatchWorkers caps the sub-requests a single batch
+	// executes concurrently (default: the engine's worker count). A batch
+	// may ask for fewer workers than the cap, never more.
+	MaxBatchItems int
+	BatchWorkers  int
 	// Logger receives structured request/lifecycle lines (nil = discard).
 	Logger *slog.Logger
 }
@@ -94,6 +108,15 @@ func (c *Config) setDefaults() {
 	if c.CacheEntries == 0 {
 		c.CacheEntries = 128
 	}
+	if c.CacheShards == 0 {
+		c.CacheShards = 8
+	}
+	if c.MaxBatchItems == 0 {
+		c.MaxBatchItems = 64
+	}
+	if c.BatchWorkers == 0 {
+		c.BatchWorkers = runner.New(c.Workers).Workers()
+	}
 	if c.Logger == nil {
 		c.Logger = slog.New(slog.NewTextHandler(io.Discard, nil))
 	}
@@ -104,7 +127,7 @@ func (c *Config) setDefaults() {
 type Server struct {
 	cfg     Config
 	eng     *runner.Engine
-	store   *runner.LRU
+	store   *runner.Sharded
 	metrics *metrics
 	mux     *http.ServeMux
 	sems    map[string]chan struct{}
@@ -123,23 +146,25 @@ type Server struct {
 // compiled programs and recorded trace slabs keyed by content hash.
 func New(cfg Config) *Server {
 	cfg.setDefaults()
+	metered := append([]string{batchEndpoint}, Endpoints...)
 	s := &Server{
 		cfg:     cfg,
 		eng:     runner.New(cfg.Workers),
-		store:   runner.NewLRU(cfg.CacheEntries),
-		metrics: newMetrics(Endpoints),
+		store:   runner.NewSharded(cfg.CacheEntries, cfg.CacheShards),
+		metrics: newMetrics(metered),
 		mux:     http.NewServeMux(),
 		sems:    map[string]chan struct{}{},
 		log:     cfg.Logger,
 		started: time.Now(),
 	}
-	for _, ep := range Endpoints {
+	for _, ep := range metered {
 		s.sems[ep] = make(chan struct{}, cfg.MaxInflight)
 	}
 	s.mux.HandleFunc("/v1/profile", s.endpoint("profile", s.handleProfile))
 	s.mux.HandleFunc("/v1/machines", s.endpoint("machines", s.handleMachines))
 	s.mux.HandleFunc("/v1/replicate", s.endpoint("replicate", s.handleReplicate))
 	s.mux.HandleFunc("/v1/score", s.endpoint("score", s.handleScore))
+	s.mux.HandleFunc("/v1/batch", s.handleBatch)
 	s.mux.HandleFunc("/metrics", s.handleMetrics)
 	s.mux.HandleFunc("/healthz", s.handleHealthz)
 	return s
@@ -290,20 +315,26 @@ type errorBody struct {
 	Error  string `json:"error"`
 }
 
-func (s *Server) writeError(w http.ResponseWriter, name string, err error, start time.Time) {
-	code := http.StatusInternalServerError
+// statusFor maps a handler error to its HTTP status; shared by the
+// single-request error path and the per-item statuses of /v1/batch.
+func statusFor(err error) int {
 	var he *httpError
 	switch {
 	case errors.As(err, &he):
-		code = he.code
+		return he.code
 	case errors.Is(err, context.DeadlineExceeded):
-		code = http.StatusGatewayTimeout
+		return http.StatusGatewayTimeout
 	case errors.Is(err, context.Canceled):
 		// The client went away; the status is for the log only.
-		code = 499
+		return 499
 	case errors.Is(err, trace.ErrTooLarge):
-		code = http.StatusRequestEntityTooLarge
+		return http.StatusRequestEntityTooLarge
 	}
+	return http.StatusInternalServerError
+}
+
+func (s *Server) writeError(w http.ResponseWriter, name string, err error, start time.Time) {
+	code := statusFor(err)
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(code)
 	buf, _ := json.Marshal(errorBody{Schema: Schema, Error: err.Error()})
@@ -322,6 +353,7 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	storeHits, storeMisses := s.store.Counters()
 	s.metrics.write(w, s.eng.Stats(), storeSnapshot{
 		entries: s.store.Len(), hits: storeHits, misses: storeMisses,
+		shards: s.store.Shards(),
 	}, verifySnapshot{
 		verified: s.verifyOK.Load(), failed: s.verifyFail.Load(),
 	}, time.Since(s.started))

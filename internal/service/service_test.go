@@ -410,9 +410,12 @@ func TestGracefulShutdown(t *testing.T) {
 // TestMetricsEndpoint sanity-checks the exposition format and that request
 // counters move.
 func TestMetricsEndpoint(t *testing.T) {
-	_, ts := newTestServer(t, Config{})
+	_, ts := newTestServer(t, Config{CacheShards: 4})
 	if code, out := post(t, ts, "profile", `{"workload":"cc","budget":5000}`); code != http.StatusOK {
 		t.Fatalf("profile: status %d (%s)", code, out)
+	}
+	if code, out := post(t, ts, "batch", `{"items":[{"endpoint":"score","workload":"cc","budget":5000,"strategy":"twobit"}]}`); code != http.StatusOK {
+		t.Fatalf("batch: status %d (%s)", code, out)
 	}
 	resp, err := http.Get(ts.URL + "/metrics")
 	if err != nil {
@@ -425,6 +428,11 @@ func TestMetricsEndpoint(t *testing.T) {
 		`kralld_request_seconds_bucket{endpoint="profile",le="+Inf"} 1`,
 		"kralld_engine_trace_records_total 1",
 		"kralld_store_entries",
+		"kralld_store_shards 4",
+		`kralld_store_shard_entries{shard="0"}`,
+		`kralld_store_shard_hits_total{shard="3"}`,
+		`kralld_batch_items_total{endpoint="score",code="200"} 1`,
+		`kralld_requests_total{endpoint="batch",code="200"} 1`,
 		"kralld_uptime_seconds",
 	} {
 		if !strings.Contains(string(body), want) {

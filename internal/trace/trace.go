@@ -12,6 +12,7 @@ import (
 	"fmt"
 	"io"
 	"math"
+	"sync"
 
 	"repro/internal/ir"
 )
@@ -166,6 +167,14 @@ func b2u(b bool) uint64 {
 	return 0
 }
 
+// bufReaderPool recycles the Reader's 64 KiB decode buffer across
+// decodes. The service's batch path decodes many uploaded BLTRACE1
+// streams concurrently; without pooling, every upload allocates (and
+// promptly discards) a fresh bufio buffer.
+var bufReaderPool = sync.Pool{
+	New: func() any { return bufio.NewReaderSize(nil, 1<<16) },
+}
+
 // Reader decodes a trace written by Writer.
 type Reader struct {
 	r     *bufio.Reader
@@ -184,17 +193,37 @@ func NewReader(r io.Reader) (*Reader, error) {
 	return NewReaderLimits(r, DefaultLimits())
 }
 
-// newReader validates the header; the caller sets limits.
+// newReader validates the header; the caller sets limits. The decode
+// buffer comes from the shared pool; Release returns it.
 func newReader(r io.Reader) (*Reader, error) {
-	br := bufio.NewReaderSize(r, 1<<16)
+	br := bufReaderPool.Get().(*bufio.Reader)
+	br.Reset(r)
+	release := func() {
+		br.Reset(nil)
+		bufReaderPool.Put(br)
+	}
 	hdr := make([]byte, len(magic))
 	if _, err := io.ReadFull(br, hdr); err != nil {
+		release()
 		return nil, fmt.Errorf("trace: reading header: %w", err)
 	}
 	if string(hdr) != magic {
+		release()
 		return nil, fmt.Errorf("trace: bad magic %q", hdr)
 	}
 	return &Reader{r: br}, nil
+}
+
+// Release returns the Reader's decode buffer to the package pool. It is
+// optional — an unreleased buffer is simply collected — but the hot
+// decode paths (ReadSlab, ReadAll) call it so concurrent uploads stop
+// churning 64 KiB allocations. The Reader must not be used afterwards.
+func (r *Reader) Release() {
+	if r.r != nil {
+		r.r.Reset(nil)
+		bufReaderPool.Put(r.r)
+		r.r = nil
+	}
 }
 
 // Next returns the next event, or io.EOF after the last one. A corrupt
@@ -277,6 +306,7 @@ func ReadAll(r io.Reader) ([]Event, error) {
 	if err != nil {
 		return nil, err
 	}
+	defer tr.Release()
 	var out []Event
 	for {
 		ev, err := tr.Next()
