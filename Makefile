@@ -26,7 +26,7 @@ bench:
 # service throughput harness, both into BENCH_results.json. The format is
 # documented in EXPERIMENTS.md; `make compare` gates against this file.
 benchjson:
-	$(GO) run ./cmd/krallbench -all -benchjson BENCH_results.json > /dev/null
+	$(GO) run ./cmd/krallbench -all -execbench -benchjson BENCH_results.json > /dev/null
 	$(GO) run ./cmd/krallload -serve -throughput -quiet -benchjson BENCH_results.json
 
 # Measure single vs batched kralld requests/sec over a loopback server.
@@ -36,7 +36,7 @@ throughput:
 # Bench-regression gate: measure the working tree into bench-new.json and
 # fail if throughput dropped >15% below the committed baseline.
 compare:
-	$(GO) run ./cmd/krallbench -all -benchjson bench-new.json > /dev/null
+	$(GO) run ./cmd/krallbench -all -execbench -benchjson bench-new.json > /dev/null
 	$(GO) run ./cmd/krallload -serve -throughput -quiet -benchjson bench-new.json
 	$(GO) run ./cmd/krallbench -compare BENCH_results.json bench-new.json -tolerance 0.15
 

@@ -19,14 +19,21 @@ if command -v govulncheck >/dev/null 2>&1; then
 else
     echo "govulncheck not installed, skipping (go install golang.org/x/vuln/cmd/govulncheck@latest)"
 fi
+# Backend conformance + differential + golden-trace suites by name (they
+# also run inside `go test ./...`; naming them makes the gate explicit and
+# keeps them from being filtered out by future test pruning).
+go test -run='Conformance|BackendEquivalence|VMContext' ./internal/vm
+go test -run='GoldenTraces' ./internal/bench
 go test -run='^$' -fuzz=FuzzParse -fuzztime=10s ./internal/lang
 go test -run='^$' -fuzz=FuzzReadSlab -fuzztime=10s ./internal/trace
 go test -run='^$' -fuzz=FuzzVerify -fuzztime=10s ./internal/analysis
+go test -run='^$' -fuzz=FuzzBackendEquivalence -fuzztime=10s ./internal/vm
 go run ./cmd/krallcheck examples/bl/*.bl
 go test -bench=. -benchtime=1x -run='^$' .
-# Bench-regression gate: run the sweep and the service throughput harness
-# into a fresh document, then compare it against the committed baseline.
-go run ./cmd/krallbench -all -benchjson bench-new.json > /dev/null
+# Bench-regression gate: run the sweep (including the interp-vs-vm
+# execution-backend comparison) and the service throughput harness into a
+# fresh document, then compare it against the committed baseline.
+go run ./cmd/krallbench -all -execbench -benchjson bench-new.json > /dev/null
 go run ./cmd/krallload -serve -throughput -quiet -benchjson bench-new.json
 go run ./cmd/krallbench -compare BENCH_results.json bench-new.json -tolerance 0.15
 # Prove the gate fires: a synthetic 20% regression must fail the compare.

@@ -148,5 +148,11 @@ func gatedMetrics(oldDoc, newDoc *results.Document) []gatedMetric {
 		add("service.batch.branches_per_second",
 			&oldDoc.Service.Batch.BranchesPerSecond, &newDoc.Service.Batch.BranchesPerSecond)
 	}
+	if oldDoc.Exec != nil && newDoc.Exec != nil {
+		add("exec.interp_branches_per_second",
+			&oldDoc.Exec.InterpBranchesPerSecond, &newDoc.Exec.InterpBranchesPerSecond)
+		add("exec.vm_branches_per_second",
+			&oldDoc.Exec.VMBranchesPerSecond, &newDoc.Exec.VMBranchesPerSecond)
+	}
 	return out
 }

@@ -18,6 +18,11 @@
 //	              sequential path — output is byte-identical either way)
 //	-forcelive    disable the trace-replay engine (every experiment
 //	              interprets live; identical results, slower)
+//	-backend B    execution backend for live runs: interp (default) or vm,
+//	              the compiled bytecode machine — observably identical,
+//	              pinned by internal/vm's differential tests
+//	-execbench    time identical live runs on both backends and print the
+//	              comparison (also written to -benchjson as "exec")
 //	-benchjson F  write machine-readable results (timings, engine
 //	              counters) as JSON to F — see EXPERIMENTS.md for the schema
 //	-cpuprofile F write a CPU profile to F
@@ -52,6 +57,7 @@ import (
 	"time"
 
 	"repro/internal/bench"
+	"repro/internal/exec"
 	"repro/internal/results"
 )
 
@@ -86,6 +92,8 @@ func run(args []string, stdout, stderr io.Writer) error {
 		parallel   = fs.Int("parallel", runtime.GOMAXPROCS(0), "experiment-engine workers (1 = sequential)")
 		quiet      = fs.Bool("quiet", false, "suppress progress and engine-stats chatter on stderr")
 		forceLive  = fs.Bool("forcelive", false, "disable the trace-replay engine (interpret every experiment live)")
+		backend    = fs.String("backend", "interp", "execution backend for live runs: interp or vm")
+		execbench  = fs.Bool("execbench", false, "time live runs on both backends and print the comparison")
 		benchjson  = fs.String("benchjson", "", "write machine-readable results (JSON) to `file`")
 		cpuprofile = fs.String("cpuprofile", "", "write a CPU profile to `file`")
 		memprofile = fs.String("memprofile", "", "write a heap profile to `file`")
@@ -132,6 +140,11 @@ func run(args []string, stdout, stderr io.Writer) error {
 	}
 	cfg.Parallel = *parallel
 	cfg.ForceLive = *forceLive
+	be, err := exec.ByName(*backend)
+	if err != nil {
+		return err
+	}
+	cfg.Backend = be
 	workers := *parallel
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
@@ -146,7 +159,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 		}
 		sel["table"+t] = true
 	}
-	nothing := len(sel) == 0 && !*figures && !*measured && !*crossdata && !*headline && !*layoutExp && !*scopeExp && !*jointExp
+	nothing := len(sel) == 0 && !*figures && !*measured && !*crossdata && !*headline && !*layoutExp && !*scopeExp && !*jointExp && !*execbench
 	if *all || nothing {
 		for i := 1; i <= 5; i++ {
 			sel[fmt.Sprintf("table%d", i)] = true
@@ -269,6 +282,16 @@ func run(args []string, stdout, stderr io.Writer) error {
 		fmt.Fprintln(stdout, bench.RenderHeadlines(bench.Headlines(figs)))
 		report("headline", figCost+time.Since(secStart))
 	}
+	var execMs []bench.ExecMeasurement
+	if *execbench {
+		secStart := time.Now()
+		execMs, err = bench.MeasureExec(nil, cfg.Budget, 3)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintln(stdout, bench.ExecTable(execMs).Render())
+		report("execbench", time.Since(secStart))
+	}
 	stats := suite.Engine().Stats()
 	total := time.Since(start)
 	fmt.Fprintf(stderr, "engine: %v\n", stats)
@@ -296,6 +319,25 @@ func run(args []string, stdout, stderr io.Writer) error {
 		}
 		if secs := total.Seconds(); secs > 0 {
 			res.BranchesPerSecond = float64(stats.RecordedEvents+stats.ReplayedEvents) / secs
+		}
+		if len(execMs) > 0 {
+			ex := &results.Exec{Budget: execMs[0].Budget, Rounds: execMs[0].Rounds}
+			var iTime, vTime, total float64
+			for _, m := range execMs {
+				ex.Workloads = append(ex.Workloads, results.ExecWorkload{
+					Name:                    m.Workload,
+					InterpBranchesPerSecond: m.InterpBranchesPerSec,
+					VMBranchesPerSecond:     m.VMBranchesPerSec,
+					Speedup:                 m.Speedup,
+				})
+				iTime += float64(m.Budget) / m.InterpBranchesPerSec
+				vTime += float64(m.Budget) / m.VMBranchesPerSec
+				total += float64(m.Budget)
+			}
+			ex.InterpBranchesPerSecond = total / iTime
+			ex.VMBranchesPerSecond = total / vTime
+			ex.Speedup = ex.VMBranchesPerSecond / ex.InterpBranchesPerSecond
+			res.Exec = ex
 		}
 		if err := results.Write(*benchjson, res); err != nil {
 			return fmt.Errorf("-benchjson: %w", err)

@@ -6,7 +6,7 @@
 //
 //	kralld [-addr :8723] [-workers N] [-limit N] [-timeout 30s]
 //	       [-budget N] [-maxbudget N] [-cache N] [-shards N] [-maxbatch N]
-//	       [-drain 10s] [-quiet]
+//	       [-backend interp|vm] [-drain 10s] [-quiet]
 //	kralld -selfcheck [-metrics-out file]
 //
 // The daemon drains gracefully on SIGINT/SIGTERM: the listener closes
@@ -31,6 +31,7 @@ import (
 	"syscall"
 	"time"
 
+	"repro/internal/exec"
 	"repro/internal/service"
 )
 
@@ -54,6 +55,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 		cacheSize  = fs.Int("cache", 128, "artifact store entries")
 		shards     = fs.Int("shards", 0, "artifact store shards, rounded up to a power of two (0 = 8)")
 		maxBatch   = fs.Int("maxbatch", 0, "max items per /v1/batch request (0 = 64)")
+		backend    = fs.String("backend", "interp", "execution backend: interp or vm")
 		drain      = fs.Duration("drain", 10*time.Second, "graceful-shutdown drain window")
 		quiet      = fs.Bool("quiet", false, "log warnings and errors only")
 		selfcheck  = fs.Bool("selfcheck", false, "boot on a loopback port, run the load client, and exit")
@@ -69,6 +71,11 @@ func run(args []string, stdout, stderr io.Writer) error {
 	}
 	logger := slog.New(slog.NewTextHandler(stderr, &slog.HandlerOptions{Level: level}))
 
+	be, err := exec.ByName(*backend)
+	if err != nil {
+		return err
+	}
+
 	cfg := service.Config{
 		Workers:        *workers,
 		MaxInflight:    *limit,
@@ -78,6 +85,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 		CacheEntries:   *cacheSize,
 		CacheShards:    *shards,
 		MaxBatchItems:  *maxBatch,
+		Backend:        be,
 		Logger:         logger,
 	}
 

@@ -1,0 +1,107 @@
+package bench
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/exec"
+)
+
+// ExecMeasurement is one workload's backend throughput comparison: the
+// same budgeted live run (no collectors attached, the conditions of the
+// suite's measured experiments) timed on the interpreter and on the
+// compiled vm, reporting the best of Rounds rounds per backend.
+type ExecMeasurement struct {
+	Workload string
+	Budget   uint64
+	Rounds   int
+	// InterpBranchesPerSec / VMBranchesPerSec are branch events per
+	// second of wall clock; Speedup is their ratio (vm over interp).
+	InterpBranchesPerSec float64
+	VMBranchesPerSec     float64
+	Speedup              float64
+}
+
+// MeasureExec times every named workload (nil = the whole suite) on both
+// execution backends. Each round runs the workload to its branch budget
+// with no collectors; the best round per backend is kept, damping
+// scheduler and GC noise. The two backends' checksums must agree — a
+// throughput number from a diverged backend would be meaningless — so this
+// doubles as an end-to-end equivalence check.
+func MeasureExec(names []string, budget uint64, rounds int) ([]ExecMeasurement, error) {
+	if budget == 0 {
+		budget = 500_000
+	}
+	if rounds <= 0 {
+		rounds = 3
+	}
+	ws := Workloads()
+	if len(names) > 0 {
+		ws = ws[:0]
+		for _, n := range names {
+			w, err := ByName(n)
+			if err != nil {
+				return nil, err
+			}
+			ws = append(ws, w)
+		}
+	}
+	cfg := RunConfig{Budget: budget, Scale: 1 << 30}
+	out := make([]ExecMeasurement, 0, len(ws))
+	for _, w := range ws {
+		c, err := Compile(w)
+		if err != nil {
+			return nil, err
+		}
+		m := ExecMeasurement{Workload: w.Name, Budget: budget, Rounds: rounds}
+		var sums [2]uint64
+		for bi, be := range []exec.Backend{exec.Interp, exec.VM} {
+			best := time.Duration(1<<63 - 1)
+			for r := 0; r < rounds; r++ {
+				start := time.Now()
+				mach, err := c.RunOn(be, cfg)
+				if err != nil {
+					return nil, fmt.Errorf("bench: exec measurement %s/%s: %w", w.Name, be.Name(), err)
+				}
+				if d := time.Since(start); d < best {
+					best = d
+				}
+				sums[bi] = mach.Counters().Checksum
+			}
+			rate := float64(budget) / best.Seconds()
+			if bi == 0 {
+				m.InterpBranchesPerSec = rate
+			} else {
+				m.VMBranchesPerSec = rate
+			}
+		}
+		if sums[0] != sums[1] {
+			return nil, fmt.Errorf("bench: exec measurement %s: backend checksums diverge (interp %#x, vm %#x)",
+				w.Name, sums[0], sums[1])
+		}
+		if m.InterpBranchesPerSec > 0 {
+			m.Speedup = m.VMBranchesPerSec / m.InterpBranchesPerSec
+		}
+		out = append(out, m)
+	}
+	return out, nil
+}
+
+// ExecTable renders the measurements as a result table.
+func ExecTable(ms []ExecMeasurement) *Table {
+	t := &Table{
+		ID:    "execbench",
+		Title: "Execution backend throughput (million branches/s, live runs)",
+	}
+	interp := Row{Name: "interpreter"}
+	vm := Row{Name: "compiled vm"}
+	speedup := Row{Name: "speedup"}
+	for _, m := range ms {
+		t.Cols = append(t.Cols, m.Workload)
+		interp.Cells = append(interp.Cells, Cell{Value: m.InterpBranchesPerSec / 1e6, Valid: true})
+		vm.Cells = append(vm.Cells, Cell{Value: m.VMBranchesPerSec / 1e6, Valid: true})
+		speedup.Cells = append(speedup.Cells, Cell{Value: m.Speedup, Valid: true})
+	}
+	t.Rows = append(t.Rows, interp, vm, speedup)
+	return t
+}

@@ -85,30 +85,44 @@ func (s *Suite) LayoutTable() (*Table, error) {
 	return t, nil
 }
 
-// layoutRates profiles one program (block counts + branch counts) and
-// evaluates both layouts.
+// layoutRates profiles one program (block counts + branch counts) on the
+// configured backend and evaluates both layouts.
 func layoutRates(prog *ir.Program, cfg ExpConfig) (naive, ph Cell, err error) {
+	counts, bc, err := countingRun(prog, cfg)
+	if err != nil {
+		return Cell{}, Cell{}, err
+	}
+	nv := layout.EvaluateProgram(prog, bc, counts, false)
+	pv := layout.EvaluateProgram(prog, bc, counts, true)
+	return Cell{Value: nv.TakenRate(), Valid: true}, Cell{Value: pv.TakenRate(), Valid: true}, nil
+}
+
+// countingRun executes a program with per-site branch counts and per-block
+// execution counts enabled — the two inputs of the layout and scope
+// experiments.
+func countingRun(prog *ir.Program, cfg ExpConfig) (*trace.Counts, [][]uint64, error) {
 	n := prog.NumberBranches(false)
 	counts := trace.NewCounts(n)
-	m := interp.New(prog)
+	ep, err := cfg.backend().Compile(prog)
+	if err != nil {
+		return nil, nil, err
+	}
+	m := ep.NewMachine()
 	m.EnableBlockCounts()
-	m.Hook = counts.Branch
-	m.MaxBranches = cfg.Budget
+	m.SetHook(counts.Branch)
+	m.SetMaxBranches(cfg.Budget)
 	if cfg.Seed != 0 {
 		if err := m.SetGlobal("wseed", cfg.Seed); err != nil {
-			return Cell{}, Cell{}, err
+			return nil, nil, err
 		}
 	}
 	if sc := scaleFor(cfg); sc != 0 {
 		if err := m.SetGlobal("wscale", sc); err != nil {
-			return Cell{}, Cell{}, err
+			return nil, nil, err
 		}
 	}
 	if _, err := m.Run(); err != nil && !errors.Is(err, interp.ErrLimit) {
-		return Cell{}, Cell{}, err
+		return nil, nil, err
 	}
-	bc := m.BlockCounts()
-	nv := layout.EvaluateProgram(prog, bc, counts, false)
-	pv := layout.EvaluateProgram(prog, bc, counts, true)
-	return Cell{Value: nv.TakenRate(), Valid: true}, Cell{Value: pv.TakenRate(), Valid: true}, nil
+	return counts, m.BlockCounts(), nil
 }

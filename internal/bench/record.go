@@ -34,16 +34,23 @@ type RunArtifact struct {
 
 // artifactFor records — or fetches from the single-flight artifact cache —
 // the trace of one workload under the given dataset seed. The recording run
-// uses the interpreter's direct slab hook (Machine.Rec), not the Collector
-// interface, so recording costs one append per branch.
+// uses the machine's direct slab hook (SetRec), not the Collector
+// interface, so recording costs one append per branch. It runs on the
+// configured backend: both backends produce byte-identical slabs (pinned by
+// internal/vm's differential and golden-trace tests), so the cache key does
+// not mention the backend.
 func (s *Suite) artifactFor(c *Compiled, seed int64) (*RunArtifact, error) {
 	key := fmt.Sprintf("%strace/%s/seed%d", s.prefix, c.Workload.Name, seed)
 	return runner.Cached(s.eng.Cache(), key, func() (*RunArtifact, error) {
-		m := interp.New(c.Prog)
-		m.MaxBranches = s.Cfg.Budget
+		ep, err := c.execProgram(s.Cfg.backend())
+		if err != nil {
+			return nil, err
+		}
+		m := ep.NewMachine()
+		m.SetMaxBranches(s.Cfg.Budget)
 		m.EnableBlockCounts()
 		slab := trace.NewSlab(int(s.Cfg.Budget))
-		m.Rec = slab
+		m.SetRec(slab)
 		if seed != 0 {
 			if err := m.SetGlobal("wseed", seed); err != nil {
 				return nil, err
@@ -59,12 +66,13 @@ func (s *Suite) artifactFor(c *Compiled, seed int64) (*RunArtifact, error) {
 		}
 		slab.Seal()
 		s.countRecord(int64(slab.Len()))
+		mc := m.Counters()
 		return &RunArtifact{
 			Trace:       slab,
-			Branches:    m.Branches,
-			Steps:       m.Steps,
-			Checksum:    m.Checksum,
-			Prints:      m.Prints,
+			Branches:    mc.Branches,
+			Steps:       mc.Steps,
+			Checksum:    mc.Checksum,
+			Prints:      mc.Prints,
 			BlockCounts: m.BlockCounts(),
 		}, nil
 	})

@@ -1,16 +1,12 @@
 package bench
 
 import (
-	"errors"
-
-	"repro/internal/interp"
 	"repro/internal/ir"
 	"repro/internal/predict"
 	"repro/internal/replicate"
 	"repro/internal/runner"
 	"repro/internal/statemachine"
 	"repro/internal/superblock"
-	"repro/internal/trace"
 )
 
 // ScopeTable runs the §6 future-work experiment: how much straight-line
@@ -83,25 +79,10 @@ func (s *Suite) ScopeTable() (*Table, error) {
 }
 
 func scopeStats(prog *ir.Program, cfg ExpConfig) (superblock.Stats, int, error) {
-	n := prog.NumberBranches(false)
-	counts := trace.NewCounts(n)
-	m := interp.New(prog)
-	m.EnableBlockCounts()
-	m.Hook = counts.Branch
-	m.MaxBranches = cfg.Budget
-	if cfg.Seed != 0 {
-		if err := m.SetGlobal("wseed", cfg.Seed); err != nil {
-			return superblock.Stats{}, 0, err
-		}
-	}
-	if sc := scaleFor(cfg); sc != 0 {
-		if err := m.SetGlobal("wscale", sc); err != nil {
-			return superblock.Stats{}, 0, err
-		}
-	}
-	if _, err := m.Run(); err != nil && !errors.Is(err, interp.ErrLimit) {
+	counts, bc, err := countingRun(prog, cfg)
+	if err != nil {
 		return superblock.Stats{}, 0, err
 	}
-	st := superblock.MeasureProgram(prog, m.BlockCounts(), counts)
+	st := superblock.MeasureProgram(prog, bc, counts)
 	return st, st.Traces, nil
 }

@@ -20,6 +20,14 @@ import (
 // normal completion.
 var ErrLimit = errors.New("interp: execution limit reached")
 
+// ErrNoMain and ErrMainParams reject degenerate entry points. They are
+// sentinels (wrapped with a backend prefix) so both execution backends
+// report the same condition and differential tests can match by identity.
+var (
+	ErrNoMain     = errors.New("program has no main function")
+	ErrMainParams = errors.New("main must take no parameters")
+)
+
 // RuntimeError describes a trap during execution (division by zero,
 // out-of-bounds array access).
 type RuntimeError struct {
@@ -162,10 +170,10 @@ func (m *Machine) GlobalValue(name string) (int64, error) {
 func (m *Machine) Run() (int64, error) {
 	f := m.prog.Func("main")
 	if f == nil {
-		return 0, errors.New("interp: program has no main function")
+		return 0, fmt.Errorf("interp: %w", ErrNoMain)
 	}
 	if f.NParams != 0 {
-		return 0, errors.New("interp: main must take no parameters")
+		return 0, fmt.Errorf("interp: %w", ErrMainParams)
 	}
 	return m.Call(f)
 }

@@ -35,6 +35,9 @@ type Document struct {
 	// Service holds the kralld throughput measurement; absent until
 	// krallload -throughput -benchjson has merged one in.
 	Service *Service `json:"service,omitempty"`
+	// Exec holds the execution-backend comparison (interpreter vs the
+	// compiled vm); absent until krallbench -execbench has run.
+	Exec *Exec `json:"exec,omitempty"`
 }
 
 // Engine mirrors runner.Stats in JSON form.
@@ -87,6 +90,28 @@ type Phase struct {
 	Seconds           float64 `json:"seconds"`
 	RequestsPerSecond float64 `json:"requests_per_second"`
 	BranchesPerSecond float64 `json:"branches_per_second"`
+}
+
+// Exec is the execution-backend throughput section: identical budgeted
+// live runs timed on the reference interpreter and on the compiled
+// bytecode vm (best of Rounds rounds each, no collectors attached).
+type Exec struct {
+	Budget uint64 `json:"budget"`
+	Rounds int    `json:"rounds"`
+	// The aggregate rates are total branches over total best-round time
+	// across all workloads; Speedup is vm over interpreter.
+	InterpBranchesPerSecond float64        `json:"interp_branches_per_second"`
+	VMBranchesPerSecond     float64        `json:"vm_branches_per_second"`
+	Speedup                 float64        `json:"speedup"`
+	Workloads               []ExecWorkload `json:"workloads"`
+}
+
+// ExecWorkload is one workload's backend comparison.
+type ExecWorkload struct {
+	Name                    string  `json:"name"`
+	InterpBranchesPerSecond float64 `json:"interp_branches_per_second"`
+	VMBranchesPerSecond     float64 `json:"vm_branches_per_second"`
+	Speedup                 float64 `json:"speedup"`
 }
 
 // Read loads and validates a document.

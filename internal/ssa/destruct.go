@@ -1,0 +1,103 @@
+package ssa
+
+import "repro/internal/ir"
+
+// Destruct lowers every function out of SSA form: critical edges into
+// phi-carrying blocks are split with synthesised edge blocks, and each phi
+// becomes one copy per incoming edge. The phi value itself survives as a
+// plain multi-assignment variable (recorded in Func.PhiVars) that the copies
+// write via their Phi field; the bytecode emitter gives it one frame slot.
+//
+// Edge blocks have Orig == nil and Weight 0: the interpreter never executed
+// them, so they contribute no steps, no block counts, and no context polls.
+func Destruct(p *Program) {
+	for _, f := range p.Funcs {
+		destructFunc(f)
+	}
+}
+
+func destructFunc(f *Func) {
+	// Snapshot: edge blocks are appended while iterating.
+	blocks := append([]*Block(nil), f.Blocks...)
+	for _, s := range blocks {
+		if len(s.Phis) == 0 {
+			continue
+		}
+		for i := 0; i < len(s.Preds); i++ {
+			pred := s.Preds[i]
+			at := pred
+			if pred.Term.Op == ir.TermBr {
+				// Critical edge (the predecessor has another successor):
+				// split it so the copies run on this edge only.
+				e := f.newBlock(nil)
+				if pred.Term.Then == s {
+					pred.Term.Then = e
+				} else {
+					pred.Term.Else = e
+				}
+				e.Term = Term{Op: ir.TermJmp, Then: s}
+				e.Preds = []*Block{pred}
+				s.Preds[i] = e
+				at = e
+			}
+			emitParallelCopy(f, at, s.Phis, i)
+		}
+		for _, phi := range s.Phis {
+			f.PhiVars = append(f.PhiVars, phi)
+			phi.Args = nil
+		}
+		s.Phis = nil
+	}
+}
+
+// emitParallelCopy appends the copies realising edge i's phi arguments to
+// the end of block at. When one phi's source is another phi of the same
+// group, the writes could clobber a pending read, so the copy goes through
+// a temporary (snapshot all sources, then write all destinations).
+func emitParallelCopy(f *Func, at *Block, phis []*Value, i int) {
+	inGroup := func(v *Value) bool {
+		for _, p := range phis {
+			if p == v {
+				return true
+			}
+		}
+		return false
+	}
+	overlap := false
+	for _, phi := range phis {
+		a := phi.Args[i]
+		if a != phi && inGroup(a) {
+			overlap = true
+			break
+		}
+	}
+	if !overlap {
+		for _, phi := range phis {
+			a := phi.Args[i]
+			if a == phi {
+				continue // self-loop: the variable already holds the value
+			}
+			c := f.NewValue(OpCopy, 0, a)
+			c.Phi = phi
+			at.Code = append(at.Code, c)
+		}
+		return
+	}
+	var temps []*Value
+	var dsts []*Value
+	for _, phi := range phis {
+		a := phi.Args[i]
+		if a == phi {
+			continue
+		}
+		t := f.NewValue(OpCopy, 0, a)
+		at.Code = append(at.Code, t)
+		temps = append(temps, t)
+		dsts = append(dsts, phi)
+	}
+	for j, t := range temps {
+		c := f.NewValue(OpCopy, 0, t)
+		c.Phi = dsts[j]
+		at.Code = append(at.Code, c)
+	}
+}

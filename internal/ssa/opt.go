@@ -1,0 +1,361 @@
+package ssa
+
+import (
+	"math"
+
+	"repro/internal/ir"
+)
+
+// Optimize runs the pass pipeline on every function: copy propagation and
+// trivial-phi collapse to a fixpoint, constant folding, then dead-code
+// elimination. Passes never touch anything trace-observable: branches are
+// not folded or retargeted, and trapping instructions (division, modulo,
+// float-to-int, element access) survive even when their results are unused.
+func Optimize(p *Program) {
+	for _, f := range p.Funcs {
+		optimizeFunc(f)
+	}
+}
+
+func optimizeFunc(f *Func) {
+	for i := 0; i < 16; i++ {
+		c1 := simplify(f)
+		c2 := constFold(f)
+		if !c1 && !c2 {
+			break
+		}
+	}
+	deadCode(f)
+}
+
+// chase resolves v through copy/mov chains to the underlying value.
+func chase(v *Value) *Value {
+	for i := 0; i < 1000; i++ {
+		if v.Op == OpCopy || v.Op == FromIR(ir.OpMov) {
+			v = v.Args[0]
+			continue
+		}
+		return v
+	}
+	return v // defensive: cyclic copies cannot arise pre-destruction
+}
+
+// simplify collapses trivial phis into copies and forwards all operands
+// through copy chains. Returns whether anything changed.
+func simplify(f *Func) bool {
+	changed := false
+	for pass := 0; ; pass++ {
+		round := false
+		for _, b := range f.Blocks {
+			for _, phi := range b.Phis {
+				if phi.Op != OpPhi {
+					continue
+				}
+				if x := trivialPhi(phi); x != nil {
+					phi.Op = OpCopy
+					phi.Args = []*Value{x}
+					round = true
+				}
+			}
+		}
+		for _, b := range f.Blocks {
+			for _, v := range b.Phis {
+				round = forwardArgs(v) || round
+			}
+			for _, v := range b.Code {
+				round = forwardArgs(v) || round
+			}
+			if b.Term.Cond != nil {
+				if r := chase(b.Term.Cond); r != b.Term.Cond {
+					b.Term.Cond = r
+					round = true
+				}
+			}
+			if b.Term.Val != nil {
+				if r := chase(b.Term.Val); r != b.Term.Val {
+					b.Term.Val = r
+					round = true
+				}
+			}
+		}
+		if !round {
+			return changed
+		}
+		changed = true
+	}
+}
+
+// trivialPhi returns the unique non-self argument of a phi, or nil when the
+// phi merges genuinely distinct values.
+func trivialPhi(phi *Value) *Value {
+	var x *Value
+	for _, a := range phi.Args {
+		a = chase(a)
+		if a == phi || a == x {
+			continue
+		}
+		if x != nil {
+			return nil
+		}
+		x = a
+	}
+	return x
+}
+
+func forwardArgs(v *Value) bool {
+	if v.Op == OpCopy || v.Op == FromIR(ir.OpMov) {
+		return false // keep the chain itself intact; chase skips it
+	}
+	changed := false
+	for i, a := range v.Args {
+		if r := chase(a); r != a {
+			v.Args[i] = r
+			changed = true
+		}
+	}
+	return changed
+}
+
+func isConst(v *Value) bool {
+	return v.Op == FromIR(ir.OpConstI) || v.Op == FromIR(ir.OpConstF)
+}
+
+// constFold evaluates pure operations over constant operands, using exactly
+// the interpreter's semantics (two's-complement wrap, IEEE-754 bit
+// patterns). Operations that could trap at runtime — division or modulo by
+// a zero divisor, float-to-int out of range — are left for the machine so
+// the trap surfaces identically. Returns whether anything changed.
+func constFold(f *Func) bool {
+	changed := false
+	for _, b := range f.Blocks {
+		for _, v := range b.Code {
+			if v.Op.IsPseudo() {
+				continue
+			}
+			op := v.Op.IR()
+			if op.NumSrc() == 0 || op.NumSrc() != len(v.Args) {
+				continue
+			}
+			ready := true
+			for _, a := range v.Args {
+				if !isConst(a) {
+					ready = false
+					break
+				}
+			}
+			if !ready {
+				continue
+			}
+			var av, bv int64
+			av = v.Args[0].Imm
+			if len(v.Args) == 2 {
+				bv = v.Args[1].Imm
+			}
+			res, kind, ok := fold(op, av, bv)
+			if !ok {
+				continue
+			}
+			v.Op = FromIR(kind)
+			v.Imm = res
+			v.Args = nil
+			changed = true
+		}
+	}
+	return changed
+}
+
+func f64(bits int64) float64 { return math.Float64frombits(uint64(bits)) }
+func fbits(v float64) int64  { return int64(math.Float64bits(v)) }
+func b2i(v bool) int64 {
+	if v {
+		return 1
+	}
+	return 0
+}
+
+// fold evaluates op over constant bits, mirroring interp.Machine. ok is
+// false when the operation is impure, can trap on these operands, or is not
+// a foldable value operation.
+func fold(op ir.Op, a, b int64) (res int64, kind ir.Op, ok bool) {
+	kind = ir.OpConstI
+	ok = true
+	switch op {
+	case ir.OpAddI:
+		res = a + b
+	case ir.OpSubI:
+		res = a - b
+	case ir.OpMulI:
+		res = a * b
+	case ir.OpDivI:
+		if b == 0 {
+			return 0, 0, false
+		}
+		if b == -1 && a == math.MinInt64 {
+			res = math.MinInt64
+		} else {
+			res = a / b
+		}
+	case ir.OpModI:
+		if b == 0 {
+			return 0, 0, false
+		}
+		if b == -1 {
+			res = 0
+		} else {
+			res = a % b
+		}
+	case ir.OpAndI:
+		res = a & b
+	case ir.OpOrI:
+		res = a | b
+	case ir.OpXorI:
+		res = a ^ b
+	case ir.OpShlI:
+		res = a << (uint64(b) & 63)
+	case ir.OpShrI:
+		res = a >> (uint64(b) & 63)
+	case ir.OpNegI:
+		res = -a
+	case ir.OpNotI:
+		res = b2i(a == 0)
+	case ir.OpAddF:
+		res, kind = fbits(f64(a)+f64(b)), ir.OpConstF
+	case ir.OpSubF:
+		res, kind = fbits(f64(a)-f64(b)), ir.OpConstF
+	case ir.OpMulF:
+		res, kind = fbits(f64(a)*f64(b)), ir.OpConstF
+	case ir.OpDivF:
+		res, kind = fbits(f64(a)/f64(b)), ir.OpConstF
+	case ir.OpNegF:
+		res, kind = fbits(-f64(a)), ir.OpConstF
+	case ir.OpEqI:
+		res = b2i(a == b)
+	case ir.OpNeI:
+		res = b2i(a != b)
+	case ir.OpLtI:
+		res = b2i(a < b)
+	case ir.OpLeI:
+		res = b2i(a <= b)
+	case ir.OpGtI:
+		res = b2i(a > b)
+	case ir.OpGeI:
+		res = b2i(a >= b)
+	case ir.OpEqF:
+		res = b2i(f64(a) == f64(b))
+	case ir.OpNeF:
+		res = b2i(f64(a) != f64(b))
+	case ir.OpLtF:
+		res = b2i(f64(a) < f64(b))
+	case ir.OpLeF:
+		res = b2i(f64(a) <= f64(b))
+	case ir.OpGtF:
+		res = b2i(f64(a) > f64(b))
+	case ir.OpGeF:
+		res = b2i(f64(a) >= f64(b))
+	case ir.OpItoF:
+		res, kind = fbits(float64(a)), ir.OpConstF
+	case ir.OpFtoI:
+		v := f64(a)
+		if math.IsNaN(v) || v > math.MaxInt64 || v < math.MinInt64 {
+			return 0, 0, false
+		}
+		res = int64(v)
+	case ir.OpSqrtF:
+		res, kind = fbits(math.Sqrt(f64(a))), ir.OpConstF
+	case ir.OpAbsI:
+		if a < 0 {
+			res = -a
+		} else {
+			res = a
+		}
+	case ir.OpAbsF:
+		res, kind = fbits(math.Abs(f64(a))), ir.OpConstF
+	case ir.OpMinI:
+		if a < b {
+			res = a
+		} else {
+			res = b
+		}
+	case ir.OpMaxI:
+		if a > b {
+			res = a
+		} else {
+			res = b
+		}
+	case ir.OpMinF:
+		res, kind = fbits(math.Min(f64(a), f64(b))), ir.OpConstF
+	case ir.OpMaxF:
+		res, kind = fbits(math.Max(f64(a), f64(b))), ir.OpConstF
+	default:
+		return 0, 0, false
+	}
+	return res, kind, ok
+}
+
+// deadCode removes values whose results are unused and whose execution is
+// unobservable. Stores, prints, and calls are always kept; so are
+// operations that can trap, unless their operands prove the trap impossible
+// (a constant non-zero divisor).
+func deadCode(f *Func) {
+	live := map[*Value]bool{}
+	var work []*Value
+	mark := func(v *Value) {
+		if v != nil && !live[v] {
+			live[v] = true
+			work = append(work, v)
+		}
+	}
+	for _, b := range f.Blocks {
+		for _, v := range b.Code {
+			if mustKeep(v) {
+				mark(v)
+			}
+		}
+		mark(b.Term.Cond)
+		mark(b.Term.Val)
+	}
+	for len(work) > 0 {
+		v := work[len(work)-1]
+		work = work[:len(work)-1]
+		for _, a := range v.Args {
+			mark(a)
+		}
+	}
+	for _, b := range f.Blocks {
+		b.Phis = filterLive(b.Phis, live)
+		b.Code = filterLive(b.Code, live)
+	}
+}
+
+func filterLive(vs []*Value, live map[*Value]bool) []*Value {
+	out := vs[:0]
+	for _, v := range vs {
+		if live[v] {
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+// mustKeep reports whether v must execute regardless of uses.
+func mustKeep(v *Value) bool {
+	if v.Op.IsPseudo() {
+		return false
+	}
+	switch v.Op.IR() {
+	case ir.OpStoreG, ir.OpStoreElem, ir.OpPrint, ir.OpCall:
+		return true
+	case ir.OpDivI, ir.OpModI:
+		// Removable only when the divisor provably cannot be zero.
+		d := v.Args[1]
+		return !(d.Op == FromIR(ir.OpConstI) && d.Imm != 0)
+	case ir.OpFtoI:
+		// A foldable (in-range constant) conversion was already folded;
+		// whatever remains may trap.
+		return true
+	case ir.OpLoadElem:
+		// Bounds depend on the runtime index; keep the potential trap.
+		return true
+	}
+	return false
+}

@@ -1,0 +1,51 @@
+package vm_test
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/bench"
+	"repro/internal/interp"
+	"repro/internal/vm"
+)
+
+// BenchmarkDispatch compares raw dispatch throughput (no collectors
+// attached, the live-run configuration) between the two backends. The
+// reported branches/s drives the exec speedup figures.
+func BenchmarkDispatch(b *testing.B) {
+	for _, name := range []string{"compress", "doduc", "cc"} {
+		w, err := bench.ByName(name)
+		if err != nil {
+			b.Fatal(err)
+		}
+		c, err := bench.Compile(w)
+		if err != nil {
+			b.Fatal(err)
+		}
+		const budget = 500_000
+		b.Run(name+"/interp", func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				m := interp.New(c.Prog)
+				m.MaxBranches = budget
+				if _, err := m.Run(); err != nil && !errors.Is(err, interp.ErrLimit) {
+					b.Fatal(err)
+				}
+				b.ReportMetric(float64(m.Branches), "branches/op")
+			}
+		})
+		vp, err := vm.Compile(c.Prog)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Run(name+"/vm", func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				m := vp.NewMachine()
+				m.SetMaxBranches(budget)
+				if _, err := m.Run(); err != nil && !errors.Is(err, interp.ErrLimit) {
+					b.Fatal(err)
+				}
+				b.ReportMetric(float64(m.Counters().Branches), "branches/op")
+			}
+		})
+	}
+}

@@ -1,0 +1,219 @@
+// Package vm is the compiled execution backend: it lowers IR programs
+// through internal/ssa into a register-allocated flat bytecode and executes
+// it with a tight dispatch loop. The machine is observably identical to
+// internal/interp — same counters, same trace events in the same order, same
+// trap errors (it returns interp.ErrLimit and *interp.RuntimeError), same
+// context-cancellation polling cadence — while executing fewer, denser
+// instructions: SSA cleanup removes dead and copied values, constants fold,
+// compare-and-branch pairs fuse into one opcode, and constant operands ride
+// in the instruction word instead of a register.
+package vm
+
+import "repro/internal/ir"
+
+// instr is one flat bytecode instruction: an opcode, up to three register
+// slots, and a 64-bit immediate. The meaning of the fields is per-opcode
+// (see the v* constants). 16 bytes (a power-of-two stride) keeps a whole
+// loop body in one cache line; the int16 fields bound frames, code, and
+// branch tables at 32k entries each, which Compile enforces.
+type instr struct {
+	op  uint16
+	dst int16
+	a   int16
+	b   int16
+	imm int64
+}
+
+// Bytecode opcodes. Slot fields are frame-slot indexes unless noted.
+const (
+	vInvalid uint16 = iota
+
+	vConst // dst = imm (integer value or float bits)
+	vMov   // dst = a
+
+	vAddI // dst = a + b
+	vSubI
+	vMulI
+	vDivI // traps on zero divisor; MinInt64 / -1 wraps
+	vModI // traps on zero divisor; x % -1 = 0
+	vAndI
+	vOrI
+	vXorI
+	vShlI // dst = a << (b & 63)
+	vShrI // dst = a >> (b & 63), arithmetic
+	vNegI
+	vNotI // dst = (a == 0)
+
+	vAddF
+	vSubF
+	vMulF
+	vDivF
+	vNegF
+
+	vEqI
+	vNeI
+	vLtI
+	vLeI
+	vGtI
+	vGeI
+	vEqF
+	vNeF
+	vLtF
+	vLeF
+	vGtF
+	vGeF
+
+	vItoF
+	vFtoI // traps on NaN or out-of-range
+
+	vSqrtF
+	vAbsI
+	vAbsF
+	vMinI
+	vMaxI
+	vMinF
+	vMaxF
+
+	vLoadG     // dst = scalars[imm]
+	vStoreG    // scalars[imm] = a
+	vLoadElem  // dst = arrays[imm][a]; traps out of bounds
+	vStoreElem // arrays[imm][a] = b; traps out of bounds
+
+	vCall  // invoke calls[imm]; dst receives the result (-1 drops it)
+	vPrint // checksum <- a
+
+	// Immediate forms: the right operand is the instruction immediate.
+	// The compiler canonicalises constant-on-the-left operands (commuting
+	// or mirroring the comparison), so one shape per opcode suffices.
+	vAddIK // dst = a + imm
+	vSubIK // dst = a - imm
+	vMulIK
+	vEqIK
+	vNeIK
+	vLtIK
+	vLeIK
+	vGtIK
+	vGeIK
+
+	// Superinstructions the compiler forms from adjacent sequences whose
+	// intermediate values have no other use.
+	vIncG  // scalars[a] += imm (fused load-global, add-immediate, store-global)
+	vMovJ0 // regs[dst] = regs[a]; pc = b (phi copy + weight-0 edge-block jump)
+
+	// Terminators. Every terminator charges the original block's step
+	// weight (imm or brInfo.weight) and re-checks MaxSteps, exactly like
+	// the interpreter's per-block accounting.
+	vJmp // pc = dst; a = target block ID for bookkeeping (-1 none); imm = weight
+	vRet // return regs[a] (a = -1: return 0); imm = weight
+
+	// Conditional branches share the branch tail (count, predict, record,
+	// hook, budget check, jump) via brs[dst].
+	vBr // taken = regs[a] != 0
+
+	// Fused compare-and-branch: taken = compare(a, b).
+	vBrEqI
+	vBrNeI
+	vBrLtI
+	vBrLeI
+	vBrGtI
+	vBrGeI
+	vBrEqF
+	vBrNeF
+	vBrLtF
+	vBrLeF
+	vBrGtF
+	vBrGeF
+
+	// Fused with immediate right operand: taken = compare(a, imm).
+	vBrEqIK
+	vBrNeIK
+	vBrLtIK
+	vBrLeIK
+	vBrGtIK
+	vBrGeIK
+
+	vOpMax
+)
+
+// brInfo is the side table entry of one conditional branch. The *ir.Term is
+// the original terminator: the dispatch loop reads Site and Pred through it
+// at execution time (matching the interpreter, which scores whatever the
+// annotations say at run time) and passes it to the branch hook.
+type brInfo struct {
+	thenPC, elsePC   int32
+	thenBlk, elseBlk int32 // original block IDs for bookkeeping (-1 = edge block)
+	weight           uint64
+	term             *ir.Term
+}
+
+// callInfo is the side table entry of one call site.
+type callInfo struct {
+	fn   *vmFunc
+	args []int16 // caller slots copied into callee slots 0..len-1
+}
+
+// span maps a code range to its source block label for trap messages.
+type span struct {
+	start int32
+	label string
+}
+
+// vmFunc is one compiled function.
+type vmFunc struct {
+	name     string
+	id       int // ir function ID
+	nParams  int
+	nSlots   int
+	entryPC  int32
+	entryBlk int32
+	code     []instr
+	brs      []brInfo
+	calls    []callInfo
+	spans    []span
+}
+
+// blockLabel returns the source block label covering pc (trap path only).
+func (f *vmFunc) blockLabel(pc int32) string {
+	lo, hi := 0, len(f.spans)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if f.spans[mid].start <= pc {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	if lo == 0 {
+		return "?"
+	}
+	return f.spans[lo-1].label
+}
+
+// Program is a compiled program: immutable after Compile and safe for
+// concurrent NewMachine calls.
+//
+// Globals are renumbered into two dense spaces so the machine indexes
+// scalars with a single slice access: scalarIdx maps an IR global ID to its
+// slot in the flat scalar vector (-1 for arrays), arrGID maps a dense array
+// index back to its IR global ID (for lengths, initial values, and trap
+// messages).
+type Program struct {
+	ir        *ir.Program
+	funcs     []*vmFunc
+	main      *vmFunc
+	scalarIdx []int32
+	arrGID    []int32
+}
+
+// Source returns the IR program this was compiled from.
+func (p *Program) Source() *ir.Program { return p.ir }
+
+// NumInstrs reports the total compiled bytecode length (a code-size
+// diagnostic; the experiment code-size metric stays IR-based).
+func (p *Program) NumInstrs() int {
+	n := 0
+	for _, f := range p.funcs {
+		n += len(f.code)
+	}
+	return n
+}

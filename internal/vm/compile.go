@@ -1,0 +1,895 @@
+package vm
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/ir"
+	"repro/internal/ssa"
+)
+
+// Compile lowers prog through SSA into bytecode. The input must be a valid
+// program (ir.Program.Validate); the result is immutable and safe for
+// concurrent NewMachine use. Compile never mutates prog, but the compiled
+// code keeps pointers to prog's branch terminators: site numbering and
+// prediction annotations are read through them at execution time, exactly
+// like the interpreter.
+func Compile(p *ir.Program) (*Program, error) {
+	sp, err := ssa.Build(p)
+	if err != nil {
+		return nil, fmt.Errorf("vm: %w", err)
+	}
+	ssa.Optimize(sp)
+	ssa.Destruct(sp)
+
+	prog := &Program{ir: p, funcs: make([]*vmFunc, len(sp.Funcs))}
+	// Renumber globals: scalars into one flat vector, arrays into their own
+	// dense space, so scalar access is a single slice index at run time.
+	prog.scalarIdx = make([]int32, len(p.Globals))
+	arrIdx := make([]int32, len(p.Globals))
+	nScalar := int32(0)
+	for i, g := range p.Globals {
+		prog.scalarIdx[i], arrIdx[i] = -1, -1
+		if g.Array {
+			arrIdx[i] = int32(len(prog.arrGID))
+			prog.arrGID = append(prog.arrGID, int32(i))
+		} else {
+			prog.scalarIdx[i] = nScalar
+			nScalar++
+		}
+	}
+	type callPatch struct{ fn, site, callee int }
+	var patches []callPatch
+	for i, sf := range sp.Funcs {
+		fn, callees, err := compileFunc(sf, prog.scalarIdx, arrIdx)
+		if err != nil {
+			return nil, fmt.Errorf("vm: %s: %w", sf.Ir.Name, err)
+		}
+		prog.funcs[i] = fn
+		for site, callee := range callees {
+			patches = append(patches, callPatch{i, site, callee})
+		}
+	}
+	for _, cp := range patches {
+		prog.funcs[cp.fn].calls[cp.site].fn = prog.funcs[cp.callee]
+	}
+	if mf := p.Func("main"); mf != nil {
+		prog.main = prog.funcs[mf.ID]
+	}
+	return prog, nil
+}
+
+// mOp is one modelled instruction before slot assignment: operands are still
+// SSA values. dst names the storage the result lands in — for a phi-writing
+// copy that is the phi variable, not the copy value.
+type mOp struct {
+	op   uint16
+	dst  *ssa.Value
+	a, b *ssa.Value
+	imm  int64
+	imm2 int64        // second immediate (vIncG: the scalar-global ID)
+	args []*ssa.Value // call arguments
+}
+
+// mBlock is one modelled block: lowered body plus the terminator shape.
+type mBlock struct {
+	b      *ssa.Block
+	code   []mOp
+	termOp uint16
+	// condA/condB are the branch operands (condB nil for vBr and K forms);
+	// retVal is the return operand; termImm the K immediate.
+	condA, condB *ssa.Value
+	retVal       *ssa.Value
+	termImm      int64
+}
+
+func compileFunc(f *ssa.Func, scalarIdx, arrIdx []int32) (*vmFunc, []int, error) {
+	// Pass 1: use counts decide branch fusion and constant pruning.
+	uses := map[*ssa.Value]int{}
+	for _, b := range f.Blocks {
+		for _, v := range b.Code {
+			for _, a := range v.Args {
+				uses[a]++
+			}
+		}
+		if b.Term.Cond != nil {
+			uses[b.Term.Cond]++
+		}
+		if b.Term.Val != nil {
+			uses[b.Term.Val]++
+		}
+	}
+	fused := map[*ssa.Value]bool{}
+	for _, b := range f.Blocks {
+		if b.Term.Op != ir.TermBr {
+			continue
+		}
+		c := b.Term.Cond
+		if !c.Op.IsPseudo() && c.Op.IR().IsCompare() && uses[c] == 1 {
+			fused[c] = true
+		}
+	}
+
+	// Pass 2: lower each block to model instructions. Constants are pulled
+	// out, deduplicated by bit pattern, and materialised once at function
+	// entry: a literal inside a loop then costs one dispatch per call
+	// instead of one per iteration. (The interpreter re-executes OpConst
+	// every iteration, but step accounting uses original block weights, so
+	// hoisting is unobservable.)
+	blocks := make([]*mBlock, 0, len(f.Blocks))
+	blockIdx := map[*ssa.Block]int{}
+	constOf := map[int64]*ssa.Value{}
+	remap := map[*ssa.Value]*ssa.Value{}
+	var constOrder []*ssa.Value
+	cI, cF := ssa.FromIR(ir.OpConstI), ssa.FromIR(ir.OpConstF)
+	for _, b := range f.Blocks {
+		mb := &mBlock{b: b}
+		for _, v := range b.Code {
+			if v.Op == ssa.OpParam || v.Op == ssa.OpPhi || fused[v] {
+				continue
+			}
+			if v.Op == cI || v.Op == cF {
+				if c0, ok := constOf[v.Imm]; ok {
+					remap[v] = c0
+					uses[c0] += uses[v]
+				} else {
+					constOf[v.Imm] = v
+					constOrder = append(constOrder, v)
+				}
+				continue
+			}
+			if v.Op == ssa.OpCopy {
+				dst := v
+				if v.Phi != nil {
+					dst = v.Phi
+				}
+				mb.code = append(mb.code, mOp{op: vMov, dst: dst, a: v.Args[0]})
+				continue
+			}
+			op, err := lowerValue(v)
+			if err != nil {
+				return nil, nil, err
+			}
+			mb.code = append(mb.code, op)
+		}
+		if err := lowerTerm(mb, fused); err != nil {
+			return nil, nil, err
+		}
+		blockIdx[b] = len(blocks)
+		blocks = append(blocks, mb)
+	}
+	rm := func(v *ssa.Value) *ssa.Value {
+		if r, ok := remap[v]; ok {
+			return r
+		}
+		return v
+	}
+	for _, mb := range blocks {
+		for i := range mb.code {
+			op := &mb.code[i]
+			op.a, op.b = rm(op.a), rm(op.b)
+			for ai := range op.args {
+				op.args[ai] = rm(op.args[ai])
+			}
+		}
+		mb.condA, mb.condB, mb.retVal = rm(mb.condA), rm(mb.condB), rm(mb.retVal)
+	}
+	if len(constOrder) > 0 {
+		emb := blocks[blockIdx[f.Entry]]
+		pre := make([]mOp, 0, len(constOrder)+len(emb.code))
+		for _, cv := range constOrder {
+			pre = append(pre, mOp{op: vConst, dst: cv, imm: cv.Imm})
+		}
+		emb.code = append(pre, emb.code...)
+	}
+
+	// Fuse global read-modify-write triples (load g; add/sub immediate;
+	// store g) into one vIncG when the two intermediate values have no
+	// other use. The three IR instructions stay in the block's step weight,
+	// so the fusion is unobservable.
+	for _, mb := range blocks {
+		kept := mb.code[:0]
+		for i := 0; i < len(mb.code); i++ {
+			if i+2 < len(mb.code) {
+				ld, ad, st := &mb.code[i], &mb.code[i+1], &mb.code[i+2]
+				if ld.op == vLoadG && st.op == vStoreG && st.imm == ld.imm &&
+					(ad.op == vAddIK || ad.op == vSubIK) &&
+					ad.a == ld.dst && st.a == ad.dst &&
+					uses[ld.dst] == 1 && uses[ad.dst] == 1 &&
+					!(ad.op == vSubIK && ad.imm == math.MinInt64) {
+					k := ad.imm
+					if ad.op == vSubIK {
+						k = -k
+					}
+					kept = append(kept, mOp{op: vIncG, imm: k, imm2: ld.imm})
+					i += 2
+					continue
+				}
+			}
+			kept = append(kept, mb.code[i])
+		}
+		mb.code = kept
+	}
+
+	// Pass 3: prune constants whose every use was absorbed into an
+	// immediate field — they no longer need a register.
+	referenced := map[*ssa.Value]bool{}
+	ref := func(v *ssa.Value) {
+		if v != nil {
+			referenced[v] = true
+		}
+	}
+	for _, mb := range blocks {
+		for i := range mb.code {
+			op := &mb.code[i]
+			ref(op.a)
+			ref(op.b)
+			for _, av := range op.args {
+				ref(av)
+			}
+		}
+		ref(mb.condA)
+		ref(mb.condB)
+		ref(mb.retVal)
+	}
+	for _, mb := range blocks {
+		kept := mb.code[:0]
+		for _, op := range mb.code {
+			if op.op == vConst && !referenced[op.dst] {
+				continue
+			}
+			kept = append(kept, op)
+		}
+		mb.code = kept
+	}
+
+	// Pass 4: register allocation over conservative live hulls.
+	slotOf, nSlots := allocate(f, blocks, blockIdx, uses)
+	if nSlots > math.MaxInt16 {
+		return nil, nil, fmt.Errorf("function needs %d slots (limit %d)", nSlots, math.MaxInt16)
+	}
+
+	// Pass 5: emission.
+	fn := &vmFunc{
+		name:    f.Ir.Name,
+		id:      f.Ir.ID,
+		nParams: f.Ir.NParams,
+		nSlots:  nSlots,
+	}
+	slot := func(v *ssa.Value) int16 {
+		if v == nil {
+			return -1
+		}
+		s, ok := slotOf[v]
+		if !ok {
+			return -1
+		}
+		return int16(s)
+	}
+	blockPC := map[*ssa.Block]int32{}
+	type jmpPatch struct {
+		pc     int
+		target *ssa.Block
+	}
+	type brPatch struct {
+		idx       int
+		then, els *ssa.Block
+	}
+	var jmps []jmpPatch
+	var brps []brPatch
+	var callees []int
+	// touchesSlot reports whether emitted instruction in reads or writes
+	// frame slot d (the copy-coalescing interference check).
+	touchesSlot := func(in *instr, d int16) bool {
+		if in.dst == d || in.a == d || in.b == d {
+			return true
+		}
+		if in.op == vCall {
+			for _, as := range fn.calls[in.imm].args {
+				if as == d {
+					return true
+				}
+			}
+		}
+		return false
+	}
+	for _, mb := range blocks {
+		blockPC[mb.b] = int32(len(fn.code))
+		fn.spans = append(fn.spans, span{start: int32(len(fn.code)), label: mb.b.String()})
+		bodyStart := len(fn.code)
+		// defs[i] is the SSA value defined by fn.code[bodyStart+i], for the
+		// coalescing scan below.
+		var defs []*ssa.Value
+		emit := func(in instr, def *ssa.Value) {
+			fn.code = append(fn.code, in)
+			defs = append(defs, def)
+		}
+		for _, op := range mb.code {
+			switch op.op {
+			case vMov:
+				d, s := slot(op.dst), slot(op.a)
+				if d == s {
+					continue
+				}
+				// Coalesce: when the copied value has this copy as its only
+				// use and was defined in this block, rewrite the defining
+				// instruction to write the copy's destination directly. Safe
+				// when nothing between the definition and here touches the
+				// destination slot (within one instruction, operand reads
+				// precede the destination write).
+				if uses[op.a] == 1 && op.a.Op != ssa.OpPhi {
+					coalesced := false
+					for j := len(fn.code) - 1; j >= bodyStart; j-- {
+						if defs[j-bodyStart] != op.a {
+							continue
+						}
+						ok := true
+						for k := j + 1; k < len(fn.code); k++ {
+							if touchesSlot(&fn.code[k], d) {
+								ok = false
+								break
+							}
+						}
+						if ok {
+							fn.code[j].dst = d
+							defs[j-bodyStart] = nil
+							coalesced = true
+						}
+						break
+					}
+					if coalesced {
+						continue
+					}
+				}
+				emit(instr{op: vMov, dst: d, a: s}, nil)
+			case vCall:
+				args := make([]int16, len(op.args))
+				for i, av := range op.args {
+					args[i] = slot(av)
+				}
+				ci := len(fn.calls)
+				fn.calls = append(fn.calls, callInfo{args: args})
+				callees = append(callees, int(op.imm))
+				d := int16(-1)
+				var def *ssa.Value
+				if uses[op.dst] > 0 {
+					d = slot(op.dst)
+					def = op.dst
+				}
+				emit(instr{op: vCall, dst: d, imm: int64(ci)}, def)
+			case vIncG:
+				emit(instr{op: vIncG, a: int16(scalarIdx[op.imm2]), imm: op.imm}, nil)
+			case vLoadG:
+				emit(instr{op: vLoadG, dst: slot(op.dst), imm: int64(scalarIdx[op.imm])}, op.dst)
+			case vStoreG:
+				emit(instr{op: vStoreG, a: slot(op.a), imm: int64(scalarIdx[op.imm])}, nil)
+			case vLoadElem:
+				emit(instr{op: vLoadElem, dst: slot(op.dst), a: slot(op.a), imm: int64(arrIdx[op.imm])}, op.dst)
+			case vStoreElem:
+				emit(instr{op: vStoreElem, a: slot(op.a), b: slot(op.b), imm: int64(arrIdx[op.imm])}, nil)
+			default:
+				var def *ssa.Value
+				if op.dst != nil {
+					def = op.dst
+				}
+				emit(instr{
+					op: op.op, dst: slot(op.dst), a: slot(op.a), b: slot(op.b), imm: op.imm,
+				}, def)
+			}
+		}
+		b := mb.b
+		switch b.Term.Op {
+		case ir.TermJmp:
+			blk := int16(-1)
+			if t := b.Term.Then; t.Orig != nil {
+				blk = int16(t.Orig.ID)
+			}
+			jmps = append(jmps, jmpPatch{len(fn.code), b.Term.Then})
+			fn.code = append(fn.code, instr{op: vJmp, a: blk, imm: int64(b.Weight)})
+		case ir.TermRet:
+			fn.code = append(fn.code, instr{op: vRet, a: slot(mb.retVal), imm: int64(b.Weight)})
+		case ir.TermBr:
+			if b.Term.Src == nil {
+				return nil, nil, fmt.Errorf("%s: conditional branch without source terminator", b)
+			}
+			bi := len(fn.brs)
+			fn.brs = append(fn.brs, brInfo{weight: b.Weight, term: b.Term.Src})
+			brps = append(brps, brPatch{bi, b.Term.Then, b.Term.Else})
+			fn.code = append(fn.code, instr{
+				op: mb.termOp, dst: int16(bi), a: slot(mb.condA), b: slot(mb.condB), imm: mb.termImm,
+			})
+		default:
+			return nil, nil, fmt.Errorf("%s: missing terminator", b)
+		}
+	}
+	if len(fn.code) > math.MaxInt16 || len(fn.brs) > math.MaxInt16 || len(f.Ir.Blocks) > math.MaxInt16 {
+		return nil, nil, fmt.Errorf("function too large for int16 bytecode fields (%d instrs, %d branches)",
+			len(fn.code), len(fn.brs))
+	}
+	for _, jp := range jmps {
+		fn.code[jp.pc].dst = int16(blockPC[jp.target])
+	}
+	for _, bp := range brps {
+		br := &fn.brs[bp.idx]
+		br.thenPC, br.elsePC = blockPC[bp.then], blockPC[bp.els]
+		br.thenBlk, br.elseBlk = -1, -1
+		if bp.then.Orig != nil {
+			br.thenBlk = int32(bp.then.Orig.ID)
+		}
+		if bp.els.Orig != nil {
+			br.elseBlk = int32(bp.els.Orig.ID)
+		}
+		// An edge block whose copies all coalesced away is a bare weightless
+		// jump; route the branch straight through it. The jump's block
+		// annotation (the real target) moves onto the branch edge so the
+		// bookkeeping still fires.
+		if in := &fn.code[br.thenPC]; in.op == vJmp && in.imm == 0 {
+			br.thenBlk, br.thenPC = int32(in.a), int32(in.dst)
+		}
+		if in := &fn.code[br.elsePC]; in.op == vJmp && in.imm == 0 {
+			br.elseBlk, br.elsePC = int32(in.a), int32(in.dst)
+		}
+	}
+	// Fuse a phi copy that ends in a weightless edge-block jump into one
+	// vMovJ0 dispatch. The jump carries no step weight and no block
+	// annotation (a==-1), so skipping it is unobservable; the leftover vJmp
+	// is unreachable (edge blocks have exactly one predecessor, the branch).
+	for pc := 0; pc+1 < len(fn.code); pc++ {
+		if fn.code[pc].op == vMov && fn.code[pc+1].op == vJmp &&
+			fn.code[pc+1].imm == 0 && fn.code[pc+1].a == -1 {
+			fn.code[pc] = instr{op: vMovJ0, dst: fn.code[pc].dst, a: fn.code[pc].a, b: fn.code[pc+1].dst}
+		}
+	}
+	fn.entryPC = blockPC[f.Entry]
+	fn.entryBlk = int32(f.Entry.Orig.ID)
+	return fn, callees, nil
+}
+
+// opLower maps pure ir opcodes with a direct bytecode counterpart.
+var opLower = map[ir.Op]uint16{
+	ir.OpAddI: vAddI, ir.OpSubI: vSubI, ir.OpMulI: vMulI,
+	ir.OpDivI: vDivI, ir.OpModI: vModI,
+	ir.OpAndI: vAndI, ir.OpOrI: vOrI, ir.OpXorI: vXorI,
+	ir.OpShlI: vShlI, ir.OpShrI: vShrI,
+	ir.OpNegI: vNegI, ir.OpNotI: vNotI,
+	ir.OpAddF: vAddF, ir.OpSubF: vSubF, ir.OpMulF: vMulF,
+	ir.OpDivF: vDivF, ir.OpNegF: vNegF,
+	ir.OpEqI: vEqI, ir.OpNeI: vNeI, ir.OpLtI: vLtI,
+	ir.OpLeI: vLeI, ir.OpGtI: vGtI, ir.OpGeI: vGeI,
+	ir.OpEqF: vEqF, ir.OpNeF: vNeF, ir.OpLtF: vLtF,
+	ir.OpLeF: vLeF, ir.OpGtF: vGtF, ir.OpGeF: vGeF,
+	ir.OpItoF: vItoF, ir.OpFtoI: vFtoI,
+	ir.OpSqrtF: vSqrtF, ir.OpAbsI: vAbsI, ir.OpAbsF: vAbsF,
+	ir.OpMinI: vMinI, ir.OpMaxI: vMaxI, ir.OpMinF: vMinF, ir.OpMaxF: vMaxF,
+}
+
+// immOps maps int binary ops to their immediate form; mirrorOps is the
+// immediate form when the constant is the left operand (comparisons flip).
+var immOps = map[ir.Op]uint16{
+	ir.OpAddI: vAddIK, ir.OpSubI: vSubIK, ir.OpMulI: vMulIK,
+	ir.OpEqI: vEqIK, ir.OpNeI: vNeIK,
+	ir.OpLtI: vLtIK, ir.OpLeI: vLeIK, ir.OpGtI: vGtIK, ir.OpGeI: vGeIK,
+}
+var mirrorOps = map[ir.Op]uint16{
+	ir.OpAddI: vAddIK, ir.OpMulI: vMulIK,
+	ir.OpEqI: vEqIK, ir.OpNeI: vNeIK,
+	ir.OpLtI: vGtIK, ir.OpLeI: vGeIK, ir.OpGtI: vLtIK, ir.OpGeI: vLeIK,
+}
+
+func isConstI(v *ssa.Value) bool { return v.Op == ssa.FromIR(ir.OpConstI) }
+
+// immForm rewrites op(a, b) into an immediate form when exactly one operand
+// is an integer constant. Returns ok=false when no immediate form applies.
+func immForm(iop ir.Op, a, b *ssa.Value) (op uint16, reg *ssa.Value, imm int64, ok bool) {
+	if isConstI(b) && !isConstI(a) {
+		if k, found := immOps[iop]; found {
+			return k, a, b.Imm, true
+		}
+		return 0, nil, 0, false
+	}
+	if isConstI(a) && !isConstI(b) {
+		if k, found := mirrorOps[iop]; found {
+			return k, b, a.Imm, true
+		}
+	}
+	return 0, nil, 0, false
+}
+
+func lowerValue(v *ssa.Value) (mOp, error) {
+	iop := v.Op.IR()
+	switch iop {
+	case ir.OpConstI, ir.OpConstF:
+		return mOp{op: vConst, dst: v, imm: v.Imm}, nil
+	case ir.OpMov:
+		return mOp{op: vMov, dst: v, a: v.Args[0]}, nil
+	case ir.OpCall:
+		return mOp{op: vCall, dst: v, args: v.Args, imm: v.Imm}, nil
+	case ir.OpPrint:
+		return mOp{op: vPrint, a: v.Args[0]}, nil
+	case ir.OpLoadG:
+		return mOp{op: vLoadG, dst: v, imm: v.Imm}, nil
+	case ir.OpStoreG:
+		return mOp{op: vStoreG, a: v.Args[0], imm: v.Imm}, nil
+	case ir.OpLoadElem:
+		return mOp{op: vLoadElem, dst: v, a: v.Args[0], imm: v.Imm}, nil
+	case ir.OpStoreElem:
+		return mOp{op: vStoreElem, a: v.Args[0], b: v.Args[1], imm: v.Imm}, nil
+	}
+	base, ok := opLower[iop]
+	if !ok {
+		return mOp{}, fmt.Errorf("no lowering for %s", iop)
+	}
+	switch len(v.Args) {
+	case 1:
+		return mOp{op: base, dst: v, a: v.Args[0]}, nil
+	case 2:
+		if k, reg, imm, ok := immForm(iop, v.Args[0], v.Args[1]); ok {
+			return mOp{op: k, dst: v, a: reg, imm: imm}, nil
+		}
+		return mOp{op: base, dst: v, a: v.Args[0], b: v.Args[1]}, nil
+	}
+	return mOp{}, fmt.Errorf("bad arity for %s", iop)
+}
+
+// brFused maps a compare op to its fused branch opcode; brFusedK and
+// brFusedMirrorK are the immediate forms (right-constant and left-constant).
+var brFused = map[ir.Op]uint16{
+	ir.OpEqI: vBrEqI, ir.OpNeI: vBrNeI, ir.OpLtI: vBrLtI,
+	ir.OpLeI: vBrLeI, ir.OpGtI: vBrGtI, ir.OpGeI: vBrGeI,
+	ir.OpEqF: vBrEqF, ir.OpNeF: vBrNeF, ir.OpLtF: vBrLtF,
+	ir.OpLeF: vBrLeF, ir.OpGtF: vBrGtF, ir.OpGeF: vBrGeF,
+}
+var brFusedK = map[ir.Op]uint16{
+	ir.OpEqI: vBrEqIK, ir.OpNeI: vBrNeIK, ir.OpLtI: vBrLtIK,
+	ir.OpLeI: vBrLeIK, ir.OpGtI: vBrGtIK, ir.OpGeI: vBrGeIK,
+}
+var brFusedMirrorK = map[ir.Op]uint16{
+	ir.OpEqI: vBrEqIK, ir.OpNeI: vBrNeIK, ir.OpLtI: vBrGtIK,
+	ir.OpLeI: vBrGeIK, ir.OpGtI: vBrLtIK, ir.OpGeI: vBrLeIK,
+}
+
+func lowerTerm(mb *mBlock, fused map[*ssa.Value]bool) error {
+	b := mb.b
+	switch b.Term.Op {
+	case ir.TermJmp:
+		mb.termOp = vJmp
+	case ir.TermRet:
+		mb.termOp = vRet
+		mb.retVal = b.Term.Val
+	case ir.TermBr:
+		c := b.Term.Cond
+		if !fused[c] {
+			mb.termOp = vBr
+			mb.condA = c
+			return nil
+		}
+		iop := c.Op.IR()
+		a, bb := c.Args[0], c.Args[1]
+		if isConstI(bb) && !isConstI(a) {
+			if k, ok := brFusedK[iop]; ok {
+				mb.termOp, mb.condA, mb.termImm = k, a, bb.Imm
+				return nil
+			}
+		}
+		if isConstI(a) && !isConstI(bb) {
+			if k, ok := brFusedMirrorK[iop]; ok {
+				mb.termOp, mb.condA, mb.termImm = k, bb, a.Imm
+				return nil
+			}
+		}
+		mb.termOp = brFused[iop]
+		mb.condA, mb.condB = a, bb
+	default:
+		return fmt.Errorf("%s: missing terminator", b)
+	}
+	return nil
+}
+
+// allocate runs liveness analysis over the modelled code and assigns frame
+// slots by linear scan over conservative live hulls (one [min,max] range per
+// value covering every point where it can be live). Parameters are pinned to
+// slots 0..NParams-1, which are never recycled: callers copy arguments there.
+func allocate(f *ssa.Func, blocks []*mBlock, blockIdx map[*ssa.Block]int, uses map[*ssa.Value]int) (map[*ssa.Value]int32, int) {
+	// Dense value numbering in deterministic walk order.
+	vregOf := map[*ssa.Value]int{}
+	var vregs []*ssa.Value
+	add := func(v *ssa.Value) {
+		if v == nil {
+			return
+		}
+		if _, ok := vregOf[v]; !ok {
+			vregOf[v] = len(vregs)
+			vregs = append(vregs, v)
+		}
+	}
+	var params []*ssa.Value
+	for _, v := range f.Entry.Code {
+		if v.Op == ssa.OpParam {
+			params = append(params, v)
+			add(v)
+		}
+	}
+	nPinned := len(vregs)
+	for _, mb := range blocks {
+		for i := range mb.code {
+			op := &mb.code[i]
+			if op.op == vCall && uses[op.dst] == 0 {
+				// Result dropped; no storage needed.
+			} else {
+				add(op.dst)
+			}
+			add(op.a)
+			add(op.b)
+			for _, av := range op.args {
+				add(av)
+			}
+		}
+		add(mb.condA)
+		add(mb.condB)
+		add(mb.retVal)
+	}
+	nv := len(vregs)
+
+	// Positions: one per block start, one per instruction, one per
+	// terminator, in layout order.
+	blockStart := make([]int, len(blocks))
+	blockEnd := make([]int, len(blocks))
+	pos := 0
+	for bi, mb := range blocks {
+		blockStart[bi] = pos
+		pos++
+		pos += len(mb.code)
+		blockEnd[bi] = pos
+		pos++
+	}
+
+	hullMin := make([]int, nv)
+	hullMax := make([]int, nv)
+	for i := range hullMin {
+		hullMin[i] = -1
+	}
+	touch := func(v *ssa.Value, p int) {
+		if v == nil {
+			return
+		}
+		r, ok := vregOf[v]
+		if !ok {
+			return
+		}
+		if hullMin[r] < 0 || p < hullMin[r] {
+			hullMin[r] = p
+		}
+		if p > hullMax[r] {
+			hullMax[r] = p
+		}
+	}
+
+	// Block-level gen/kill sets as bitsets.
+	words := (nv + 63) / 64
+	newSet := func() []uint64 { return make([]uint64, words) }
+	get := func(s []uint64, r int) bool { return s[r>>6]&(1<<(uint(r)&63)) != 0 }
+	set := func(s []uint64, r int) { s[r>>6] |= 1 << (uint(r) & 63) }
+
+	use := make([][]uint64, len(blocks))
+	def := make([][]uint64, len(blocks))
+	liveIn := make([][]uint64, len(blocks))
+	liveOut := make([][]uint64, len(blocks))
+	for bi, mb := range blocks {
+		use[bi], def[bi] = newSet(), newSet()
+		liveIn[bi], liveOut[bi] = newSet(), newSet()
+		p := blockStart[bi] + 1
+		upUse := func(v *ssa.Value) {
+			if v == nil {
+				return
+			}
+			r := vregOf[v]
+			if !get(def[bi], r) {
+				set(use[bi], r)
+			}
+		}
+		for i := range mb.code {
+			op := &mb.code[i]
+			upUse(op.a)
+			upUse(op.b)
+			for _, av := range op.args {
+				upUse(av)
+			}
+			touch(op.a, p)
+			touch(op.b, p)
+			for _, av := range op.args {
+				touch(av, p)
+			}
+			if op.dst != nil {
+				if r, ok := vregOf[op.dst]; ok {
+					set(def[bi], r)
+					touch(op.dst, p)
+					_ = r
+				}
+			}
+			p++
+		}
+		upUse(mb.condA)
+		upUse(mb.condB)
+		upUse(mb.retVal)
+		touch(mb.condA, blockEnd[bi])
+		touch(mb.condB, blockEnd[bi])
+		touch(mb.retVal, blockEnd[bi])
+	}
+	for _, pv := range params {
+		touch(pv, blockStart[blockIdx[f.Entry]])
+	}
+
+	// Backward fixpoint.
+	for changed := true; changed; {
+		changed = false
+		for bi := len(blocks) - 1; bi >= 0; bi-- {
+			mb := blocks[bi]
+			out := liveOut[bi]
+			for w := range out {
+				out[w] = 0
+			}
+			for _, s := range []*ssa.Block{mb.b.Term.Then, mb.b.Term.Else} {
+				if s == nil {
+					continue
+				}
+				si := blockIdx[s]
+				for w := range out {
+					out[w] |= liveIn[si][w]
+				}
+			}
+			for w := 0; w < words; w++ {
+				nin := use[bi][w] | (out[w] &^ def[bi][w])
+				if nin != liveIn[bi][w] {
+					liveIn[bi][w] = nin
+					changed = true
+				}
+			}
+		}
+	}
+
+	// Extend hulls over block boundaries where values are live.
+	for bi := range blocks {
+		for r := 0; r < nv; r++ {
+			if get(liveIn[bi], r) {
+				touch(vregs[r], blockStart[bi])
+			}
+			if get(liveOut[bi], r) {
+				touch(vregs[r], blockEnd[bi])
+			}
+		}
+	}
+
+	// Linear scan. Pinned parameter slots are excluded from recycling.
+	slotOf := make(map[*ssa.Value]int32, nv)
+	for _, pv := range params {
+		slotOf[pv] = int32(pv.Imm)
+	}
+	type interval struct {
+		r, start, end int
+	}
+	ivs := make([]interval, 0, nv-nPinned)
+	for r := nPinned; r < nv; r++ {
+		if hullMin[r] < 0 {
+			continue
+		}
+		ivs = append(ivs, interval{r, hullMin[r], hullMax[r]})
+	}
+	sort.Slice(ivs, func(i, j int) bool {
+		if ivs[i].start != ivs[j].start {
+			return ivs[i].start < ivs[j].start
+		}
+		return ivs[i].r < ivs[j].r
+	})
+	next := int32(f.Ir.NParams)
+	var free intHeap
+	var active endHeap
+	for _, iv := range ivs {
+		for len(active) > 0 && active[0].end < iv.start {
+			free.push(active[0].slot)
+			active.pop()
+		}
+		var s int32
+		if len(free) > 0 {
+			s = free.pop()
+		} else {
+			s = next
+			next++
+		}
+		slotOf[vregs[iv.r]] = s
+		active.push(activeEntry{end: iv.end, slot: s})
+	}
+	nSlots := int(next)
+	if nSlots < f.Ir.NParams {
+		nSlots = f.Ir.NParams
+	}
+	return slotOf, nSlots
+}
+
+// intHeap is a minimal min-heap of free slots (smallest slot reused first,
+// keeping frames dense and allocation deterministic).
+type intHeap []int32
+
+func (h *intHeap) push(v int32) {
+	*h = append(*h, v)
+	i := len(*h) - 1
+	for i > 0 {
+		p := (i - 1) / 2
+		if (*h)[p] <= (*h)[i] {
+			break
+		}
+		(*h)[p], (*h)[i] = (*h)[i], (*h)[p]
+		i = p
+	}
+}
+
+func (h *intHeap) pop() int32 {
+	old := *h
+	v := old[0]
+	n := len(old) - 1
+	old[0] = old[n]
+	*h = old[:n]
+	h.sift(0)
+	return v
+}
+
+func (h intHeap) sift(i int) {
+	n := len(h)
+	for {
+		l, r, m := 2*i+1, 2*i+2, i
+		if l < n && h[l] < h[m] {
+			m = l
+		}
+		if r < n && h[r] < h[m] {
+			m = r
+		}
+		if m == i {
+			return
+		}
+		h[i], h[m] = h[m], h[i]
+		i = m
+	}
+}
+
+type activeEntry struct {
+	end  int
+	slot int32
+}
+
+// endHeap is a min-heap of active intervals keyed by end position.
+type endHeap []activeEntry
+
+func (h *endHeap) push(e activeEntry) {
+	*h = append(*h, e)
+	i := len(*h) - 1
+	for i > 0 {
+		p := (i - 1) / 2
+		if (*h)[p].end <= (*h)[i].end {
+			break
+		}
+		(*h)[p], (*h)[i] = (*h)[i], (*h)[p]
+		i = p
+	}
+}
+
+func (h *endHeap) pop() {
+	old := *h
+	n := len(old) - 1
+	old[0] = old[n]
+	*h = old[:n]
+	i := 0
+	for {
+		l, r, m := 2*i+1, 2*i+2, i
+		if l < n && old[l].end < old[m].end {
+			m = l
+		}
+		if r < n && old[r].end < old[m].end {
+			m = r
+		}
+		if m == i {
+			return
+		}
+		old[i], old[m] = old[m], old[i]
+		i = m
+	}
+}

@@ -1,0 +1,131 @@
+package vm_test
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"repro/internal/interp"
+	"repro/internal/lang"
+	"repro/internal/vm"
+)
+
+// These tests mirror internal/interp/context_test.go on the compiled
+// backend: the vm must honour cancellation with the interpreter's polling
+// cadence (every CtxCheckEvery original blocks) and keep the nil-context
+// fast path limit behaviour identical. CI runs them under -race alongside
+// the interpreter's.
+
+// loopSrc spins essentially forever: ~2^62 iterations of a two-block loop.
+const loopSrc = `
+var total int;
+
+func main() int {
+    for var i int = 0; i < 4611686018427387904; i = i + 1 {
+        total = total + i;
+    }
+    return total;
+}`
+
+func compileVM(t *testing.T, src string) *vm.Program {
+	t.Helper()
+	prog, err := lang.Compile(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prog.NumberBranches(true)
+	p, err := vm.Compile(prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+// TestVMContextCancelStopsRun proves the service-facing guarantee on the
+// compiled backend: a cancelled context stops a long run promptly instead
+// of pinning the goroutine until a step budget runs out.
+func TestVMContextCancelStopsRun(t *testing.T) {
+	m := compileVM(t, loopSrc).NewMachine()
+	ctx, cancel := context.WithCancel(context.Background())
+	m.SetContext(ctx, 0)
+	go func() {
+		time.Sleep(10 * time.Millisecond)
+		cancel()
+	}()
+	done := make(chan error, 1)
+	go func() {
+		_, err := m.Run()
+		done <- err
+	}()
+	select {
+	case err := <-done:
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("Run returned %v, want context.Canceled", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("cancelled run did not stop within 5s")
+	}
+}
+
+// TestVMContextDeadline checks the deadline flavour used by the HTTP
+// layer's request timeouts, with the service's tighter polling cadence.
+func TestVMContextDeadline(t *testing.T) {
+	m := compileVM(t, loopSrc).NewMachine()
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Millisecond)
+	defer cancel()
+	m.SetContext(ctx, 512)
+	start := time.Now()
+	if _, err := m.Run(); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("Run returned %v, want context.DeadlineExceeded", err)
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Fatalf("deadline took %v to land", elapsed)
+	}
+}
+
+// TestVMNilContextUnaffected pins the fast path: without a context the
+// machine runs to its limits exactly as before.
+func TestVMNilContextUnaffected(t *testing.T) {
+	m := compileVM(t, loopSrc).NewMachine()
+	m.SetMaxSteps(10_000)
+	if _, err := m.Run(); !errors.Is(err, interp.ErrLimit) {
+		t.Fatalf("Run returned %v, want ErrLimit", err)
+	}
+}
+
+// TestVMContextErrorParity runs the same cancelled execution on both
+// backends and compares the step counts at the stop point: the vm polls on
+// the same original-block cadence, so with an already-cancelled context
+// both machines must stop at the same place with equivalent errors.
+func TestVMContextErrorParity(t *testing.T) {
+	prog, err := lang.Compile(loopSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prog.NumberBranches(true)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel() // already expired: both must stop at the first poll
+
+	im := interp.New(prog)
+	im.Ctx = ctx
+	im.CtxCheckEvery = 256
+	_, ierr := im.Run()
+
+	vp, err := vm.Compile(prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	vmach := vp.NewMachine()
+	vmach.SetContext(ctx, 256)
+	_, verr := vmach.Run()
+
+	if !errors.Is(ierr, context.Canceled) || !errors.Is(verr, context.Canceled) {
+		t.Fatalf("errors: interp=%v vm=%v, want context.Canceled on both", ierr, verr)
+	}
+	vc := vmach.Counters()
+	if im.Steps != vc.Steps || im.Branches != vc.Branches {
+		t.Fatalf("stop point differs: interp steps=%d branches=%d, vm steps=%d branches=%d",
+			im.Steps, im.Branches, vc.Steps, vc.Branches)
+	}
+}

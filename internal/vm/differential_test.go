@@ -1,0 +1,206 @@
+package vm_test
+
+import (
+	"bytes"
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/bench"
+	"repro/internal/interp"
+	"repro/internal/ir"
+	"repro/internal/lang"
+	"repro/internal/progen"
+	"repro/internal/trace"
+	"repro/internal/vm"
+)
+
+// runBoth executes prog on the interpreter and on the compiled backend
+// under identical limits and fails unless every observable matches: return
+// value, error identity, all six counters, the encoded branch trace, and
+// the per-block execution counts.
+func runBoth(t *testing.T, prog *ir.Program, maxBranches, maxSteps uint64) {
+	t.Helper()
+
+	im := interp.New(prog)
+	im.MaxBranches = maxBranches
+	im.MaxSteps = maxSteps
+	im.EnableBlockCounts()
+	is := trace.NewSlab(0)
+	im.Rec = is
+	iret, ierr := im.Run()
+	is.Seal()
+
+	vp, err := vm.Compile(prog)
+	if err != nil {
+		t.Fatalf("vm.Compile: %v", err)
+	}
+	vmach := vp.NewMachine()
+	vmach.SetMaxBranches(maxBranches)
+	vmach.SetMaxSteps(maxSteps)
+	vmach.EnableBlockCounts()
+	vs := trace.NewSlab(0)
+	vmach.SetRec(vs)
+	vret, verr := vmach.Run()
+	vs.Seal()
+
+	if (ierr == nil) != (verr == nil) {
+		t.Fatalf("error mismatch: interp=%v vm=%v", ierr, verr)
+	}
+	if ierr != nil {
+		sentinel := false
+		for _, s := range []error{interp.ErrLimit, interp.ErrNoMain, interp.ErrMainParams} {
+			if errors.Is(ierr, s) != errors.Is(verr, s) {
+				t.Fatalf("error identity mismatch on %v: interp=%v vm=%v", s, ierr, verr)
+			}
+			sentinel = sentinel || errors.Is(ierr, s)
+		}
+		if !sentinel && ierr.Error() != verr.Error() {
+			t.Fatalf("trap mismatch:\ninterp: %v\nvm:     %v", ierr, verr)
+		}
+	} else if iret != vret {
+		t.Fatalf("return mismatch: interp=%d vm=%d", iret, vret)
+	}
+
+	vc := vmach.Counters()
+	if im.Steps != vc.Steps {
+		t.Errorf("steps: interp=%d vm=%d", im.Steps, vc.Steps)
+	}
+	if im.Branches != vc.Branches {
+		t.Errorf("branches: interp=%d vm=%d", im.Branches, vc.Branches)
+	}
+	if im.Predicted != vc.Predicted {
+		t.Errorf("predicted: interp=%d vm=%d", im.Predicted, vc.Predicted)
+	}
+	if im.Mispredicted != vc.Mispredicted {
+		t.Errorf("mispredicted: interp=%d vm=%d", im.Mispredicted, vc.Mispredicted)
+	}
+	if im.Checksum != vc.Checksum {
+		t.Errorf("checksum: interp=%#x vm=%#x", im.Checksum, vc.Checksum)
+	}
+	if im.Prints != vc.Prints {
+		t.Errorf("prints: interp=%d vm=%d", im.Prints, vc.Prints)
+	}
+
+	var ibuf, vbuf bytes.Buffer
+	if _, err := is.WriteTo(&ibuf); err != nil {
+		t.Fatalf("interp slab: %v", err)
+	}
+	if _, err := vs.WriteTo(&vbuf); err != nil {
+		t.Fatalf("vm slab: %v", err)
+	}
+	if !bytes.Equal(ibuf.Bytes(), vbuf.Bytes()) {
+		t.Errorf("trace bytes differ: interp=%d bytes (%d events), vm=%d bytes (%d events)",
+			ibuf.Len(), is.Len(), vbuf.Len(), vs.Len())
+	}
+
+	ib, vb := im.BlockCounts(), vmach.BlockCounts()
+	if len(ib) != len(vb) {
+		t.Fatalf("block count shape: interp=%d funcs vm=%d funcs", len(ib), len(vb))
+	}
+	for fi := range ib {
+		if len(ib[fi]) != len(vb[fi]) {
+			t.Errorf("func %d block count shape: interp=%d vm=%d", fi, len(ib[fi]), len(vb[fi]))
+			continue
+		}
+		for bi := range ib[fi] {
+			if ib[fi][bi] != vb[fi][bi] {
+				t.Errorf("func %d block %d count: interp=%d vm=%d", fi, bi, ib[fi][bi], vb[fi][bi])
+			}
+		}
+	}
+}
+
+func compileSrc(t *testing.T, src string) *ir.Program {
+	t.Helper()
+	prog, err := lang.Compile(src)
+	if err != nil {
+		t.Fatalf("lang.Compile: %v", err)
+	}
+	prog.NumberBranches(true)
+	return prog
+}
+
+// TestBackendEquivalenceProgen drives both backends over generated
+// programs: 64 seeds of the default shape plus 16 larger ones, full runs
+// and truncated (branch-budget) runs.
+func TestBackendEquivalenceProgen(t *testing.T) {
+	for seed := int64(1); seed <= 64; seed++ {
+		prog := compileSrc(t, progen.Generate(seed, progen.DefaultConfig()))
+		runBoth(t, prog, 0, 5_000_000)
+		runBoth(t, prog, 100, 5_000_000)
+	}
+	big := progen.Config{MaxFuncs: 6, MaxStmtsPerBlock: 8, MaxDepth: 5, MaxLoopTrip: 16, Arrays: 3}
+	for seed := int64(1000); seed < 1016; seed++ {
+		prog := compileSrc(t, progen.Generate(seed, big))
+		runBoth(t, prog, 0, 5_000_000)
+		runBoth(t, prog, 5000, 5_000_000)
+	}
+}
+
+// TestBackendEquivalenceWorkloads runs every catalog workload on both
+// backends under the standard budget.
+func TestBackendEquivalenceWorkloads(t *testing.T) {
+	for _, w := range bench.Workloads() {
+		w := w
+		t.Run(w.Name, func(t *testing.T) {
+			c, err := bench.Compile(w)
+			if err != nil {
+				t.Fatal(err)
+			}
+			runBoth(t, c.Prog, 200_000, 0)
+		})
+	}
+}
+
+// TestBackendEquivalenceExamples covers the hand-written example programs.
+func TestBackendEquivalenceExamples(t *testing.T) {
+	files, err := filepath.Glob(filepath.Join("..", "..", "examples", "bl", "*.bl"))
+	if err != nil || len(files) == 0 {
+		t.Fatalf("no example programs found: %v", err)
+	}
+	for _, path := range files {
+		path := path
+		t.Run(filepath.Base(path), func(t *testing.T) {
+			src, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			prog := compileSrc(t, string(src))
+			runBoth(t, prog, 0, 5_000_000)
+		})
+	}
+}
+
+// FuzzBackendEquivalence is the differential fuzzer: any BL program the
+// frontend accepts must behave identically on both backends under any
+// branch budget. Seeds are the example programs, the catalog workloads,
+// and a spread of generated programs.
+func FuzzBackendEquivalence(f *testing.F) {
+	if files, _ := filepath.Glob(filepath.Join("..", "..", "examples", "bl", "*.bl")); files != nil {
+		for _, path := range files {
+			if src, err := os.ReadFile(path); err == nil {
+				f.Add(string(src), uint64(0))
+				f.Add(string(src), uint64(37))
+			}
+		}
+	}
+	for _, w := range bench.Workloads() {
+		f.Add(w.Source, uint64(10_000))
+	}
+	for seed := int64(1); seed <= 8; seed++ {
+		f.Add(progen.Generate(seed, progen.DefaultConfig()), uint64(0))
+	}
+	f.Fuzz(func(t *testing.T, src string, budget uint64) {
+		if len(src) > 1<<16 {
+			t.Skip("oversized input")
+		}
+		prog, err := lang.Compile(src)
+		if err != nil {
+			t.Skip() // invalid program: nothing to compare
+		}
+		prog.NumberBranches(true)
+		runBoth(t, prog, budget, 2_000_000)
+	})
+}

@@ -1,0 +1,686 @@
+package vm
+
+import (
+	"context"
+	"fmt"
+	"math"
+	"unsafe"
+
+	"repro/internal/interp"
+	"repro/internal/ir"
+	"repro/internal/trace"
+)
+
+// Counters is the observable execution summary, field-for-field the
+// interpreter's counter set.
+type Counters struct {
+	Steps        uint64
+	Branches     uint64
+	Predicted    uint64
+	Mispredicted uint64
+	Checksum     uint64
+	Prints       uint64
+}
+
+// Machine executes one compiled program. A Machine is not safe for
+// concurrent use; create one per run with Program.NewMachine.
+//
+// Error identity matches the interpreter exactly: execution limits return
+// interp.ErrLimit, traps return *interp.RuntimeError with the same message,
+// function, and block label, so callers written against the interpreter
+// (errors.Is, error strings in responses) work unchanged.
+type Machine struct {
+	prog *Program
+
+	hook        func(t *ir.Term, taken bool)
+	rec         *trace.Slab
+	maxSteps    uint64
+	maxBranches uint64
+	maxDepth    int
+	ctx         context.Context
+	ctxEvery    uint32
+
+	steps        uint64
+	branches     uint64
+	predicted    uint64
+	mispredicted uint64
+	checksum     uint64
+	prints       uint64
+
+	// scalars holds every non-array global in one flat vector (indexed by
+	// Program.scalarIdx); arrays holds the array globals in their own dense
+	// space, so a scalar access is a single slice index.
+	scalars []int64
+	arrays  [][]int64
+	pool    [][]int64
+	counts  [][]uint64
+	ctxLeft uint32
+	// slow gates per-block bookkeeping (context polls, block counts).
+	slow bool
+}
+
+const defaultCtxCheckEvery = 4096
+
+// NewMachine creates a machine with globals initialised, mirroring
+// interp.New.
+func (p *Program) NewMachine() *Machine {
+	m := &Machine{prog: p, maxDepth: 100000}
+	m.Reset()
+	return m
+}
+
+// Reset re-initialises globals and clears all counters.
+func (m *Machine) Reset() {
+	m.scalars = make([]int64, len(m.prog.ir.Globals)-len(m.prog.arrGID))
+	for i, g := range m.prog.ir.Globals {
+		if si := m.prog.scalarIdx[i]; si >= 0 && len(g.Init) > 0 {
+			m.scalars[si] = g.Init[0]
+		}
+	}
+	m.arrays = make([][]int64, len(m.prog.arrGID))
+	for ai, gid := range m.prog.arrGID {
+		g := m.prog.ir.Globals[gid]
+		buf := make([]int64, g.Len)
+		copy(buf, g.Init)
+		m.arrays[ai] = buf
+	}
+	m.steps, m.branches, m.predicted, m.mispredicted = 0, 0, 0, 0
+	m.checksum, m.prints = 0, 0
+	m.ctxLeft = 0
+}
+
+// SetHook installs the per-branch observer (nil disables).
+func (m *Machine) SetHook(fn func(t *ir.Term, taken bool)) { m.hook = fn }
+
+// SetRec directs branch events into a trace slab (nil disables). When both
+// a hook and a slab are set the slab records first, like the interpreter.
+func (m *Machine) SetRec(s *trace.Slab) { m.rec = s }
+
+// SetMaxSteps bounds executed instructions (0 = unlimited).
+func (m *Machine) SetMaxSteps(n uint64) { m.maxSteps = n }
+
+// SetMaxBranches bounds executed conditional branches (0 = unlimited).
+func (m *Machine) SetMaxBranches(n uint64) { m.maxBranches = n }
+
+// SetMaxDepth bounds the call stack (the default is 100000 frames).
+func (m *Machine) SetMaxDepth(n int) { m.maxDepth = n }
+
+// SetContext installs a cancellation context polled every checkEvery
+// executed blocks (0 = the 4096-block default), like interp.Machine.Ctx
+// and CtxCheckEvery.
+func (m *Machine) SetContext(ctx context.Context, checkEvery uint32) {
+	m.ctx = ctx
+	m.ctxEvery = checkEvery
+	m.slow = m.ctx != nil || m.counts != nil
+}
+
+// EnableBlockCounts turns on per-block execution counting over the original
+// IR block IDs; counts are comparable entry-for-entry with the interpreter's.
+func (m *Machine) EnableBlockCounts() {
+	m.counts = make([][]uint64, len(m.prog.ir.Funcs))
+	for i, f := range m.prog.ir.Funcs {
+		m.counts[i] = make([]uint64, len(f.Blocks))
+	}
+	m.slow = true
+}
+
+// BlockCounts returns the per-function, per-block execution counts, or nil.
+func (m *Machine) BlockCounts() [][]uint64 { return m.counts }
+
+// SetGlobal overrides a scalar global before a run.
+func (m *Machine) SetGlobal(name string, v int64) error {
+	g := m.prog.ir.Global(name)
+	if g == nil {
+		return fmt.Errorf("vm: no global %q", name)
+	}
+	if g.Array {
+		return fmt.Errorf("vm: global %q is an array", name)
+	}
+	m.scalars[m.prog.scalarIdx[g.ID]] = v
+	return nil
+}
+
+// GlobalValue reads a scalar global after a run.
+func (m *Machine) GlobalValue(name string) (int64, error) {
+	g := m.prog.ir.Global(name)
+	if g == nil {
+		return 0, fmt.Errorf("vm: no global %q", name)
+	}
+	if g.Array {
+		return 0, fmt.Errorf("vm: global %q is an array", name)
+	}
+	return m.scalars[m.prog.scalarIdx[g.ID]], nil
+}
+
+// Counters returns the execution counters.
+func (m *Machine) Counters() Counters {
+	return Counters{
+		Steps: m.steps, Branches: m.branches,
+		Predicted: m.predicted, Mispredicted: m.mispredicted,
+		Checksum: m.checksum, Prints: m.prints,
+	}
+}
+
+// Run executes func main with no arguments and returns its value.
+func (m *Machine) Run() (int64, error) {
+	fn := m.prog.main
+	if fn == nil {
+		return 0, fmt.Errorf("vm: %w", interp.ErrNoMain)
+	}
+	if fn.nParams != 0 {
+		return 0, fmt.Errorf("vm: %w", interp.ErrMainParams)
+	}
+	frame := m.getFrame(fn.nSlots)
+	ret, err := m.exec(fn, frame, 0)
+	m.putFrame(frame)
+	return ret, err
+}
+
+// getFrame returns a frame of n slots. Slots need not be zeroed: the SSA
+// pipeline materialises the interpreter's zero-initialised registers as an
+// explicit constant, so compiled code never reads a slot before writing it.
+func (m *Machine) getFrame(n int) []int64 {
+	if k := len(m.pool); k > 0 {
+		f := m.pool[k-1]
+		m.pool = m.pool[:k-1]
+		if cap(f) >= n {
+			return f[:n]
+		}
+	}
+	return make([]int64, n)
+}
+
+func (m *Machine) putFrame(f []int64) {
+	if len(m.pool) < 256 {
+		m.pool = append(m.pool, f)
+	}
+}
+
+// enterBlock performs the interpreter's per-block bookkeeping (context poll
+// then block count) for original block blk; blk < 0 marks a synthesised
+// edge block the interpreter never executed, which gets neither.
+func (m *Machine) enterBlock(fn *vmFunc, blk int32) error {
+	if blk < 0 {
+		return nil
+	}
+	if m.ctx != nil {
+		if m.ctxLeft == 0 {
+			if err := m.ctx.Err(); err != nil {
+				return fmt.Errorf("vm: run cancelled: %w", err)
+			}
+			if m.ctxLeft = m.ctxEvery; m.ctxLeft == 0 {
+				m.ctxLeft = defaultCtxCheckEvery
+			}
+		}
+		m.ctxLeft--
+	}
+	if m.counts != nil {
+		m.counts[fn.id][blk]++
+	}
+	return nil
+}
+
+func (m *Machine) trap(fn *vmFunc, pc int32, msg string) error {
+	return &interp.RuntimeError{Func: fn.name, Block: fn.blockLabel(pc), Msg: msg}
+}
+
+func f64(bits int64) float64 { return math.Float64frombits(uint64(bits)) }
+func fbits(v float64) int64  { return int64(math.Float64bits(v)) }
+func b2i(v bool) int64 {
+	if v {
+		return 1
+	}
+	return 0
+}
+
+// flushCounters writes the dispatch loop's register-resident counters back
+// to the machine. Called on every exit path and before recursing into a
+// callee (which loads them afresh).
+func (m *Machine) flushCounters(steps, branches, predicted, mispredicted uint64) {
+	m.steps, m.branches = steps, branches
+	m.predicted, m.mispredicted = predicted, mispredicted
+}
+
+// exec is the dispatch loop. Non-branch opcodes continue the loop directly;
+// conditional branches fall out of the switch into the shared branch tail
+// (count, predict, record, hook, budget check, jump), which mirrors the
+// interpreter's TermBr path statement for statement.
+//
+// The hot counters and limits live in locals so the loop touches machine
+// memory only for globals, traces, and hooks; a limit of 0 ("unlimited")
+// becomes MaxUint64 so each budget check is one compare. Every return path
+// flushes the locals back first.
+func (m *Machine) exec(fn *vmFunc, regs []int64, depth int) (int64, error) {
+	if depth > m.maxDepth {
+		return 0, interp.ErrLimit
+	}
+	if m.slow {
+		if err := m.enterBlock(fn, fn.entryBlk); err != nil {
+			return 0, err
+		}
+	}
+	code := fn.code
+	code0 := unsafe.Pointer(&code[0])
+	brs := fn.brs
+	calls := fn.calls
+	scalars, arrays := m.scalars, m.arrays
+	rec, hook := m.rec, m.hook
+	steps, branches := m.steps, m.branches
+	predicted, mispredicted := m.predicted, m.mispredicted
+	maxSteps, maxBranches := m.maxSteps, m.maxBranches
+	if maxSteps == 0 {
+		maxSteps = math.MaxUint64
+	}
+	if maxBranches == 0 {
+		maxBranches = math.MaxUint64
+	}
+	pc := fn.entryPC
+
+dispatch:
+	for {
+		in := (*instr)(unsafe.Add(code0, uintptr(uint32(pc))*unsafe.Sizeof(instr{})))
+		var taken bool
+		switch in.op {
+		case vConst:
+			regs[in.dst] = in.imm
+			pc++
+			continue dispatch
+		case vMov:
+			regs[in.dst] = regs[in.a]
+			pc++
+			continue dispatch
+		case vAddI:
+			regs[in.dst] = regs[in.a] + regs[in.b]
+			pc++
+			continue dispatch
+		case vSubI:
+			regs[in.dst] = regs[in.a] - regs[in.b]
+			pc++
+			continue dispatch
+		case vMulI:
+			regs[in.dst] = regs[in.a] * regs[in.b]
+			pc++
+			continue dispatch
+		case vDivI:
+			d := regs[in.b]
+			if d == 0 {
+				m.flushCounters(steps, branches, predicted, mispredicted)
+				return 0, m.trap(fn, pc, "integer division by zero")
+			}
+			if d == -1 && regs[in.a] == math.MinInt64 {
+				regs[in.dst] = math.MinInt64
+			} else {
+				regs[in.dst] = regs[in.a] / d
+			}
+			pc++
+			continue dispatch
+		case vModI:
+			d := regs[in.b]
+			if d == 0 {
+				m.flushCounters(steps, branches, predicted, mispredicted)
+				return 0, m.trap(fn, pc, "integer modulo by zero")
+			}
+			if d == -1 {
+				regs[in.dst] = 0
+			} else {
+				regs[in.dst] = regs[in.a] % d
+			}
+			pc++
+			continue dispatch
+		case vAndI:
+			regs[in.dst] = regs[in.a] & regs[in.b]
+			pc++
+			continue dispatch
+		case vOrI:
+			regs[in.dst] = regs[in.a] | regs[in.b]
+			pc++
+			continue dispatch
+		case vXorI:
+			regs[in.dst] = regs[in.a] ^ regs[in.b]
+			pc++
+			continue dispatch
+		case vShlI:
+			regs[in.dst] = regs[in.a] << (uint64(regs[in.b]) & 63)
+			pc++
+			continue dispatch
+		case vShrI:
+			regs[in.dst] = regs[in.a] >> (uint64(regs[in.b]) & 63)
+			pc++
+			continue dispatch
+		case vNegI:
+			regs[in.dst] = -regs[in.a]
+			pc++
+			continue dispatch
+		case vNotI:
+			regs[in.dst] = b2i(regs[in.a] == 0)
+			pc++
+			continue dispatch
+		case vAddF:
+			regs[in.dst] = fbits(f64(regs[in.a]) + f64(regs[in.b]))
+			pc++
+			continue dispatch
+		case vSubF:
+			regs[in.dst] = fbits(f64(regs[in.a]) - f64(regs[in.b]))
+			pc++
+			continue dispatch
+		case vMulF:
+			regs[in.dst] = fbits(f64(regs[in.a]) * f64(regs[in.b]))
+			pc++
+			continue dispatch
+		case vDivF:
+			regs[in.dst] = fbits(f64(regs[in.a]) / f64(regs[in.b]))
+			pc++
+			continue dispatch
+		case vNegF:
+			regs[in.dst] = fbits(-f64(regs[in.a]))
+			pc++
+			continue dispatch
+		case vEqI:
+			regs[in.dst] = b2i(regs[in.a] == regs[in.b])
+			pc++
+			continue dispatch
+		case vNeI:
+			regs[in.dst] = b2i(regs[in.a] != regs[in.b])
+			pc++
+			continue dispatch
+		case vLtI:
+			regs[in.dst] = b2i(regs[in.a] < regs[in.b])
+			pc++
+			continue dispatch
+		case vLeI:
+			regs[in.dst] = b2i(regs[in.a] <= regs[in.b])
+			pc++
+			continue dispatch
+		case vGtI:
+			regs[in.dst] = b2i(regs[in.a] > regs[in.b])
+			pc++
+			continue dispatch
+		case vGeI:
+			regs[in.dst] = b2i(regs[in.a] >= regs[in.b])
+			pc++
+			continue dispatch
+		case vEqF:
+			regs[in.dst] = b2i(f64(regs[in.a]) == f64(regs[in.b]))
+			pc++
+			continue dispatch
+		case vNeF:
+			regs[in.dst] = b2i(f64(regs[in.a]) != f64(regs[in.b]))
+			pc++
+			continue dispatch
+		case vLtF:
+			regs[in.dst] = b2i(f64(regs[in.a]) < f64(regs[in.b]))
+			pc++
+			continue dispatch
+		case vLeF:
+			regs[in.dst] = b2i(f64(regs[in.a]) <= f64(regs[in.b]))
+			pc++
+			continue dispatch
+		case vGtF:
+			regs[in.dst] = b2i(f64(regs[in.a]) > f64(regs[in.b]))
+			pc++
+			continue dispatch
+		case vGeF:
+			regs[in.dst] = b2i(f64(regs[in.a]) >= f64(regs[in.b]))
+			pc++
+			continue dispatch
+		case vItoF:
+			regs[in.dst] = fbits(float64(regs[in.a]))
+			pc++
+			continue dispatch
+		case vFtoI:
+			v := f64(regs[in.a])
+			if math.IsNaN(v) || v > math.MaxInt64 || v < math.MinInt64 {
+				m.flushCounters(steps, branches, predicted, mispredicted)
+				return 0, m.trap(fn, pc, "float to int conversion out of range")
+			}
+			regs[in.dst] = int64(v)
+			pc++
+			continue dispatch
+		case vSqrtF:
+			regs[in.dst] = fbits(math.Sqrt(f64(regs[in.a])))
+			pc++
+			continue dispatch
+		case vAbsI:
+			v := regs[in.a]
+			if v < 0 {
+				v = -v
+			}
+			regs[in.dst] = v
+			pc++
+			continue dispatch
+		case vAbsF:
+			regs[in.dst] = fbits(math.Abs(f64(regs[in.a])))
+			pc++
+			continue dispatch
+		case vMinI:
+			a, b := regs[in.a], regs[in.b]
+			if b < a {
+				a = b
+			}
+			regs[in.dst] = a
+			pc++
+			continue dispatch
+		case vMaxI:
+			a, b := regs[in.a], regs[in.b]
+			if b > a {
+				a = b
+			}
+			regs[in.dst] = a
+			pc++
+			continue dispatch
+		case vMinF:
+			regs[in.dst] = fbits(math.Min(f64(regs[in.a]), f64(regs[in.b])))
+			pc++
+			continue dispatch
+		case vMaxF:
+			regs[in.dst] = fbits(math.Max(f64(regs[in.a]), f64(regs[in.b])))
+			pc++
+			continue dispatch
+		case vLoadG:
+			regs[in.dst] = scalars[in.imm]
+			pc++
+			continue dispatch
+		case vStoreG:
+			scalars[in.imm] = regs[in.a]
+			pc++
+			continue dispatch
+		case vIncG:
+			scalars[in.a] += in.imm
+			pc++
+			continue dispatch
+		case vLoadElem:
+			arr := arrays[in.imm]
+			idx := regs[in.a]
+			if idx < 0 || idx >= int64(len(arr)) {
+				m.flushCounters(steps, branches, predicted, mispredicted)
+				return 0, m.trap(fn, pc, fmt.Sprintf("index %d out of range [0,%d) in %s",
+					idx, len(arr), m.prog.ir.Globals[m.prog.arrGID[in.imm]].Name))
+			}
+			regs[in.dst] = arr[idx]
+			pc++
+			continue dispatch
+		case vStoreElem:
+			arr := arrays[in.imm]
+			idx := regs[in.a]
+			if idx < 0 || idx >= int64(len(arr)) {
+				m.flushCounters(steps, branches, predicted, mispredicted)
+				return 0, m.trap(fn, pc, fmt.Sprintf("index %d out of range [0,%d) in %s",
+					idx, len(arr), m.prog.ir.Globals[m.prog.arrGID[in.imm]].Name))
+			}
+			arr[idx] = regs[in.b]
+			pc++
+			continue dispatch
+		case vCall:
+			ci := &calls[in.imm]
+			callee := ci.fn
+			frame := m.getFrame(callee.nSlots)
+			for ai, as := range ci.args {
+				frame[ai] = regs[as]
+			}
+			m.flushCounters(steps, branches, predicted, mispredicted)
+			ret, err := m.exec(callee, frame, depth+1)
+			m.putFrame(frame)
+			if err != nil {
+				// The callee flushed its own (more recent) counters.
+				return 0, err
+			}
+			steps, branches = m.steps, m.branches
+			predicted, mispredicted = m.predicted, m.mispredicted
+			if in.dst >= 0 {
+				regs[in.dst] = ret
+			}
+			pc++
+			continue dispatch
+		case vPrint:
+			m.checksum = m.checksum*1099511628211 + uint64(regs[in.a])
+			m.prints++
+			pc++
+			continue dispatch
+		case vAddIK:
+			regs[in.dst] = regs[in.a] + in.imm
+			pc++
+			continue dispatch
+		case vSubIK:
+			regs[in.dst] = regs[in.a] - in.imm
+			pc++
+			continue dispatch
+		case vMulIK:
+			regs[in.dst] = regs[in.a] * in.imm
+			pc++
+			continue dispatch
+		case vEqIK:
+			regs[in.dst] = b2i(regs[in.a] == in.imm)
+			pc++
+			continue dispatch
+		case vNeIK:
+			regs[in.dst] = b2i(regs[in.a] != in.imm)
+			pc++
+			continue dispatch
+		case vLtIK:
+			regs[in.dst] = b2i(regs[in.a] < in.imm)
+			pc++
+			continue dispatch
+		case vLeIK:
+			regs[in.dst] = b2i(regs[in.a] <= in.imm)
+			pc++
+			continue dispatch
+		case vGtIK:
+			regs[in.dst] = b2i(regs[in.a] > in.imm)
+			pc++
+			continue dispatch
+		case vGeIK:
+			regs[in.dst] = b2i(regs[in.a] >= in.imm)
+			pc++
+			continue dispatch
+		case vMovJ0:
+			regs[in.dst] = regs[in.a]
+			pc = int32(in.b)
+			continue dispatch
+		case vJmp:
+			if in.imm != 0 {
+				steps += uint64(in.imm)
+				if steps >= maxSteps {
+					m.flushCounters(steps, branches, predicted, mispredicted)
+					return 0, interp.ErrLimit
+				}
+			}
+			pc = int32(in.dst)
+			if m.slow {
+				if err := m.enterBlock(fn, int32(in.a)); err != nil {
+					m.flushCounters(steps, branches, predicted, mispredicted)
+					return 0, err
+				}
+			}
+			continue dispatch
+		case vRet:
+			steps += uint64(in.imm)
+			m.flushCounters(steps, branches, predicted, mispredicted)
+			if steps >= maxSteps {
+				return 0, interp.ErrLimit
+			}
+			if in.a >= 0 {
+				return regs[in.a], nil
+			}
+			return 0, nil
+		case vBr:
+			taken = regs[in.a] != 0
+		case vBrEqI:
+			taken = regs[in.a] == regs[in.b]
+		case vBrNeI:
+			taken = regs[in.a] != regs[in.b]
+		case vBrLtI:
+			taken = regs[in.a] < regs[in.b]
+		case vBrLeI:
+			taken = regs[in.a] <= regs[in.b]
+		case vBrGtI:
+			taken = regs[in.a] > regs[in.b]
+		case vBrGeI:
+			taken = regs[in.a] >= regs[in.b]
+		case vBrEqF:
+			taken = f64(regs[in.a]) == f64(regs[in.b])
+		case vBrNeF:
+			taken = f64(regs[in.a]) != f64(regs[in.b])
+		case vBrLtF:
+			taken = f64(regs[in.a]) < f64(regs[in.b])
+		case vBrLeF:
+			taken = f64(regs[in.a]) <= f64(regs[in.b])
+		case vBrGtF:
+			taken = f64(regs[in.a]) > f64(regs[in.b])
+		case vBrGeF:
+			taken = f64(regs[in.a]) >= f64(regs[in.b])
+		case vBrEqIK:
+			taken = regs[in.a] == in.imm
+		case vBrNeIK:
+			taken = regs[in.a] != in.imm
+		case vBrLtIK:
+			taken = regs[in.a] < in.imm
+		case vBrLeIK:
+			taken = regs[in.a] <= in.imm
+		case vBrGtIK:
+			taken = regs[in.a] > in.imm
+		case vBrGeIK:
+			taken = regs[in.a] >= in.imm
+		default:
+			m.flushCounters(steps, branches, predicted, mispredicted)
+			return 0, m.trap(fn, pc, "invalid opcode")
+		}
+
+		// Shared branch tail, mirroring the interpreter's TermBr path.
+		bi := &brs[in.dst]
+		steps += bi.weight
+		if steps >= maxSteps {
+			m.flushCounters(steps, branches, predicted, mispredicted)
+			return 0, interp.ErrLimit
+		}
+		t := bi.term
+		branches++
+		if t.Pred != ir.PredNone {
+			predicted++
+			if (t.Pred == ir.PredTaken) != taken {
+				mispredicted++
+			}
+		}
+		if rec != nil {
+			rec.Record(t.Site, taken)
+		}
+		if hook != nil {
+			hook(t, taken)
+		}
+		if branches >= maxBranches {
+			m.flushCounters(steps, branches, predicted, mispredicted)
+			return 0, interp.ErrLimit
+		}
+		var blk int32
+		if taken {
+			pc, blk = bi.thenPC, bi.thenBlk
+		} else {
+			pc, blk = bi.elsePC, bi.elseBlk
+		}
+		if m.slow {
+			if err := m.enterBlock(fn, blk); err != nil {
+				m.flushCounters(steps, branches, predicted, mispredicted)
+				return 0, err
+			}
+		}
+	}
+}

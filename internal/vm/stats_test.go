@@ -1,0 +1,71 @@
+package vm
+
+import (
+	"sort"
+	"testing"
+
+	"repro/internal/lang"
+)
+
+// TestCompileStats is a diagnostic: -v prints the static opcode mix of a
+// workload-shaped program so codegen regressions (lost fusion, redundant
+// copies) are visible at a glance.
+func TestCompileStats(t *testing.T) {
+	src := `
+var acc int;
+var arr [64]int;
+
+func step(i int, j int) int {
+    if i % 3 == 0 {
+        return i + j;
+    }
+    return i - j;
+}
+
+func main() int {
+    for var i int = 0; i < 2000; i = i + 1 {
+        var k int = i & 63;
+        arr[k] = arr[k] + step(i, k);
+        if arr[k] > 100 {
+            acc = acc + 1;
+        }
+    }
+    return acc;
+}`
+	prog, err := lang.Compile(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prog.NumberBranches(true)
+	p, err := Compile(prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hist := map[uint16]int{}
+	total := 0
+	for _, f := range p.funcs {
+		for i := range f.code {
+			hist[f.code[i].op]++
+			total++
+		}
+	}
+	irTotal := 0
+	for _, f := range prog.Funcs {
+		for _, b := range f.Blocks {
+			irTotal += len(b.Instrs) + 1
+		}
+	}
+	t.Logf("ir instrs+terms: %d, bytecode instrs: %d", irTotal, total)
+	type kv struct {
+		op uint16
+		n  int
+	}
+	var ks []kv
+	for op, n := range hist {
+		ks = append(ks, kv{op, n})
+	}
+	sort.Slice(ks, func(i, j int) bool { return ks[i].n > ks[j].n })
+	for _, k := range ks {
+		t.Logf("  op %3d: %d", k.op, k.n)
+	}
+}
