@@ -26,7 +26,7 @@ bench:
 # service throughput harness, both into BENCH_results.json. The format is
 # documented in EXPERIMENTS.md; `make compare` gates against this file.
 benchjson:
-	$(GO) run ./cmd/krallbench -all -execbench -benchjson BENCH_results.json > /dev/null
+	$(GO) run ./cmd/krallbench -all -execbench -tracebench -benchjson BENCH_results.json > /dev/null
 	$(GO) run ./cmd/krallload -serve -throughput -quiet -benchjson BENCH_results.json
 
 # Measure single vs batched kralld requests/sec over a loopback server.

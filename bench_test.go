@@ -7,6 +7,7 @@
 package repro
 
 import (
+	"runtime"
 	"strconv"
 	"sync"
 	"testing"
@@ -328,9 +329,13 @@ func BenchmarkTraceRecord(b *testing.B) {
 	b.ReportMetric(float64(events)*float64(b.N)/b.Elapsed().Seconds(), "events/s")
 }
 
-// BenchmarkTraceReplay measures the replay-many path: feeding a recorded
-// slab into the full profile bundle, the work the engine does instead of
-// re-interpreting a workload.
+// BenchmarkTraceReplay measures the replay-many path — the work the
+// engine does instead of re-interpreting a workload — per collector
+// class: plain counts (the "profile" strategy's entire data need), the
+// full five-table profile bundle, the dynamic-predictor evaluators, and
+// site-partitioned parallel counting. All paths run the run-aware fused
+// decode; "counts" corresponds to the historical single-number baseline's
+// count-collector case.
 func BenchmarkTraceReplay(b *testing.B) {
 	w, err := bench.ByName("compress")
 	if err != nil {
@@ -352,13 +357,60 @@ func BenchmarkTraceReplay(b *testing.B) {
 		b.Fatal(err)
 	}
 	s.Seal()
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		p := profile.New(c.NSites, profile.Options{LocalK: 9, GlobalK: 9, PathM: 3})
-		s.ReplayInto(p)
+	perEvent := func(b *testing.B) {
+		b.ReportMetric(float64(events)*float64(b.N)/b.Elapsed().Seconds(), "events/s")
+		b.ReportMetric(float64(s.EncodedBytes()), "trace-bytes")
 	}
-	b.ReportMetric(float64(events)*float64(b.N)/b.Elapsed().Seconds(), "events/s")
-	b.ReportMetric(float64(s.EncodedBytes()), "trace-bytes")
+	b.Run("counts", func(b *testing.B) {
+		counts := trace.NewCounts(c.NSites)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			s.ReplayInto(counts)
+		}
+		perEvent(b)
+	})
+	b.Run("profile-score", func(b *testing.B) {
+		// The service's "profile" scoring strategy: counts plus the
+		// majority-direction fold.
+		counts := trace.NewCounts(c.NSites)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			clear(counts.Taken)
+			clear(counts.NotTaken)
+			s.ReplayInto(counts)
+			if r := predict.ProfileResult(counts); r.Total != events {
+				b.Fatalf("scored %d events", r.Total)
+			}
+		}
+		perEvent(b)
+	})
+	b.Run("profile", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			p := profile.New(c.NSites, profile.Options{LocalK: 9, GlobalK: 9, PathM: 3})
+			s.ReplayInto(p)
+		}
+		perEvent(b)
+	})
+	b.Run("predict", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			last := &predict.Eval{P: predict.NewLastDirection(c.NSites)}
+			twobit := &predict.Eval{P: predict.NewTwoBit(c.NSites)}
+			s.ReplayInto(last, twobit)
+			if last.Total != events || twobit.Total != events {
+				b.Fatal("short replay")
+			}
+		}
+		perEvent(b)
+	})
+	b.Run("partitioned", func(b *testing.B) {
+		workers := runtime.GOMAXPROCS(0)
+		counts := trace.NewCounts(c.NSites)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			s.ReplayPartitioned(workers, counts)
+		}
+		perEvent(b)
+	})
 }
 
 // BenchmarkProfileCollection measures the full multi-table profiling hook.

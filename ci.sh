@@ -28,12 +28,14 @@ go test -run='^$' -fuzz=FuzzParse -fuzztime=10s ./internal/lang
 go test -run='^$' -fuzz=FuzzReadSlab -fuzztime=10s ./internal/trace
 go test -run='^$' -fuzz=FuzzVerify -fuzztime=10s ./internal/analysis
 go test -run='^$' -fuzz=FuzzBackendEquivalence -fuzztime=10s ./internal/vm
+go test -run='^$' -fuzz=FuzzRunCollectorEquivalence -fuzztime=10s ./internal/bench
 go run ./cmd/krallcheck examples/bl/*.bl
 go test -bench=. -benchtime=1x -run='^$' .
 # Bench-regression gate: run the sweep (including the interp-vs-vm
-# execution-backend comparison) and the service throughput harness into a
-# fresh document, then compare it against the committed baseline.
-go run ./cmd/krallbench -all -execbench -benchjson bench-new.json > /dev/null
+# execution-backend comparison and the trace-replay throughput modes) and
+# the service throughput harness into a fresh document, then compare it
+# against the committed baseline.
+go run ./cmd/krallbench -all -execbench -tracebench -benchjson bench-new.json > /dev/null
 go run ./cmd/krallload -serve -throughput -quiet -benchjson bench-new.json
 go run ./cmd/krallbench -compare BENCH_results.json bench-new.json -tolerance 0.15
 # Prove the gate fires: a synthetic 20% regression must fail the compare.

@@ -154,5 +154,15 @@ func gatedMetrics(oldDoc, newDoc *results.Document) []gatedMetric {
 		add("exec.vm_branches_per_second",
 			&oldDoc.Exec.VMBranchesPerSecond, &newDoc.Exec.VMBranchesPerSecond)
 	}
+	if oldDoc.Trace != nil && newDoc.Trace != nil {
+		add("trace.single_pass_events_per_second",
+			&oldDoc.Trace.SinglePassEventsPerSecond, &newDoc.Trace.SinglePassEventsPerSecond)
+		add("trace.run_aware_events_per_second",
+			&oldDoc.Trace.RunAwareEventsPerSecond, &newDoc.Trace.RunAwareEventsPerSecond)
+		add("trace.partitioned_events_per_second",
+			&oldDoc.Trace.PartitionedEventsPerSecond, &newDoc.Trace.PartitionedEventsPerSecond)
+		add("trace.profile_events_per_second",
+			&oldDoc.Trace.ProfileEventsPerSecond, &newDoc.Trace.ProfileEventsPerSecond)
+	}
 	return out
 }

@@ -24,6 +24,16 @@ func writeDoc(t *testing.T, dir, name string, mutate func(*results.Document)) st
 			Batch:       results.Phase{BatchSize: 8, Requests: 512, RequestsPerSecond: 5000, BranchesPerSecond: 100_000_000},
 			Speedup:     2.5,
 		},
+		Trace: &results.Trace{
+			Budget:                     20000,
+			Rounds:                     3,
+			Workers:                    1,
+			SinglePassEventsPerSecond:  40_000_000,
+			RunAwareEventsPerSecond:    300_000_000,
+			PartitionedEventsPerSecond: 300_000_000,
+			ProfileEventsPerSecond:     50_000_000,
+			Speedup:                    7.5,
+		},
 	}
 	if mutate != nil {
 		mutate(doc)
@@ -53,6 +63,10 @@ func TestCompareWithinTolerance(t *testing.T) {
 		"service.single.requests_per_second",
 		"service.batch.requests_per_second",
 		"service.batch.branches_per_second",
+		"trace.single_pass_events_per_second",
+		"trace.run_aware_events_per_second",
+		"trace.partitioned_events_per_second",
+		"trace.profile_events_per_second",
 	} {
 		if !strings.Contains(out.String(), want) {
 			t.Errorf("report missing metric %q:\n%s", want, out.String())
@@ -89,6 +103,45 @@ func TestCompareCatchesRegression(t *testing.T) {
 	// A loose tolerance must accept the same pair.
 	if err := run([]string{"-compare", oldP, degraded, "-tolerance", "0.5"}, io.Discard, io.Discard); err != nil {
 		t.Fatalf("compare -tolerance 0.5 rejected a 20%% drop: %v", err)
+	}
+}
+
+// TestCompareCatchesTraceRegression: the trace section is gated like the
+// others — a 20% replay-throughput drop fails, -degrade injects one, and
+// a baseline without a trace section gates only on the remaining metrics.
+func TestCompareCatchesTraceRegression(t *testing.T) {
+	dir := t.TempDir()
+	oldP := writeDoc(t, dir, "old.json", nil)
+	newP := writeDoc(t, dir, "new.json", func(d *results.Document) {
+		d.Trace.RunAwareEventsPerSecond *= 0.80
+	})
+	var out, errOut bytes.Buffer
+	if err := run([]string{"-compare", oldP, newP}, &out, &errOut); err == nil {
+		t.Fatalf("compare passed a 20%% trace regression:\n%s", out.String())
+	}
+	if !strings.Contains(errOut.String(), "trace.run_aware_events_per_second") {
+		t.Errorf("trace regression not attributed:\n%s", errOut.String())
+	}
+
+	degraded := filepath.Join(dir, "regressed.json")
+	if err := run([]string{"-compare", oldP, "-degrade", "0.8", "-out", degraded}, io.Discard, io.Discard); err != nil {
+		t.Fatalf("-degrade: %v", err)
+	}
+	reg, err := results.Read(degraded)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := reg.Trace.PartitionedEventsPerSecond, 300_000_000*0.8; got != want {
+		t.Errorf("-degrade left trace metrics unscaled: %f, want %f", got, want)
+	}
+
+	noTraceOld := writeDoc(t, dir, "notrace.json", func(d *results.Document) { d.Trace = nil })
+	out.Reset()
+	if err := run([]string{"-compare", noTraceOld, newP}, &out, io.Discard); err != nil {
+		t.Fatalf("compare failed without a baseline trace section: %v", err)
+	}
+	if strings.Contains(out.String(), "trace.") {
+		t.Errorf("trace metrics gated despite missing baseline section:\n%s", out.String())
 	}
 }
 

@@ -23,6 +23,9 @@
 //	              pinned by internal/vm's differential tests
 //	-execbench    time identical live runs on both backends and print the
 //	              comparison (also written to -benchjson as "exec")
+//	-tracebench   time trace replay per decode mode (event-at-a-time,
+//	              run-aware, partitioned, profile bundle) and print the
+//	              comparison (also written to -benchjson as "trace")
 //	-benchjson F  write machine-readable results (timings, engine
 //	              counters) as JSON to F — see EXPERIMENTS.md for the schema
 //	-cpuprofile F write a CPU profile to F
@@ -94,6 +97,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 		forceLive  = fs.Bool("forcelive", false, "disable the trace-replay engine (interpret every experiment live)")
 		backend    = fs.String("backend", "interp", "execution backend for live runs: interp or vm")
 		execbench  = fs.Bool("execbench", false, "time live runs on both backends and print the comparison")
+		tracebench = fs.Bool("tracebench", false, "time trace replay per decode mode and print the comparison")
 		benchjson  = fs.String("benchjson", "", "write machine-readable results (JSON) to `file`")
 		cpuprofile = fs.String("cpuprofile", "", "write a CPU profile to `file`")
 		memprofile = fs.String("memprofile", "", "write a heap profile to `file`")
@@ -159,7 +163,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 		}
 		sel["table"+t] = true
 	}
-	nothing := len(sel) == 0 && !*figures && !*measured && !*crossdata && !*headline && !*layoutExp && !*scopeExp && !*jointExp && !*execbench
+	nothing := len(sel) == 0 && !*figures && !*measured && !*crossdata && !*headline && !*layoutExp && !*scopeExp && !*jointExp && !*execbench && !*tracebench
 	if *all || nothing {
 		for i := 1; i <= 5; i++ {
 			sel[fmt.Sprintf("table%d", i)] = true
@@ -292,6 +296,16 @@ func run(args []string, stdout, stderr io.Writer) error {
 		fmt.Fprintln(stdout, bench.ExecTable(execMs).Render())
 		report("execbench", time.Since(secStart))
 	}
+	var traceMs []bench.TraceMeasurement
+	if *tracebench {
+		secStart := time.Now()
+		traceMs, err = bench.MeasureTrace(nil, cfg.Budget, 3, workers)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintln(stdout, bench.TraceTable(traceMs).Render())
+		report("tracebench", time.Since(secStart))
+	}
 	stats := suite.Engine().Stats()
 	total := time.Since(start)
 	fmt.Fprintf(stderr, "engine: %v\n", stats)
@@ -338,6 +352,37 @@ func run(args []string, stdout, stderr io.Writer) error {
 			ex.VMBranchesPerSecond = total / vTime
 			ex.Speedup = ex.VMBranchesPerSecond / ex.InterpBranchesPerSecond
 			res.Exec = ex
+		}
+		if len(traceMs) > 0 {
+			tr := &results.Trace{
+				Budget:  traceMs[0].Budget,
+				Rounds:  traceMs[0].Rounds,
+				Workers: traceMs[0].Workers,
+			}
+			var sTime, rTime, pTime, fTime, total float64
+			for _, m := range traceMs {
+				tr.Workloads = append(tr.Workloads, results.TraceWorkload{
+					Name:                       m.Workload,
+					Events:                     m.Events,
+					EncodedBytes:               m.EncodedBytes,
+					SinglePassEventsPerSecond:  m.SinglePassEventsPerSec,
+					RunAwareEventsPerSecond:    m.RunAwareEventsPerSec,
+					PartitionedEventsPerSecond: m.PartitionedEventsPerSec,
+					ProfileEventsPerSecond:     m.ProfileEventsPerSec,
+					Speedup:                    m.Speedup,
+				})
+				sTime += float64(m.Events) / m.SinglePassEventsPerSec
+				rTime += float64(m.Events) / m.RunAwareEventsPerSec
+				pTime += float64(m.Events) / m.PartitionedEventsPerSec
+				fTime += float64(m.Events) / m.ProfileEventsPerSec
+				total += float64(m.Events)
+			}
+			tr.SinglePassEventsPerSecond = total / sTime
+			tr.RunAwareEventsPerSecond = total / rTime
+			tr.PartitionedEventsPerSecond = total / pTime
+			tr.ProfileEventsPerSecond = total / fTime
+			tr.Speedup = tr.RunAwareEventsPerSecond / tr.SinglePassEventsPerSecond
+			res.Trace = tr
 		}
 		if err := results.Write(*benchjson, res); err != nil {
 			return fmt.Errorf("-benchjson: %w", err)

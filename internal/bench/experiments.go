@@ -248,7 +248,7 @@ func (s *Suite) countsFor(d *WorkloadData, seed int64) (*trace.Counts, error) {
 		if err != nil {
 			return nil, err
 		}
-		art.Trace.ReplayRuns(counts.AddRun)
+		art.Trace.ReplayPartitioned(s.workers(), counts)
 		s.countReplay(int64(art.Trace.Len()))
 		return counts, nil
 	})

@@ -6,6 +6,7 @@ import (
 
 	"repro/internal/interp"
 	"repro/internal/ir"
+	"repro/internal/predict"
 	"repro/internal/runner"
 	"repro/internal/trace"
 )
@@ -90,24 +91,13 @@ func (s *Suite) replay(art *RunArtifact, cs ...trace.Collector) {
 // it live: replicate.Annotate only sets Term.Pred — sites and control flow
 // are untouched — so the annotated clone's branch stream is exactly the
 // recorded one, and the interpreter's Predicted/Mispredicted counters
-// reduce to this fold over the events.
+// reduce to predict.StaticScore's fold over the runs. The scorer is
+// order-insensitive, so big traces shard across the engine's workers.
 func (s *Suite) staticTraceRate(art *RunArtifact, preds []ir.Prediction) Cell {
-	var predicted, mispredicted uint64
-	art.Trace.ReplayRuns(func(site int32, taken bool, n uint64) {
-		if int(site) >= len(preds) {
-			return
-		}
-		p := preds[site]
-		if p == ir.PredNone {
-			return
-		}
-		predicted += n
-		if (p == ir.PredTaken) != taken {
-			mispredicted += n
-		}
-	})
+	score := &predict.StaticScore{Preds: preds}
+	art.Trace.ReplayPartitioned(s.workers(), score)
 	s.countReplay(int64(art.Trace.Len()))
-	return rateCell(mispredicted, predicted)
+	return rateCell(score.Mispredicted, score.Predicted)
 }
 
 func (s *Suite) countRecord(events int64) {
@@ -126,4 +116,13 @@ func (s *Suite) countLiveRun() {
 	if s.eng != nil {
 		s.eng.CountLiveRun()
 	}
+}
+
+// workers is the engine's pool width, the partition count for sharded
+// trace replay (1 when the suite runs without an engine).
+func (s *Suite) workers() int {
+	if s.eng != nil {
+		return s.eng.Workers()
+	}
+	return 1
 }

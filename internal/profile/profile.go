@@ -291,6 +291,10 @@ type PathHistory struct {
 	seen  uint32
 	tabs  []map[PathKey]*Pair
 	total uint64
+	// memoKey/memoP cache the last (path key, Pair) resolved per site;
+	// see pairAt in run.go.
+	memoKey []PathKey
+	memoP   []*Pair
 }
 
 // NewPathHistory creates path tables for nSites branches and paths of
@@ -299,7 +303,12 @@ func NewPathHistory(nSites, m int) *PathHistory {
 	if m < 1 || m > 4 {
 		panic(fmt.Sprintf("profile: path length %d out of range [1,4]", m))
 	}
-	return &PathHistory{M: m, tabs: make([]map[PathKey]*Pair, nSites)}
+	return &PathHistory{
+		M:       m,
+		tabs:    make([]map[PathKey]*Pair, nSites),
+		memoKey: make([]PathKey, nSites),
+		memoP:   make([]*Pair, nSites),
+	}
 }
 
 // Branch implements trace.Collector.
@@ -316,13 +325,7 @@ func (h *PathHistory) RecordBranch(s int32, taken bool) {
 			tab = make(map[PathKey]*Pair)
 			h.tabs[s] = tab
 		}
-		key := h.key.Suffix(h.M)
-		p := tab[key]
-		if p == nil {
-			p = &Pair{}
-			tab[key] = p
-		}
-		p.Add(taken)
+		h.pairAt(s, tab, h.key.Suffix(h.M)).Add(taken)
 		h.total++
 	} else {
 		h.seen++

@@ -671,35 +671,37 @@ type scoreEntry struct {
 
 // scoreSlab replays one trace against a strategy. Site table sizes come
 // from the trace itself, so uploaded traces need no side channel
-// describing their program.
+// describing their program. All decode/collector state — the site scan,
+// count tables, predictors, and the prediction vector — comes from the
+// request-scoped scorePool, so the batch pipeline's hottest endpoint
+// allocates nothing proportional to the request rate.
 func (s *Server) scoreSlab(slab *trace.Slab, strategy string, reqPreds []string) (scoreEntry, error) {
-	nsites := 0
-	slab.ReplayRuns(func(site int32, _ bool, _ uint64) {
-		if int(site) >= nsites {
-			nsites = int(site) + 1
-		}
-	})
+	st := scorePool.Get().(*scoreState)
+	defer scorePool.Put(st)
+	st.max.N = 0
+	slab.ReplayInto(&st.max)
+	nsites := st.max.N
 
 	var score RateBlock
 	switch strategy {
 	case "profile":
-		counts := trace.NewCounts(nsites)
-		slab.ReplayRuns(counts.AddRun)
+		counts := st.countsFor(nsites)
+		slab.ReplayInto(counts)
 		r := predict.ProfileResult(counts)
 		score = rateBlock(r.Misses, r.Total)
 	case "last":
-		eval := predict.Eval{P: predict.NewLastDirection(nsites)}
+		eval := predict.Eval{P: st.lastFor(nsites)}
 		slab.ReplayInto(&eval)
 		score = rateBlock(eval.Misses, eval.Total)
 	case "twobit":
-		eval := predict.Eval{P: predict.NewTwoBit(nsites)}
+		eval := predict.Eval{P: st.twobitFor(nsites)}
 		slab.ReplayInto(&eval)
 		score = rateBlock(eval.Misses, eval.Total)
 	case "static":
-		preds := make([]ir.Prediction, nsites)
 		if len(reqPreds) > nsites {
 			return scoreEntry{}, badRequest("preds has %d entries for %d sites", len(reqPreds), nsites)
 		}
+		preds := st.predsFor(nsites)
 		for i, p := range reqPreds {
 			switch p {
 			case "taken":
@@ -712,18 +714,9 @@ func (s *Server) scoreSlab(slab *trace.Slab, strategy string, reqPreds []string)
 				return scoreEntry{}, badRequest("preds[%d]: unknown prediction %q", i, p)
 			}
 		}
-		var predicted, mispredicted uint64
-		slab.ReplayRuns(func(site int32, taken bool, n uint64) {
-			p := preds[site]
-			if p == ir.PredNone {
-				return
-			}
-			predicted += n
-			if (p == ir.PredTaken) != taken {
-				mispredicted += n
-			}
-		})
-		score = rateBlock(mispredicted, predicted)
+		fold := predict.StaticScore{Preds: preds}
+		slab.ReplayInto(&fold)
+		score = rateBlock(fold.Mispredicted, fold.Predicted)
 	default:
 		return scoreEntry{}, badRequest("unknown strategy %q (want profile, last, twobit, or static)", strategy)
 	}

@@ -1,0 +1,466 @@
+package trace
+
+import (
+	"sync"
+
+	"repro/internal/ir"
+)
+
+// RunCollector is the run-aware collector contract: a maximal RLE run of
+// n identical (site, taken) outcomes arrives as a single call instead of
+// n events. The exactness contract is strict — RecordRun(s, t, n) must
+// leave the collector in a state bit-identical to n consecutive
+// RecordBranch(s, t) calls — so replaying through runs is a pure speedup,
+// never an approximation (pinned by FuzzRunCollectorEquivalence).
+type RunCollector interface {
+	RecordRun(site int32, taken bool, n uint64)
+}
+
+// Sharded is implemented by order-insensitive RunCollectors — those whose
+// final state does not depend on event order, only on per-(site, taken)
+// totals. Such collectors can consume disjoint segments of a trace in
+// parallel: ReplayPartitioned gives each worker a fresh shard from
+// NewShard and folds the shards back with Merge in stream order.
+type Sharded interface {
+	RunCollector
+	// NewShard returns an empty collector of the same shape, safe to fill
+	// from another goroutine.
+	NewShard() RunCollector
+	// Merge folds a NewShard result's accumulated state back in.
+	Merge(shard RunCollector)
+}
+
+// RecordRun implements RunCollector (an alias of AddRun; Counts is the
+// canonical order-insensitive collector).
+func (c *Counts) RecordRun(site int32, taken bool, n uint64) { c.AddRun(site, taken, n) }
+
+// NewShard implements Sharded.
+func (c *Counts) NewShard() RunCollector { return NewCounts(len(c.Taken)) }
+
+// Merge implements Sharded.
+func (c *Counts) Merge(shard RunCollector) {
+	o := shard.(*Counts)
+	for i := range c.Taken {
+		c.Taken[i] += o.Taken[i]
+		c.NotTaken[i] += o.NotTaken[i]
+	}
+}
+
+// RecordRun implements RunCollector: Seen counts the whole run even when
+// the cap truncates the stored events, matching n RecordBranch calls.
+func (l *Log) RecordRun(site int32, taken bool, n uint64) {
+	l.Seen += n
+	for ; n > 0; n-- {
+		if l.Max != 0 && len(l.Events) >= l.Max {
+			return
+		}
+		l.Events = append(l.Events, Event{Site: site, Taken: taken})
+	}
+}
+
+// RecordRun implements RunCollector on the wire encoder: a replayed run
+// folds straight into the Writer's RLE state, so re-encoding a trace
+// through runs emits byte-identical output to event-at-a-time encoding.
+func (w *Writer) RecordRun(site int32, taken bool, n uint64) {
+	if n == 0 {
+		return
+	}
+	code := (uint64(site)+1)<<1 | b2u(taken)
+	w.total += n
+	if code == w.last {
+		w.run += n
+		return
+	}
+	w.flushRun()
+	w.putUvarint(code)
+	w.last = code
+	w.run = n - 1
+}
+
+// RecordRun implements RunCollector, fanning the run out to every member
+// at its fastest entry point. Slab replay does not go through this — the
+// fused ReplayInto flattens Multi members into its single decode pass —
+// but live hooks and hand-driven replays may.
+func (m Multi) RecordRun(site int32, taken bool, n uint64) {
+	for _, c := range m {
+		recordRunOn(c, site, taken, n)
+	}
+}
+
+// recordRunOn delivers one run to a collector of unknown concrete type.
+func recordRunOn(c Collector, site int32, taken bool, n uint64) {
+	switch c := c.(type) {
+	case RunCollector:
+		c.RecordRun(site, taken, n)
+	case SiteCollector:
+		for ; n > 0; n-- {
+			c.RecordBranch(site, taken)
+		}
+	default:
+		t := ir.Term{Op: ir.TermBr, Site: site, Orig: site}
+		for ; n > 0; n-- {
+			c.Branch(&t, taken)
+		}
+	}
+}
+
+// MaxSite scans a replay for the highest site ID plus one — the table
+// size a trace of unknown provenance needs. It is order-insensitive, so
+// it shards.
+type MaxSite struct {
+	// N is max(site)+1 over the events seen, 0 before any event.
+	N int
+}
+
+// Branch implements Collector.
+func (m *MaxSite) Branch(t *ir.Term, taken bool) { m.RecordRun(t.Site, taken, 1) }
+
+// RecordBranch implements SiteCollector.
+func (m *MaxSite) RecordBranch(site int32, taken bool) { m.RecordRun(site, taken, 1) }
+
+// RecordRun implements RunCollector.
+func (m *MaxSite) RecordRun(site int32, _ bool, _ uint64) {
+	if int(site) >= m.N {
+		m.N = int(site) + 1
+	}
+}
+
+// NewShard implements Sharded.
+func (m *MaxSite) NewShard() RunCollector { return &MaxSite{} }
+
+// Merge implements Sharded.
+func (m *MaxSite) Merge(shard RunCollector) {
+	if o := shard.(*MaxSite); o.N > m.N {
+		m.N = o.N
+	}
+}
+
+// replayRunBytes is the run-major decode loop: one pass over an RLE
+// segment, one fn call per run (a plain event is a run of 1). buf must
+// begin at a plain event code (never a run marker) — true of a whole slab
+// buffer and of every checkpointed segment. The 1- and 2-byte uvarint
+// forms are decoded inline (site IDs are small, so nearly every code
+// takes one or two bytes); longer forms and corruption fall through to
+// decodeUvarint.
+func replayRunBytes(buf []byte, fn func(site int32, taken bool, n uint64)) {
+	var site int32
+	var taken bool
+	for i := 0; i < len(buf); {
+		var code uint64
+		if b := buf[i]; b < 0x80 {
+			code = uint64(b)
+			i++
+		} else if i+1 < len(buf) && buf[i+1] < 0x80 {
+			code = uint64(b&0x7f) | uint64(buf[i+1])<<7
+			i += 2
+		} else {
+			code, i = decodeUvarint(buf, i)
+		}
+		if code != 1 {
+			site, taken = int32(code>>1)-1, code&1 == 1
+			fn(site, taken, 1)
+			continue
+		}
+		var n uint64
+		if i < len(buf) && buf[i] < 0x80 {
+			n = uint64(buf[i])
+			i++
+		} else if i+1 < len(buf) && buf[i] >= 0x80 && buf[i+1] < 0x80 {
+			n = uint64(buf[i]&0x7f) | uint64(buf[i+1])<<7
+			i += 2
+		} else {
+			n, i = decodeUvarint(buf, i)
+		}
+		fn(site, taken, n)
+	}
+}
+
+// replayBytes is the split-dispatch decode loop behind ReplayInto: plain
+// single events go to ev — the collector's ordinary per-event entry
+// point, so a trace with no exploitable runs replays at per-event cost —
+// and only genuine RLE runs (the repeat count after the first event) go
+// to run, where run-aware collectors take their O(1) shortcut. Same
+// segment contract and inline-uvarint fast path as replayRunBytes.
+func replayBytes(buf []byte, ev func(site int32, taken bool), run func(site int32, taken bool, n uint64)) {
+	var site int32
+	var taken bool
+	for i := 0; i < len(buf); {
+		var code uint64
+		if b := buf[i]; b < 0x80 {
+			code = uint64(b)
+			i++
+		} else if i+1 < len(buf) && buf[i+1] < 0x80 {
+			code = uint64(b&0x7f) | uint64(buf[i+1])<<7
+			i += 2
+		} else {
+			code, i = decodeUvarint(buf, i)
+		}
+		if code != 1 {
+			site, taken = int32(code>>1)-1, code&1 == 1
+			ev(site, taken)
+			continue
+		}
+		var n uint64
+		if i < len(buf) && buf[i] < 0x80 {
+			n = uint64(buf[i])
+			i++
+		} else if i+1 < len(buf) && buf[i] >= 0x80 && buf[i+1] < 0x80 {
+			n = uint64(buf[i]&0x7f) | uint64(buf[i+1])<<7
+			i += 2
+		} else {
+			n, i = decodeUvarint(buf, i)
+		}
+		run(site, taken, n)
+	}
+}
+
+// replayCountsBytes is replayRunBytes specialised for *Counts, the
+// service's "profile" scoring strategy and the experiment engine's
+// per-seed count pass: the run lands directly in the slice, with no
+// indirect call per run.
+func replayCountsBytes(buf []byte, c *Counts) {
+	tk, nt := c.Taken, c.NotTaken
+	var site int32
+	var taken bool
+	for i := 0; i < len(buf); {
+		var code uint64
+		if b := buf[i]; b < 0x80 {
+			code = uint64(b)
+			i++
+		} else if i+1 < len(buf) && buf[i+1] < 0x80 {
+			code = uint64(b&0x7f) | uint64(buf[i+1])<<7
+			i += 2
+		} else {
+			code, i = decodeUvarint(buf, i)
+		}
+		if code != 1 {
+			site, taken = int32(code>>1)-1, code&1 == 1
+			if taken {
+				tk[site]++
+			} else {
+				nt[site]++
+			}
+			continue
+		}
+		var n uint64
+		if i < len(buf) && buf[i] < 0x80 {
+			n = uint64(buf[i])
+			i++
+		} else if i+1 < len(buf) && buf[i] >= 0x80 && buf[i+1] < 0x80 {
+			n = uint64(buf[i]&0x7f) | uint64(buf[i+1])<<7
+			i += 2
+		} else {
+			n, i = decodeUvarint(buf, i)
+		}
+		if taken {
+			tk[site] += n
+		} else {
+			nt[site] += n
+		}
+	}
+}
+
+// collectorFns is one collector's resolved entry points: ev for single
+// events, run for RLE repeat runs. Splitting the two lets a run-aware
+// collector take its O(1) shortcut on genuine runs while single events —
+// the common case on interleaved traces — keep the lean per-event path.
+type collectorFns struct {
+	ev  func(int32, bool)
+	run func(int32, bool, uint64)
+}
+
+// resolveFns resolves each collector's fastest entry points once, in
+// order: RunCollector, then SiteCollector (runs expanded at the call),
+// then legacy Collector. Multi members are flattened so a fan-out costs
+// one decode, and all legacy collectors share a single synthesised-Term
+// cache for the whole replay instead of allocating one map each.
+func resolveFns(cs []Collector) []collectorFns {
+	fns := make([]collectorFns, 0, len(cs))
+	var terms map[int32]*ir.Term
+	termFor := func(site int32) *ir.Term {
+		t := terms[site]
+		if t == nil {
+			t = &ir.Term{Op: ir.TermBr, Site: site, Orig: site}
+			terms[site] = t
+		}
+		return t
+	}
+	var add func(Collector)
+	add = func(c Collector) {
+		if m, ok := c.(Multi); ok {
+			for _, member := range m {
+				add(member)
+			}
+			return
+		}
+		rc, isRun := c.(RunCollector)
+		sc, isSite := c.(SiteCollector)
+		var f collectorFns
+		switch {
+		case isRun && isSite:
+			f = collectorFns{ev: sc.RecordBranch, run: rc.RecordRun}
+		case isRun:
+			f = collectorFns{
+				ev:  func(site int32, taken bool) { rc.RecordRun(site, taken, 1) },
+				run: rc.RecordRun,
+			}
+		case isSite:
+			f = collectorFns{
+				ev: sc.RecordBranch,
+				run: func(site int32, taken bool, n uint64) {
+					for ; n > 0; n-- {
+						sc.RecordBranch(site, taken)
+					}
+				},
+			}
+		default:
+			if terms == nil {
+				terms = make(map[int32]*ir.Term)
+			}
+			f = collectorFns{
+				ev: func(site int32, taken bool) { c.Branch(termFor(site), taken) },
+				run: func(site int32, taken bool, n uint64) {
+					t := termFor(site)
+					for ; n > 0; n-- {
+						c.Branch(t, taken)
+					}
+				},
+			}
+		}
+		fns = append(fns, f)
+	}
+	for _, c := range cs {
+		add(c)
+	}
+	return fns
+}
+
+// ReplayInto decodes the slab once and fans every event out to all
+// collectors — run-aware collectors get whole RLE runs, the rest get the
+// events expanded at the callback. This replaces the historical
+// per-collector re-decode: N collectors now cost one pass.
+func (s *Slab) ReplayInto(cs ...Collector) {
+	s.mustSealed("ReplayInto")
+	if len(cs) == 1 {
+		if c, ok := cs[0].(*Counts); ok {
+			replayCountsBytes(s.buf, c)
+			return
+		}
+		// A lone collector with both fine- and run-grained entry points
+		// needs none of the resolveFns scaffolding; dispatching straight
+		// to its methods keeps pooled request paths at a couple of fixed
+		// allocations per replay.
+		if rc, ok := cs[0].(RunCollector); ok {
+			if sc, ok := cs[0].(SiteCollector); ok {
+				replayBytes(s.buf, sc.RecordBranch, rc.RecordRun)
+				return
+			}
+		}
+	}
+	fns := resolveFns(cs)
+	switch len(fns) {
+	case 0:
+	case 1:
+		replayBytes(s.buf, fns[0].ev, fns[0].run)
+	default:
+		replayBytes(s.buf, func(site int32, taken bool) {
+			for _, f := range fns {
+				f.ev(site, taken)
+			}
+		}, func(site int32, taken bool, n uint64) {
+			for _, f := range fns {
+				f.run(site, taken, n)
+			}
+		})
+	}
+}
+
+// minPartition is the slab size (in events) below which ReplayPartitioned
+// falls back to the fused single pass: shorter streams cannot amortise
+// goroutine spawn and shard merge.
+const minPartition = 4 * ckEvery
+
+// ReplayPartitioned replays the slab across up to workers goroutines,
+// splitting the encoded stream at RLE-aligned checkpoints (recorded every
+// ckEvery events by Record) so each segment decodes independently. Every
+// collector must be Sharded — order-insensitive — for the split to be
+// exact; if any is not, or the slab is too small to pay for the fan-out,
+// it degrades to ReplayInto. Shards are merged collector-major in
+// partition (stream) order, the runner's by-index merge discipline, so
+// results are deterministic and bit-identical to the single pass.
+func (s *Slab) ReplayPartitioned(workers int, cs ...Collector) {
+	s.mustSealed("ReplayPartitioned")
+	if workers > len(s.cks)+1 {
+		workers = len(s.cks) + 1
+	}
+	if workers <= 1 || s.n < minPartition || len(cs) == 0 {
+		s.ReplayInto(cs...)
+		return
+	}
+	sharded := make([]Sharded, len(cs))
+	for i, c := range cs {
+		sh, ok := c.(Sharded)
+		if !ok {
+			s.ReplayInto(cs...)
+			return
+		}
+		sharded[i] = sh
+	}
+	segs := s.segments(workers)
+	if len(segs) < 2 {
+		s.ReplayInto(cs...)
+		return
+	}
+	shards := make([][]RunCollector, len(segs))
+	var wg sync.WaitGroup
+	for pi := range segs {
+		local := make([]RunCollector, len(sharded))
+		for ci, sh := range sharded {
+			local[ci] = sh.NewShard()
+		}
+		shards[pi] = local
+		seg := segs[pi]
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if len(local) == 1 {
+				if c, ok := local[0].(*Counts); ok {
+					replayCountsBytes(seg, c)
+					return
+				}
+				replayRunBytes(seg, local[0].RecordRun)
+				return
+			}
+			replayRunBytes(seg, func(site int32, taken bool, n uint64) {
+				for _, rc := range local {
+					rc.RecordRun(site, taken, n)
+				}
+			})
+		}()
+	}
+	wg.Wait()
+	for ci, sh := range sharded {
+		for pi := range shards {
+			sh.Merge(shards[pi][ci])
+		}
+	}
+}
+
+// segments cuts the encoded stream into at most want byte ranges of
+// roughly equal event counts, each starting at a checkpointed plain event
+// code.
+func (s *Slab) segments(want int) [][]byte {
+	per := s.n / uint64(want)
+	if per < ckEvery {
+		per = ckEvery
+	}
+	segs := make([][]byte, 0, want)
+	start, done := 0, uint64(0)
+	for _, ck := range s.cks {
+		if ck.done-done >= per && len(segs) < want-1 {
+			segs = append(segs, s.buf[start:ck.off])
+			start, done = ck.off, ck.done
+		}
+	}
+	return append(segs, s.buf[start:])
+}

@@ -73,7 +73,25 @@ type Slab struct {
 	run    uint64
 	n      uint64
 	sealed bool
+	cks    []slabCk
+	lastCk uint64
 }
+
+// slabCk is an RLE-aligned replay checkpoint: buf[off:] starts with a
+// plain event code (never a run marker, which would need the previous
+// event's state), with done events encoded before it. Record drops one
+// roughly every ckEvery events; ReplayPartitioned splits the stream at
+// them so each segment decodes independently.
+type slabCk struct {
+	off  int
+	done uint64
+}
+
+// ckEvery is the checkpoint spacing in events: coarse enough that the
+// recording hot path pays one predictable compare per event and the side
+// table stays a few dozen entries per million events, fine enough to cut
+// any replay-worthy slab into balanced segments.
+const ckEvery = 8192
 
 // NewSlab creates an empty slab. sizeHint is the expected number of events
 // (a branch budget); it pre-sizes the buffer and may be 0.
@@ -100,6 +118,10 @@ func (s *Slab) Record(site int32, taken bool) {
 		s.buf = binary.AppendUvarint(s.buf, 1)
 		s.buf = binary.AppendUvarint(s.buf, s.run)
 		s.run = 0
+	}
+	if s.n-1-s.lastCk >= ckEvery {
+		s.cks = append(s.cks, slabCk{off: len(s.buf), done: s.n - 1})
+		s.lastCk = s.n - 1
 	}
 	s.buf = binary.AppendUvarint(s.buf, code)
 	s.last = code
@@ -141,23 +163,11 @@ func decodeUvarint(buf []byte, i int) (uint64, int) {
 // Replay feeds every recorded event, in order, to fn.
 func (s *Slab) Replay(fn func(site int32, taken bool)) {
 	s.mustSealed("Replay")
-	buf := s.buf
-	var site int32
-	var taken bool
-	for i := 0; i < len(buf); {
-		var code uint64
-		code, i = decodeUvarint(buf, i)
-		if code == 1 {
-			var n uint64
-			n, i = decodeUvarint(buf, i)
-			for ; n > 0; n-- {
-				fn(site, taken)
-			}
-			continue
+	replayRunBytes(s.buf, func(site int32, taken bool, n uint64) {
+		for ; n > 0; n-- {
+			fn(site, taken)
 		}
-		site, taken = int32(code>>1)-1, code&1 == 1
-		fn(site, taken)
-	}
+	})
 }
 
 // ReplayRuns feeds the events as (site, taken, count) runs — the
@@ -165,47 +175,7 @@ func (s *Slab) Replay(fn func(site int32, taken bool)) {
 // Consecutive calls may repeat the same (site, taken) pair.
 func (s *Slab) ReplayRuns(fn func(site int32, taken bool, n uint64)) {
 	s.mustSealed("ReplayRuns")
-	buf := s.buf
-	var site int32
-	var taken bool
-	for i := 0; i < len(buf); {
-		var code uint64
-		code, i = decodeUvarint(buf, i)
-		if code == 1 {
-			var n uint64
-			n, i = decodeUvarint(buf, i)
-			fn(site, taken, n)
-			continue
-		}
-		site, taken = int32(code>>1)-1, code&1 == 1
-		fn(site, taken, 1)
-	}
-}
-
-// ReplayInto feeds the slab through trace.Collector values, resolving each
-// collector's fastest entry point (SiteCollector when available) once up
-// front rather than per event.
-func (s *Slab) ReplayInto(cs ...Collector) {
-	fns := make([]func(int32, bool), len(cs))
-	for i, c := range cs {
-		if sc, ok := c.(SiteCollector); ok {
-			fns[i] = sc.RecordBranch
-		} else {
-			c := c
-			terms := map[int32]*ir.Term{}
-			fns[i] = func(site int32, taken bool) {
-				t := terms[site]
-				if t == nil {
-					t = &ir.Term{Op: ir.TermBr, Site: site, Orig: site}
-					terms[site] = t
-				}
-				c.Branch(t, taken)
-			}
-		}
-	}
-	for _, fn := range fns {
-		s.Replay(fn)
-	}
+	replayRunBytes(s.buf, fn)
 }
 
 // Events decodes the whole slab (tests and small consumers).
