@@ -1,7 +1,7 @@
 GO ?= go
 FUZZTIME ?= 10s
 
-.PHONY: all build vet test race bench benchjson compare throughput profile fuzz check golden serve loadcheck ci
+.PHONY: all build vet test race bench benchjson compare throughput cluster profile fuzz check golden serve loadcheck ci
 
 all: build test
 
@@ -22,22 +22,30 @@ race:
 bench:
 	$(GO) test -bench=. -benchtime=1x -run=NONE .
 
-# Refresh the committed throughput baseline: the full sweep plus the
-# service throughput harness, both into BENCH_results.json. The format is
-# documented in EXPERIMENTS.md; `make compare` gates against this file.
+# Refresh the committed throughput baseline: the full sweep, the service
+# throughput harness, and the multi-node scaling round, all into
+# BENCH_results.json. The format is documented in EXPERIMENTS.md;
+# `make compare` gates against this file.
 benchjson:
 	$(GO) run ./cmd/krallbench -all -execbench -tracebench -benchjson BENCH_results.json > /dev/null
 	$(GO) run ./cmd/krallload -serve -throughput -quiet -benchjson BENCH_results.json
+	$(GO) run ./cmd/krallload -throughput -nodes 4 -noderps 400 -requests 1024 -quiet -benchjson BENCH_results.json
 
 # Measure single vs batched kralld requests/sec over a loopback server.
 throughput:
 	$(GO) run ./cmd/krallload -serve -throughput
+
+# Multi-node scaling: one rate-capped kralld process vs a 4-process
+# consistent-hash cluster of them, reporting aggregate req/s scaling.
+cluster:
+	$(GO) run ./cmd/krallload -throughput -nodes 4 -noderps 400 -requests 1024
 
 # Bench-regression gate: measure the working tree into bench-new.json and
 # fail if throughput dropped >15% below the committed baseline.
 compare:
 	$(GO) run ./cmd/krallbench -all -execbench -benchjson bench-new.json > /dev/null
 	$(GO) run ./cmd/krallload -serve -throughput -quiet -benchjson bench-new.json
+	$(GO) run ./cmd/krallload -throughput -nodes 4 -noderps 400 -requests 1024 -quiet -benchjson bench-new.json
 	$(GO) run ./cmd/krallbench -compare BENCH_results.json bench-new.json -tolerance 0.15
 
 # CPU/heap profiles of the full krallbench sweep; inspect with

@@ -32,13 +32,44 @@ go test -run='^$' -fuzz=FuzzRunCollectorEquivalence -fuzztime=10s ./internal/ben
 go run ./cmd/krallcheck examples/bl/*.bl
 go test -bench=. -benchtime=1x -run='^$' .
 # Bench-regression gate: run the sweep (including the interp-vs-vm
-# execution-backend comparison and the trace-replay throughput modes) and
-# the service throughput harness into a fresh document, then compare it
-# against the committed baseline.
+# execution-backend comparison and the trace-replay throughput modes), the
+# service throughput harness, and the multi-node scaling round into a
+# fresh document, then compare it against the committed baseline (which
+# gates the cluster's aggregate req/s and its scaling factor too).
 go run ./cmd/krallbench -all -execbench -tracebench -benchjson bench-new.json > /dev/null
 go run ./cmd/krallload -serve -throughput -quiet -benchjson bench-new.json
+go run ./cmd/krallload -throughput -nodes 4 -noderps 400 -requests 1024 -quiet -benchjson bench-new.json
 go run ./cmd/krallbench -compare BENCH_results.json bench-new.json -tolerance 0.15
 # Prove the gate fires: a synthetic 20% regression must fail the compare.
 go run ./cmd/krallbench -compare bench-new.json -degrade 0.8 -out bench-regressed.json
 ! go run ./cmd/krallbench -compare bench-new.json bench-regressed.json
 go run ./cmd/kralld -selfcheck -quiet -metrics-out kralld-metrics.txt
+# Cluster smoke: three real kralld processes with per-node disk tiers and
+# consistent-hash peering. The load sweep enters through every node, so a
+# non-owner entry exercises request forwarding and peer artifact fetch;
+# responses must stay byte-stable regardless of entry point. Each node's
+# /metrics snapshot is kept as a CI artifact.
+mkdir -p cluster-smoke
+go build -o cluster-smoke/kralld ./cmd/kralld
+N1=http://127.0.0.1:8741 N2=http://127.0.0.1:8742 N3=http://127.0.0.1:8743
+cluster-smoke/kralld -addr 127.0.0.1:8741 -self "$N1" -peers "$N1,$N2,$N3" -disk cluster-smoke/d1 -quiet & P1=$!
+cluster-smoke/kralld -addr 127.0.0.1:8742 -self "$N2" -peers "$N1,$N2,$N3" -disk cluster-smoke/d2 -quiet & P2=$!
+cluster-smoke/kralld -addr 127.0.0.1:8743 -self "$N3" -peers "$N1,$N2,$N3" -disk cluster-smoke/d3 -quiet & P3=$!
+trap 'kill $P1 $P2 $P3 2>/dev/null || true' EXIT
+for url in "$N1" "$N2" "$N3"; do
+    for _ in $(seq 1 100); do
+        curl -fsS "$url/readyz" >/dev/null 2>&1 && break
+        sleep 0.1
+    done
+    curl -fsS "$url/readyz" >/dev/null
+done
+i=1
+for url in "$N1" "$N2" "$N3"; do
+    go run ./cmd/krallload -addr "$url" -quiet
+    curl -fsS "$url/metrics" > "kralld-node$i-metrics.txt"
+    i=$((i+1))
+done
+kill $P1 $P2 $P3
+wait $P1 $P2 $P3 || true
+trap - EXIT
+rm -rf cluster-smoke

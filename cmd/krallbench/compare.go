@@ -147,6 +147,13 @@ func gatedMetrics(oldDoc, newDoc *results.Document) []gatedMetric {
 			&oldDoc.Service.Batch.RequestsPerSecond, &newDoc.Service.Batch.RequestsPerSecond)
 		add("service.batch.branches_per_second",
 			&oldDoc.Service.Batch.BranchesPerSecond, &newDoc.Service.Batch.BranchesPerSecond)
+		if oldDoc.Service.Cluster != nil && newDoc.Service.Cluster != nil {
+			add("service.cluster.requests_per_second",
+				&oldDoc.Service.Cluster.MultiNode.RequestsPerSecond,
+				&newDoc.Service.Cluster.MultiNode.RequestsPerSecond)
+			add("service.cluster.scaling",
+				&oldDoc.Service.Cluster.Scaling, &newDoc.Service.Cluster.Scaling)
+		}
 	}
 	if oldDoc.Exec != nil && newDoc.Exec != nil {
 		add("exec.interp_branches_per_second",

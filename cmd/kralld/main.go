@@ -28,6 +28,7 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
@@ -56,6 +57,12 @@ func run(args []string, stdout, stderr io.Writer) error {
 		shards     = fs.Int("shards", 0, "artifact store shards, rounded up to a power of two (0 = 8)")
 		maxBatch   = fs.Int("maxbatch", 0, "max items per /v1/batch request (0 = 64)")
 		backend    = fs.String("backend", "interp", "execution backend: interp or vm")
+		diskDir    = fs.String("disk", "", "disk artifact tier directory (empty = memory only)")
+		diskMax    = fs.Int64("disk-max-bytes", 0, "disk tier byte budget (0 = 256 MiB)")
+		fsync      = fs.Bool("fsync", false, "fsync disk-tier writes before rename")
+		self       = fs.String("self", "", "this node's base URL for cluster peers (enables clustering)")
+		peers      = fs.String("peers", "", "comma-separated peer base URLs")
+		maxRPS     = fs.Float64("maxrps", 0, "per-node admitted requests/sec cap (0 = uncapped)")
 		drain      = fs.Duration("drain", 10*time.Second, "graceful-shutdown drain window")
 		quiet      = fs.Bool("quiet", false, "log warnings and errors only")
 		selfcheck  = fs.Bool("selfcheck", false, "boot on a loopback port, run the load client, and exit")
@@ -86,6 +93,12 @@ func run(args []string, stdout, stderr io.Writer) error {
 		CacheShards:    *shards,
 		MaxBatchItems:  *maxBatch,
 		Backend:        be,
+		DiskDir:        *diskDir,
+		DiskMaxBytes:   *diskMax,
+		DiskFsync:      *fsync,
+		ClusterSelf:    *self,
+		ClusterPeers:   splitPeers(*peers),
+		MaxRPS:         *maxRPS,
 		Logger:         logger,
 	}
 
@@ -93,7 +106,10 @@ func run(args []string, stdout, stderr io.Writer) error {
 		return runSelfcheck(cfg, *drain, *metricsOut, stdout, logger)
 	}
 
-	srv := service.New(cfg)
+	srv, err := service.New(cfg)
+	if err != nil {
+		return err
+	}
 	l, err := net.Listen("tcp", *addr)
 	if err != nil {
 		return err
@@ -108,10 +124,25 @@ func run(args []string, stdout, stderr io.Writer) error {
 	return nil
 }
 
+// splitPeers parses the -peers flag: comma-separated base URLs, blanks
+// and surrounding whitespace dropped.
+func splitPeers(s string) []string {
+	var out []string
+	for _, p := range strings.Split(s, ",") {
+		if p = strings.TrimSpace(p); p != "" {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
 // runSelfcheck is the in-process smoke test: server plus load client in
 // one binary, no network assumptions beyond loopback.
 func runSelfcheck(cfg service.Config, drain time.Duration, metricsOut string, stdout io.Writer, logger *slog.Logger) error {
-	srv := service.New(cfg)
+	srv, err := service.New(cfg)
+	if err != nil {
+		return err
+	}
 	l, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {
 		return err

@@ -15,9 +15,18 @@
 //	krallload -throughput [-batch N] [-requests N] [-benchjson file]
 //	          [-addr URL | -serve] [-workloads a,b] [-budget N]
 //	          [-concurrency N] [-quiet]
+//	krallload -throughput -nodes N [-noderps R] [-requests N]
+//	          [-benchjson file] [-workloads a,b] [-budget N] [-quiet]
 //
 // -serve boots kralld in-process on a loopback port instead of talking
 // to an external daemon, so CI needs no separate server process.
+//
+// -nodes N ignores -addr/-serve: it spawns real kralld subprocesses
+// (one rate-capped node, then an N-node consistent-hash cluster of
+// them) and reports the aggregate requests/sec scaling — the "cluster"
+// part of the service section. -servenode/-self/-peers/-maxrps/-disk
+// are the internal child-process mode it re-execs; they are not meant
+// for direct use.
 package main
 
 import (
@@ -65,9 +74,20 @@ func run(args []string, stdout, stderr io.Writer) error {
 		benchjson   = fs.String("benchjson", "", "with -throughput, merge the service section into this krallbench-results/v1 `file`")
 		quiet       = fs.Bool("quiet", false, "print only the final summary line")
 		cpuprofile  = fs.String("cpuprofile", "", "write a CPU profile to `file` (client and -serve server share the process)")
+		nodes       = fs.Int("nodes", 0, "with -throughput, measure 1-node vs N-node scaling with kralld subprocesses")
+		nodeRPS     = fs.Float64("noderps", 400, "with -nodes, per-node admitted requests/sec cap")
+		servenode   = fs.Bool("servenode", false, "internal: serve kralld on the listener inherited as fd 3")
+		self        = fs.String("self", "", "internal: with -servenode, this node's base URL")
+		peers       = fs.String("peers", "", "internal: with -servenode, comma-separated peer base URLs")
+		maxRPS      = fs.Float64("maxrps", 0, "internal: with -servenode, per-node admitted requests/sec cap")
+		diskDir     = fs.String("disk", "", "internal: with -servenode, disk artifact tier directory")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+
+	if *servenode {
+		return runServeNode(*self, *peers, *maxRPS, *diskDir, *quiet, stderr)
 	}
 	if *cpuprofile != "" {
 		f, err := os.Create(*cpuprofile)
@@ -83,6 +103,22 @@ func run(args []string, stdout, stderr io.Writer) error {
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
+
+	if *nodes > 0 {
+		if !*throughput {
+			return fmt.Errorf("-nodes requires -throughput")
+		}
+		var names []string
+		if *workloads != "" {
+			names = strings.Split(*workloads, ",")
+		}
+		return runClusterBench(ctx, *nodes, *nodeRPS, service.ThroughputOptions{
+			Workloads:   names,
+			Budget:      *budget,
+			Requests:    *requests,
+			Concurrency: *concurrency,
+		}, *benchjson, *quiet, stdout, stderr)
+	}
 
 	base := *addr
 	if *serve {
@@ -136,9 +172,12 @@ func bootLocal(quiet bool, stderr io.Writer, base *string) (func(), chan error, 
 	if quiet {
 		level = slog.LevelWarn
 	}
-	srv := service.New(service.Config{
+	srv, err := service.New(service.Config{
 		Logger: slog.New(slog.NewTextHandler(stderr, &slog.HandlerOptions{Level: level})),
 	})
+	if err != nil {
+		return nil, nil, err
+	}
 	l, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {
 		return nil, nil, err
@@ -186,4 +225,7 @@ func runThroughput(ctx context.Context, base string, opts service.ThroughputOpti
 func printPhase(w io.Writer, name string, ph *results.Phase) {
 	fmt.Fprintf(w, "%-6s batch=%-3d %6d requests in %4d posts, %6.2fs: %8.1f req/s, %12.0f branches/s\n",
 		name, ph.BatchSize, ph.Requests, ph.HTTPPosts, ph.Seconds, ph.RequestsPerSecond, ph.BranchesPerSecond)
+	for _, l := range ph.Latency {
+		fmt.Fprintf(w, "       %-10s p50 %8.2fms  p99 %8.2fms\n", l.Endpoint, l.P50Millis, l.P99Millis)
+	}
 }

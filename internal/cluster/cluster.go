@@ -1,0 +1,191 @@
+package cluster
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"log/slog"
+	"net/http"
+	"net/url"
+	"sync/atomic"
+	"time"
+)
+
+// Options configures a Cluster membership handle.
+type Options struct {
+	// Self is this node's own base URL as peers address it.
+	Self string
+	// Peers are the other nodes' base URLs (Self may be included; it is
+	// deduplicated).
+	Peers []string
+	// VNodesPerNode overrides DefaultVirtualNodes.
+	VNodesPerNode int
+	// Health overrides probe tuning.
+	Health HealthOptions
+	// FetchTimeout bounds one peer artifact fetch (default 5s).
+	FetchTimeout time.Duration
+	// FetchRetries is the number of extra attempts after a failed fetch
+	// (default 2), with doubling backoff from 25ms.
+	FetchRetries int
+	// Logger receives forward/fetch failures (default slog.Default).
+	Logger *slog.Logger
+}
+
+// Cluster is one node's view of the serving ring: placement, peer
+// health, and the peer artifact-fetch client. Create with New, Start the
+// health loop, then consult Owner per request.
+type Cluster struct {
+	self   string
+	ring   *Ring
+	health *Health
+	client *http.Client
+	opts   Options
+	log    *slog.Logger
+
+	forwards        atomic.Int64
+	forwardErrors   atomic.Int64
+	peerFetches     atomic.Int64
+	peerFetchErrors atomic.Int64
+}
+
+// New builds the membership handle. The ring contains Self plus Peers.
+func New(opts Options) (*Cluster, error) {
+	if opts.Self == "" {
+		return nil, fmt.Errorf("cluster: Self is required")
+	}
+	if opts.FetchTimeout <= 0 {
+		opts.FetchTimeout = 5 * time.Second
+	}
+	if opts.FetchRetries < 0 {
+		opts.FetchRetries = 0
+	} else if opts.FetchRetries == 0 {
+		opts.FetchRetries = 2
+	}
+	if opts.Logger == nil {
+		opts.Logger = slog.Default()
+	}
+	seen := map[string]bool{opts.Self: true}
+	nodes := []string{opts.Self}
+	var peers []string
+	for _, p := range opts.Peers {
+		if p == "" || seen[p] {
+			continue
+		}
+		seen[p] = true
+		nodes = append(nodes, p)
+		peers = append(peers, p)
+	}
+	return &Cluster{
+		self:   opts.Self,
+		ring:   NewRing(nodes, opts.VNodesPerNode),
+		health: NewHealth(peers, opts.Health),
+		client: &http.Client{Timeout: opts.FetchTimeout},
+		opts:   opts,
+		log:    opts.Logger,
+	}, nil
+}
+
+// Start launches health probing until ctx is cancelled.
+func (c *Cluster) Start(ctx context.Context) { c.health.Start(ctx) }
+
+// Self returns this node's base URL.
+func (c *Cluster) Self() string { return c.self }
+
+// Nodes returns all ring members, sorted.
+func (c *Cluster) Nodes() []string { return c.ring.Nodes() }
+
+// Size is the number of ring members.
+func (c *Cluster) Size() int { return len(c.ring.Nodes()) }
+
+// Health exposes the prober (for metrics and tests).
+func (c *Cluster) Health() *Health { return c.health }
+
+// Owner returns the healthy node that should serve key: the ring owner
+// if it is up, otherwise the first healthy successor. If every other
+// candidate is down the node serves the key itself — the cluster
+// degrades to independent single nodes rather than failing requests.
+func (c *Cluster) Owner(key string) string {
+	for _, n := range c.ring.Owners(key, c.Size()) {
+		if n == c.self || c.health.Up(n) {
+			return n
+		}
+	}
+	return c.self
+}
+
+// IsSelf reports whether node is this node.
+func (c *Cluster) IsSelf(node string) bool { return node == c.self }
+
+// PeerUp reports liveness of a ring member (self is always up).
+func (c *Cluster) PeerUp(node string) bool {
+	return node == c.self || c.health.Up(node)
+}
+
+// CountForward records a proxied request (success or failure).
+func (c *Cluster) CountForward(err error) {
+	c.forwards.Add(1)
+	if err != nil {
+		c.forwardErrors.Add(1)
+	}
+}
+
+// Counters returns lifetime forward/fetch totals.
+func (c *Cluster) Counters() (forwards, forwardErrors, peerFetches, peerFetchErrors int64) {
+	return c.forwards.Load(), c.forwardErrors.Load(), c.peerFetches.Load(), c.peerFetchErrors.Load()
+}
+
+// FetchArtifact asks peer for the raw artifact bytes stored under key,
+// retrying with doubling backoff. A 404 means the peer does not have it
+// (no retry); any other failure is retried then reported. The caller
+// falls back to local computation either way, so errors here cost
+// latency, never correctness.
+func (c *Cluster) FetchArtifact(ctx context.Context, peer, key string) ([]byte, error) {
+	c.peerFetches.Add(1)
+	var lastErr error
+	backoff := 25 * time.Millisecond
+	for attempt := 0; attempt <= c.opts.FetchRetries; attempt++ {
+		if attempt > 0 {
+			select {
+			case <-ctx.Done():
+				c.peerFetchErrors.Add(1)
+				return nil, ctx.Err()
+			case <-time.After(backoff):
+			}
+			backoff *= 2
+		}
+		data, status, err := c.fetchOnce(ctx, peer, key)
+		if err == nil {
+			return data, nil
+		}
+		lastErr = err
+		if status == http.StatusNotFound {
+			break // the peer definitively does not have it
+		}
+	}
+	c.peerFetchErrors.Add(1)
+	return nil, lastErr
+}
+
+func (c *Cluster) fetchOnce(ctx context.Context, peer, key string) ([]byte, int, error) {
+	ctx, cancel := context.WithTimeout(ctx, c.opts.FetchTimeout)
+	defer cancel()
+	u := peer + "/v1/internal/artifact/" + url.PathEscape(key)
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, u, nil)
+	if err != nil {
+		return nil, 0, err
+	}
+	resp, err := c.client.Do(req)
+	if err != nil {
+		return nil, 0, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		io.Copy(io.Discard, io.LimitReader(resp.Body, 4096))
+		return nil, resp.StatusCode, fmt.Errorf("cluster: %s returned %d for %q", peer, resp.StatusCode, key)
+	}
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return nil, 0, err
+	}
+	return data, 0, nil
+}

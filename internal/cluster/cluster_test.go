@@ -1,0 +1,176 @@
+package cluster
+
+import (
+	"context"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestHealthMarksDownAndRecovers(t *testing.T) {
+	var healthy atomic.Bool
+	healthy.Store(true)
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path != "/healthz" || !healthy.Load() {
+			w.WriteHeader(http.StatusServiceUnavailable)
+			return
+		}
+		w.WriteHeader(http.StatusOK)
+	}))
+	defer srv.Close()
+
+	h := NewHealth([]string{srv.URL}, HealthOptions{Interval: 10 * time.Millisecond, Timeout: 200 * time.Millisecond, FailThreshold: 2})
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	h.Start(ctx)
+
+	if !h.Up(srv.URL) {
+		t.Fatal("peer should start up (optimistic)")
+	}
+	healthy.Store(false)
+	waitFor(t, time.Second, func() bool { return !h.Up(srv.URL) })
+	healthy.Store(true)
+	waitFor(t, time.Second, func() bool { return h.Up(srv.URL) })
+}
+
+func TestHealthUnknownPeerIsUp(t *testing.T) {
+	h := NewHealth(nil, HealthOptions{})
+	if !h.Up("http://never-registered") {
+		t.Fatal("unknown peers (self) must read as up")
+	}
+}
+
+func TestOwnerSkipsDownPeers(t *testing.T) {
+	self := "http://self"
+	peers := []string{"http://p1", "http://p2"}
+	c, err := New(Options{Self: self, Peers: peers})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Find a key each peer owns.
+	keyOwnedBy := func(node string) string {
+		for i := 0; i < 10_000; i++ {
+			k := "art/" + string(rune('a'+i%26)) + string(rune('0'+i%10)) + "/" + time.Duration(i).String()
+			if o, _ := c.ring.Owner(k); o == node {
+				return k
+			}
+		}
+		t.Fatalf("no key found for %s", node)
+		return ""
+	}
+	k1 := keyOwnedBy("http://p1")
+	if got := c.Owner(k1); got != "http://p1" {
+		t.Fatalf("healthy owner bypassed: %s", got)
+	}
+	c.Health().MarkDown("http://p1")
+	got := c.Owner(k1)
+	if got == "http://p1" {
+		t.Fatal("Owner routed to a down peer")
+	}
+	// With every peer down, everything lands on self.
+	c.Health().MarkDown("http://p2")
+	for _, k := range []string{k1, keyOwnedBy("http://p2"), keyOwnedBy(self)} {
+		if got := c.Owner(k); got != self {
+			t.Fatalf("with all peers down, Owner(%q) = %s, want self", k, got)
+		}
+	}
+}
+
+func TestFetchArtifact(t *testing.T) {
+	const key = "art/abc123/42"
+	var calls atomic.Int32
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		calls.Add(1)
+		if r.URL.Path == "/v1/internal/artifact/"+"art%2Fabc123%2F42" || r.URL.EscapedPath() == "/v1/internal/artifact/art%2Fabc123%2F42" {
+			w.Write([]byte("artifact-bytes"))
+			return
+		}
+		http.NotFound(w, r)
+	}))
+	defer srv.Close()
+
+	c, err := New(Options{Self: "http://self", Peers: []string{srv.URL}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := c.FetchArtifact(context.Background(), srv.URL, key)
+	if err != nil {
+		t.Fatalf("FetchArtifact: %v", err)
+	}
+	if string(data) != "artifact-bytes" {
+		t.Fatalf("got %q", data)
+	}
+	if calls.Load() != 1 {
+		t.Fatalf("expected 1 call, got %d", calls.Load())
+	}
+}
+
+func TestFetchArtifact404NoRetry(t *testing.T) {
+	var calls atomic.Int32
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		calls.Add(1)
+		http.NotFound(w, r)
+	}))
+	defer srv.Close()
+	c, err := New(Options{Self: "http://self", Peers: []string{srv.URL}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.FetchArtifact(context.Background(), srv.URL, "art/missing"); err == nil {
+		t.Fatal("expected an error for a 404")
+	}
+	if calls.Load() != 1 {
+		t.Fatalf("404 must not be retried; got %d calls", calls.Load())
+	}
+	_, _, fetches, fetchErrs := c.Counters()
+	if fetches != 1 || fetchErrs != 1 {
+		t.Fatalf("counters fetches=%d errs=%d", fetches, fetchErrs)
+	}
+}
+
+func TestFetchArtifactRetriesTransientFailure(t *testing.T) {
+	var calls atomic.Int32
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if calls.Add(1) < 3 {
+			w.WriteHeader(http.StatusInternalServerError)
+			return
+		}
+		w.Write([]byte("eventually"))
+	}))
+	defer srv.Close()
+	c, err := New(Options{Self: "http://self", Peers: []string{srv.URL}, FetchRetries: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := c.FetchArtifact(context.Background(), srv.URL, "art/x")
+	if err != nil {
+		t.Fatalf("retry did not recover: %v", err)
+	}
+	if string(data) != "eventually" || calls.Load() != 3 {
+		t.Fatalf("data=%q calls=%d", data, calls.Load())
+	}
+}
+
+func TestNewDeduplicatesSelf(t *testing.T) {
+	c, err := New(Options{Self: "http://a", Peers: []string{"http://a", "http://b", "http://b", ""}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Size() != 2 {
+		t.Fatalf("Size = %d, want 2 (self deduped, blanks dropped)", c.Size())
+	}
+}
+
+func waitFor(t *testing.T, timeout time.Duration, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(timeout)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	t.Fatal("condition not reached in time")
+}

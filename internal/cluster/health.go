@@ -1,0 +1,163 @@
+package cluster
+
+import (
+	"context"
+	"net/http"
+	"sync"
+	"time"
+)
+
+// HealthOptions configures peer probing.
+type HealthOptions struct {
+	// Interval between probe rounds (default 1s).
+	Interval time.Duration
+	// Timeout per probe (default 500ms).
+	Timeout time.Duration
+	// FailThreshold consecutive probe failures mark a peer down
+	// (default 2). A single success marks it up again.
+	FailThreshold int
+}
+
+func (o *HealthOptions) setDefaults() {
+	if o.Interval <= 0 {
+		o.Interval = time.Second
+	}
+	if o.Timeout <= 0 {
+		o.Timeout = 500 * time.Millisecond
+	}
+	if o.FailThreshold <= 0 {
+		o.FailThreshold = 2
+	}
+}
+
+// Health tracks peer liveness by probing each peer's /healthz. Peers
+// start optimistic (up): a cluster booting in any order must not route
+// away from peers that merely have not been probed yet, and the
+// forward-path degradation handles the window where an unprobed peer is
+// actually dead.
+type Health struct {
+	opts   HealthOptions
+	client *http.Client
+
+	mu    sync.Mutex
+	peers map[string]*peerState
+}
+
+type peerState struct {
+	up    bool
+	fails int
+}
+
+// NewHealth tracks the given peers (base URLs, no trailing slash).
+func NewHealth(peers []string, opts HealthOptions) *Health {
+	opts.setDefaults()
+	h := &Health{
+		opts:   opts,
+		client: &http.Client{Timeout: opts.Timeout},
+		peers:  make(map[string]*peerState, len(peers)),
+	}
+	for _, p := range peers {
+		h.peers[p] = &peerState{up: true}
+	}
+	return h
+}
+
+// Up reports whether peer is currently considered alive. Unknown peers
+// (e.g. self, which is never probed) are up.
+func (h *Health) Up(peer string) bool {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	st, ok := h.peers[peer]
+	return !ok || st.up
+}
+
+// Snapshot returns the current up/down view of all tracked peers.
+func (h *Health) Snapshot() map[string]bool {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	out := make(map[string]bool, len(h.peers))
+	for p, st := range h.peers {
+		out[p] = st.up
+	}
+	return out
+}
+
+// MarkDown force-fails a peer, as if FailThreshold probes had failed.
+// The prober will bring it back up on the next successful round.
+func (h *Health) MarkDown(peer string) {
+	h.mu.Lock()
+	if st, ok := h.peers[peer]; ok {
+		st.up = false
+		st.fails = h.opts.FailThreshold
+	}
+	h.mu.Unlock()
+}
+
+// Start launches the probe loop; it stops when ctx is cancelled.
+func (h *Health) Start(ctx context.Context) {
+	go func() {
+		t := time.NewTicker(h.opts.Interval)
+		defer t.Stop()
+		for {
+			h.probeAll(ctx)
+			select {
+			case <-ctx.Done():
+				return
+			case <-t.C:
+			}
+		}
+	}()
+}
+
+// probeAll probes every peer once, concurrently.
+func (h *Health) probeAll(ctx context.Context) {
+	h.mu.Lock()
+	peers := make([]string, 0, len(h.peers))
+	for p := range h.peers {
+		peers = append(peers, p)
+	}
+	h.mu.Unlock()
+
+	var wg sync.WaitGroup
+	for _, p := range peers {
+		wg.Add(1)
+		go func(p string) {
+			defer wg.Done()
+			h.record(p, h.probe(ctx, p))
+		}(p)
+	}
+	wg.Wait()
+}
+
+func (h *Health) probe(ctx context.Context, peer string) bool {
+	ctx, cancel := context.WithTimeout(ctx, h.opts.Timeout)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, peer+"/healthz", nil)
+	if err != nil {
+		return false
+	}
+	resp, err := h.client.Do(req)
+	if err != nil {
+		return false
+	}
+	resp.Body.Close()
+	return resp.StatusCode == http.StatusOK
+}
+
+func (h *Health) record(peer string, ok bool) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	st, found := h.peers[peer]
+	if !found {
+		return
+	}
+	if ok {
+		st.fails = 0
+		st.up = true
+		return
+	}
+	st.fails++
+	if st.fails >= h.opts.FailThreshold {
+		st.up = false
+	}
+}

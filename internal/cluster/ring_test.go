@@ -1,0 +1,106 @@
+package cluster
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+)
+
+func TestRingDeterministicAcrossOrderings(t *testing.T) {
+	a := NewRing([]string{"http://n1", "http://n2", "http://n3"}, 0)
+	b := NewRing([]string{"http://n3", "http://n1", "http://n2"}, 0)
+	for i := 0; i < 500; i++ {
+		k := fmt.Sprintf("art/%032x", i)
+		oa, _ := a.Owner(k)
+		ob, _ := b.Owner(k)
+		if oa != ob {
+			t.Fatalf("key %q: owner depends on construction order (%s vs %s)", k, oa, ob)
+		}
+	}
+}
+
+func TestRingBalance(t *testing.T) {
+	nodes := []string{"http://n1", "http://n2", "http://n3", "http://n4"}
+	r := NewRing(nodes, 0)
+	counts := map[string]int{}
+	const n = 20_000
+	for i := 0; i < n; i++ {
+		o, ok := r.Owner(fmt.Sprintf("art/%d", i))
+		if !ok {
+			t.Fatal("owner not found")
+		}
+		counts[o]++
+	}
+	for _, node := range nodes {
+		share := float64(counts[node]) / n
+		if share < 0.10 || share > 0.45 {
+			t.Errorf("node %s owns %.1f%% of keys — ring badly unbalanced: %v", node, 100*share, counts)
+		}
+	}
+}
+
+func TestRingStabilityUnderMembershipChange(t *testing.T) {
+	// Removing one of four nodes must move only (about) that node's keys.
+	all := []string{"http://n1", "http://n2", "http://n3", "http://n4"}
+	r4 := NewRing(all, 0)
+	r3 := NewRing(all[:3], 0)
+	moved := 0
+	const n = 10_000
+	for i := 0; i < n; i++ {
+		k := fmt.Sprintf("art/%d", i)
+		o4, _ := r4.Owner(k)
+		o3, _ := r3.Owner(k)
+		if o4 != "http://n4" && o4 != o3 {
+			moved++
+		}
+	}
+	if frac := float64(moved) / n; frac > 0.02 {
+		t.Errorf("%.2f%% of surviving keys moved when a node left; consistent hashing should move almost none", 100*frac)
+	}
+}
+
+func TestRingOwners(t *testing.T) {
+	r := NewRing([]string{"http://n1", "http://n2", "http://n3"}, 0)
+	owners := r.Owners("some/key", 3)
+	if len(owners) != 3 {
+		t.Fatalf("Owners returned %d nodes, want 3", len(owners))
+	}
+	seen := map[string]bool{}
+	for _, o := range owners {
+		if seen[o] {
+			t.Fatalf("Owners repeated %s: %v", o, owners)
+		}
+		seen[o] = true
+	}
+	first, _ := r.Owner("some/key")
+	if owners[0] != first {
+		t.Fatalf("Owners[0] = %s, Owner = %s", owners[0], first)
+	}
+	// Asking for more than the membership truncates.
+	if got := r.Owners("some/key", 10); len(got) != 3 {
+		t.Fatalf("Owners(10) returned %d nodes", len(got))
+	}
+}
+
+func TestEmptyRing(t *testing.T) {
+	r := NewRing(nil, 0)
+	if _, ok := r.Owner("k"); ok {
+		t.Fatal("empty ring claimed an owner")
+	}
+	if got := r.Owners("k", 2); got != nil {
+		t.Fatalf("empty ring Owners = %v", got)
+	}
+}
+
+func TestRingSingleNode(t *testing.T) {
+	r := NewRing([]string{"http://solo"}, 0)
+	for i := 0; i < 10; i++ {
+		o, ok := r.Owner(fmt.Sprintf("k%d", i))
+		if !ok || o != "http://solo" {
+			t.Fatal("single-node ring must own every key")
+		}
+	}
+	if !reflect.DeepEqual(r.Nodes(), []string{"http://solo"}) {
+		t.Fatal("Nodes mismatch")
+	}
+}

@@ -1,0 +1,407 @@
+// Package diskstore implements the on-disk artifact tier under the
+// service's in-memory store: a content-addressed, crash-safe blob store.
+// Artifacts the memory tier evicts (or loses across a restart) are
+// re-loadable from disk, so a kralld restart starts warm and eviction is
+// no longer data loss.
+//
+// Every blob is one file with a versioned header carrying the key, the
+// payload length, the payload, and a trailing CRC-32, written as a temp
+// file in the same directory and atomically renamed into place — a crash
+// mid-write leaves only a temp file (removed on the next Open), never a
+// half-visible entry. Reads verify the header and checksum and treat any
+// mismatch as a miss (the file is removed), so a torn or corrupt blob can
+// not poison the cache.
+//
+// The store is size-budgeted: once the payload bytes on disk exceed
+// MaxBytes, the least recently *accessed* entries are evicted. Access
+// recency is tracked in memory and seeded from file mtimes at Open, so
+// eviction order survives restarts approximately and exactly within one
+// process lifetime.
+package diskstore
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// magic heads every blob file; the trailing digits version the layout.
+const magic = "KRALLDS1"
+
+// fileExt marks blob files; anything else in the directory is ignored
+// (temp files use tmpPrefix and are cleaned at Open).
+const fileExt = ".kart"
+
+const tmpPrefix = ".tmp-"
+
+// Options configures a Store.
+type Options struct {
+	// MaxBytes budgets the total payload bytes on disk (default 256 MiB);
+	// exceeding it evicts least-recently-accessed entries.
+	MaxBytes int64
+	// Fsync forces an fsync of the blob file (and the directory) before
+	// the rename on every Put. Off by default: the atomic rename already
+	// guarantees no torn entry is ever visible, and the store is a cache —
+	// losing the last few writes in a power cut costs a re-computation,
+	// not correctness. Turn it on when recomputation is the expensive
+	// thing being defended against.
+	Fsync bool
+}
+
+// Store is the disk tier. Safe for concurrent use.
+type Store struct {
+	dir  string
+	opts Options
+
+	mu      sync.Mutex
+	entries map[string]*entry
+	total   int64 // payload bytes across all entries
+	clock   int64 // logical access time
+
+	hits      atomic.Int64
+	misses    atomic.Int64
+	evictions atomic.Int64
+	putErrors atomic.Int64
+}
+
+type entry struct {
+	name  string // file name within dir
+	size  int64  // payload bytes
+	atime int64  // logical access clock
+}
+
+// Open creates (if needed) and scans dir, removing leftover temp files and
+// indexing existing blobs by their header keys.
+func Open(dir string, opts Options) (*Store, error) {
+	if opts.MaxBytes <= 0 {
+		opts.MaxBytes = 256 << 20
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, err
+	}
+	s := &Store{dir: dir, opts: opts, entries: map[string]*entry{}}
+	des, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	// Seed recency from mtime: oldest files get the earliest logical times.
+	type found struct {
+		name  string
+		key   string
+		size  int64
+		mtime int64
+	}
+	var blobs []found
+	for _, de := range des {
+		name := de.Name()
+		if strings.HasPrefix(name, tmpPrefix) {
+			_ = os.Remove(filepath.Join(dir, name))
+			continue
+		}
+		if de.IsDir() || !strings.HasSuffix(name, fileExt) {
+			continue
+		}
+		key, size, err := readHeader(filepath.Join(dir, name))
+		if err != nil {
+			// Unreadable or foreign file: not ours to keep.
+			_ = os.Remove(filepath.Join(dir, name))
+			continue
+		}
+		info, err := de.Info()
+		if err != nil {
+			continue
+		}
+		blobs = append(blobs, found{name: name, key: key, size: size, mtime: info.ModTime().UnixNano()})
+	}
+	sort.Slice(blobs, func(i, j int) bool { return blobs[i].mtime < blobs[j].mtime })
+	for _, b := range blobs {
+		s.clock++
+		s.entries[b.key] = &entry{name: b.name, size: b.size, atime: s.clock}
+		s.total += b.size
+	}
+	s.evictLocked()
+	return s, nil
+}
+
+// Dir returns the store's directory.
+func (s *Store) Dir() string { return s.dir }
+
+// fileName maps a key to a stable, filesystem-safe name. Keys are
+// human-readable ("kind/hexhash"); the mapping keeps them legible while
+// escaping anything a filesystem might object to. The header carries the
+// authoritative key, so the name only has to be unique, which the
+// escaping (every escaped byte spelled out) guarantees.
+func fileName(key string) string {
+	var sb strings.Builder
+	for i := 0; i < len(key); i++ {
+		c := key[i]
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c >= '0' && c <= '9', c == '-', c == '_', c == '.':
+			sb.WriteByte(c)
+		case c == '/':
+			sb.WriteByte('@')
+		default:
+			fmt.Fprintf(&sb, "%%%02x", c)
+		}
+	}
+	sb.WriteString(fileExt)
+	return sb.String()
+}
+
+// Put stores payload under key, atomically. An existing entry is
+// replaced. Put failures are counted and returned but are safe to ignore:
+// the store is a cache, and a failed write only costs a future
+// recomputation.
+func (s *Store) Put(key string, payload []byte) error {
+	if err := s.put(key, payload); err != nil {
+		s.putErrors.Add(1)
+		return err
+	}
+	return nil
+}
+
+func (s *Store) put(key string, payload []byte) error {
+	tmp, err := os.CreateTemp(s.dir, tmpPrefix+"*")
+	if err != nil {
+		return err
+	}
+	defer func() {
+		if tmp != nil {
+			tmp.Close()
+			os.Remove(tmp.Name())
+		}
+	}()
+	var hdr []byte
+	hdr = append(hdr, magic...)
+	hdr = binary.AppendUvarint(hdr, uint64(len(key)))
+	hdr = append(hdr, key...)
+	hdr = binary.AppendUvarint(hdr, uint64(len(payload)))
+	if _, err := tmp.Write(hdr); err != nil {
+		return err
+	}
+	if _, err := tmp.Write(payload); err != nil {
+		return err
+	}
+	var crc [4]byte
+	binary.LittleEndian.PutUint32(crc[:], crc32.ChecksumIEEE(payload))
+	if _, err := tmp.Write(crc[:]); err != nil {
+		return err
+	}
+	if s.opts.Fsync {
+		if err := tmp.Sync(); err != nil {
+			return err
+		}
+	}
+	if err := tmp.Close(); err != nil {
+		tmp = nil
+		return err
+	}
+	name := fileName(key)
+	if err := os.Rename(tmp.Name(), filepath.Join(s.dir, name)); err != nil {
+		return err
+	}
+	tmp = nil
+	if s.opts.Fsync {
+		if d, err := os.Open(s.dir); err == nil {
+			_ = d.Sync()
+			d.Close()
+		}
+	}
+
+	s.mu.Lock()
+	s.clock++
+	if old := s.entries[key]; old != nil {
+		s.total -= old.size
+	}
+	s.entries[key] = &entry{name: name, size: int64(len(payload)), atime: s.clock}
+	s.total += int64(len(payload))
+	s.evictLocked()
+	s.mu.Unlock()
+	return nil
+}
+
+// evictLocked removes least-recently-accessed entries until the payload
+// total fits the budget. Caller holds s.mu.
+func (s *Store) evictLocked() {
+	for s.total > s.opts.MaxBytes && len(s.entries) > 1 {
+		var victim string
+		var oldest int64 = 1<<63 - 1
+		for k, e := range s.entries {
+			if e.atime < oldest {
+				oldest, victim = e.atime, k
+			}
+		}
+		e := s.entries[victim]
+		delete(s.entries, victim)
+		s.total -= e.size
+		_ = os.Remove(filepath.Join(s.dir, e.name))
+		s.evictions.Add(1)
+	}
+}
+
+// lookup bumps recency and returns the entry's file path.
+func (s *Store) lookup(key string) (string, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	e, ok := s.entries[key]
+	if !ok {
+		return "", false
+	}
+	s.clock++
+	e.atime = s.clock
+	return filepath.Join(s.dir, e.name), true
+}
+
+// drop forgets a failed entry (corrupt on read) and removes its file.
+func (s *Store) drop(key string) {
+	s.mu.Lock()
+	if e, ok := s.entries[key]; ok {
+		delete(s.entries, key)
+		s.total -= e.size
+		_ = os.Remove(filepath.Join(s.dir, e.name))
+	}
+	s.mu.Unlock()
+}
+
+// Load reads and verifies the payload stored under key into fresh memory.
+// A missing, torn, or corrupt entry is a miss.
+func (s *Store) Load(key string) ([]byte, bool) {
+	path, ok := s.lookup(key)
+	if !ok {
+		s.misses.Add(1)
+		return nil, false
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		s.drop(key)
+		s.misses.Add(1)
+		return nil, false
+	}
+	payload, err := verify(data, key)
+	if err != nil {
+		s.drop(key)
+		s.misses.Add(1)
+		return nil, false
+	}
+	s.hits.Add(1)
+	return payload, true
+}
+
+// Map returns the payload stored under key as a read-only memory mapping
+// (zero-copy on unix; a plain read elsewhere). The mapping stays valid
+// even if the entry is later evicted or replaced — the file is unlinked,
+// the pages live until the Mapped is garbage collected or Closed. A
+// missing or corrupt entry is a miss.
+func (s *Store) Map(key string) (*Mapped, bool) {
+	path, ok := s.lookup(key)
+	if !ok {
+		s.misses.Add(1)
+		return nil, false
+	}
+	m, err := mapFile(path)
+	if err != nil {
+		s.drop(key)
+		s.misses.Add(1)
+		return nil, false
+	}
+	payload, err := verify(m.Data, key)
+	if err != nil {
+		m.Close()
+		s.drop(key)
+		s.misses.Add(1)
+		return nil, false
+	}
+	m.Data = payload
+	s.hits.Add(1)
+	return m, true
+}
+
+// verify checks magic, key, length, and CRC, returning the payload slice
+// of data.
+func verify(data []byte, key string) ([]byte, error) {
+	if len(data) < len(magic) || string(data[:len(magic)]) != magic {
+		return nil, fmt.Errorf("diskstore: bad magic")
+	}
+	i := len(magic)
+	klen, n := binary.Uvarint(data[i:])
+	if n <= 0 || uint64(len(data)-i-n) < klen {
+		return nil, fmt.Errorf("diskstore: truncated key")
+	}
+	i += n
+	if string(data[i:i+int(klen)]) != key {
+		return nil, fmt.Errorf("diskstore: key mismatch")
+	}
+	i += int(klen)
+	plen, n := binary.Uvarint(data[i:])
+	if n <= 0 {
+		return nil, fmt.Errorf("diskstore: truncated length")
+	}
+	i += n
+	if uint64(len(data)-i) != plen+4 {
+		return nil, fmt.Errorf("diskstore: payload length %d does not match file", plen)
+	}
+	payload := data[i : i+int(plen) : i+int(plen)]
+	want := binary.LittleEndian.Uint32(data[i+int(plen):])
+	if got := crc32.ChecksumIEEE(payload); got != want {
+		return nil, fmt.Errorf("diskstore: crc mismatch %08x != %08x", got, want)
+	}
+	return payload, nil
+}
+
+// readHeader reads just enough of a blob file to recover its key and
+// payload size (used by the Open scan; payload is not verified here).
+func readHeader(path string) (key string, size int64, err error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return "", 0, err
+	}
+	defer f.Close()
+	// magic + keylen varint + key + plen varint; keys are short.
+	buf := make([]byte, 4096)
+	n, err := f.Read(buf)
+	if n == 0 && err != nil {
+		return "", 0, err
+	}
+	buf = buf[:n]
+	if len(buf) < len(magic) || string(buf[:len(magic)]) != magic {
+		return "", 0, fmt.Errorf("diskstore: bad magic in %s", path)
+	}
+	i := len(magic)
+	klen, k := binary.Uvarint(buf[i:])
+	if k <= 0 || uint64(len(buf)-i-k) < klen {
+		return "", 0, fmt.Errorf("diskstore: truncated key in %s", path)
+	}
+	i += k
+	key = string(buf[i : i+int(klen)])
+	i += int(klen)
+	plen, k := binary.Uvarint(buf[i:])
+	if k <= 0 {
+		return "", 0, fmt.Errorf("diskstore: truncated length in %s", path)
+	}
+	return key, int64(plen), nil
+}
+
+// Len is the number of resident entries.
+func (s *Store) Len() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.entries)
+}
+
+// Bytes is the total payload bytes resident on disk.
+func (s *Store) Bytes() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.total
+}
+
+// Counters returns lifetime hit/miss/eviction/put-error totals.
+func (s *Store) Counters() (hits, misses, evictions, putErrors int64) {
+	return s.hits.Load(), s.misses.Load(), s.evictions.Load(), s.putErrors.Load()
+}

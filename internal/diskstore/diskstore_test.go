@@ -1,0 +1,223 @@
+package diskstore
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestPutLoadRoundTrip(t *testing.T) {
+	s, err := Open(t.TempDir(), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	keys := []string{
+		"art/0011aabb",
+		"prof/ffee",
+		"mach/with spaces and % signs",
+		"score/" + strings.Repeat("x", 200),
+	}
+	for i, k := range keys {
+		payload := bytes.Repeat([]byte{byte(i + 1)}, 100+i)
+		if err := s.Put(k, payload); err != nil {
+			t.Fatalf("Put(%q): %v", k, err)
+		}
+		got, ok := s.Load(k)
+		if !ok || !bytes.Equal(got, payload) {
+			t.Fatalf("Load(%q) = %v, %v", k, got, ok)
+		}
+	}
+	if s.Len() != len(keys) {
+		t.Fatalf("Len = %d, want %d", s.Len(), len(keys))
+	}
+	if _, ok := s.Load("absent/key"); ok {
+		t.Fatal("Load of absent key reported a hit")
+	}
+	hits, misses, _, _ := s.Counters()
+	if hits != int64(len(keys)) || misses != 1 {
+		t.Fatalf("counters hits=%d misses=%d", hits, misses)
+	}
+
+	// Replacing a key must not double-count its bytes.
+	before := s.Bytes()
+	if err := s.Put(keys[0], bytes.Repeat([]byte{9}, 100)); err != nil {
+		t.Fatal(err)
+	}
+	if s.Bytes() != before {
+		t.Fatalf("replace changed Bytes %d -> %d", before, s.Bytes())
+	}
+}
+
+func TestMapZeroCopyAndSurvivesEviction(t *testing.T) {
+	s, err := Open(t.TempDir(), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	payload := bytes.Repeat([]byte("abc"), 5000)
+	if err := s.Put("art/map", payload); err != nil {
+		t.Fatal(err)
+	}
+	m, ok := s.Map("art/map")
+	if !ok {
+		t.Fatal("Map missed a resident key")
+	}
+	if !bytes.Equal(m.Data, payload) {
+		t.Fatal("mapped payload differs")
+	}
+	// The mapping must stay readable after the entry is dropped (the file
+	// is unlinked but the pages live until Close).
+	s.drop("art/map")
+	if !bytes.Equal(m.Data, payload) {
+		t.Fatal("mapped payload changed after eviction")
+	}
+	if err := m.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Close(); err != nil {
+		t.Fatal("second Close errored")
+	}
+}
+
+func TestRestartRecoversIndex(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5; i++ {
+		if err := s.Put(fmt.Sprintf("art/%d", i), bytes.Repeat([]byte{byte(i)}, 50)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Simulate a crash mid-write: a leftover temp file must be cleaned.
+	if err := os.WriteFile(filepath.Join(dir, tmpPrefix+"crash"), []byte("partial"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	// And a foreign file must be ignored and removed if it looks like ours.
+	if err := os.WriteFile(filepath.Join(dir, "junk"+fileExt), []byte("not a blob"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	s2, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s2.Len() != 5 {
+		t.Fatalf("recovered %d entries, want 5", s2.Len())
+	}
+	for i := 0; i < 5; i++ {
+		got, ok := s2.Load(fmt.Sprintf("art/%d", i))
+		if !ok || !bytes.Equal(got, bytes.Repeat([]byte{byte(i)}, 50)) {
+			t.Fatalf("entry %d not recovered", i)
+		}
+	}
+	if _, err := os.Stat(filepath.Join(dir, tmpPrefix+"crash")); !os.IsNotExist(err) {
+		t.Error("leftover temp file not cleaned at Open")
+	}
+	if _, err := os.Stat(filepath.Join(dir, "junk"+fileExt)); !os.IsNotExist(err) {
+		t.Error("unreadable blob file not removed at Open")
+	}
+}
+
+func TestEvictionBudget(t *testing.T) {
+	// Budget fits ~4 of 8 100-byte payloads.
+	s, err := Open(t.TempDir(), Options{MaxBytes: 450})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 8; i++ {
+		if err := s.Put(fmt.Sprintf("art/%d", i), bytes.Repeat([]byte{1}, 100)); err != nil {
+			t.Fatal(err)
+		}
+		// Keep entry 0 hot so recency, not insertion order, decides.
+		if i >= 1 {
+			s.Load("art/0")
+		}
+	}
+	if s.Bytes() > 450 {
+		t.Fatalf("Bytes %d over budget", s.Bytes())
+	}
+	if _, _, evictions, _ := s.Counters(); evictions == 0 {
+		t.Fatal("no evictions recorded")
+	}
+	if _, ok := s.Load("art/0"); !ok {
+		t.Fatal("hot entry art/0 was evicted despite recent access")
+	}
+	if _, ok := s.Load("art/1"); ok {
+		t.Fatal("cold entry art/1 survived past the budget")
+	}
+}
+
+func TestCorruptEntryIsAMissAndRemoved(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Put("art/x", []byte("hello world payload")); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(dir, fileName("art/x"))
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[len(data)-6] ^= 0x10 // flip a payload bit
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := s.Load("art/x"); ok {
+		t.Fatal("Load returned a corrupt payload")
+	}
+	if _, err := os.Stat(path); !os.IsNotExist(err) {
+		t.Error("corrupt blob not removed")
+	}
+	if s.Len() != 0 {
+		t.Errorf("corrupt entry still indexed, Len=%d", s.Len())
+	}
+}
+
+func TestFsyncOption(t *testing.T) {
+	s, err := Open(t.TempDir(), Options{Fsync: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Put("art/f", []byte("synced")); err != nil {
+		t.Fatal(err)
+	}
+	got, ok := s.Load("art/f")
+	if !ok || string(got) != "synced" {
+		t.Fatal("fsync'd entry unreadable")
+	}
+}
+
+func TestConcurrentAccess(t *testing.T) {
+	s, err := Open(t.TempDir(), Options{MaxBytes: 10_000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				k := fmt.Sprintf("art/%d", i%10)
+				if i%3 == 0 {
+					_ = s.Put(k, bytes.Repeat([]byte{byte(g)}, 200))
+				} else if m, ok := s.Map(k); ok {
+					_ = m.Data[0]
+					m.Close()
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	if s.Bytes() > 10_000 {
+		t.Fatalf("budget exceeded after concurrent churn: %d", s.Bytes())
+	}
+}

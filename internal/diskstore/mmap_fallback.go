@@ -1,0 +1,19 @@
+//go:build !unix
+
+package diskstore
+
+// Mapped is a read-only view of a blob file. Without mmap it is a plain
+// in-memory copy and Close is a no-op.
+type Mapped struct {
+	Data []byte
+}
+
+// Close releases the view. Idempotent.
+func (m *Mapped) Close() error {
+	m.Data = nil
+	return nil
+}
+
+func mapFile(path string) (*Mapped, error) {
+	return readFileMapped(path)
+}

@@ -1,0 +1,57 @@
+//go:build unix
+
+package diskstore
+
+import (
+	"fmt"
+	"os"
+	"runtime"
+	"sync"
+	"syscall"
+)
+
+// Mapped is a read-only view of a blob file. On unix Data aliases a
+// memory mapping; Close unmaps it (a finalizer does so if the caller
+// forgets, so an evicted-but-referenced mapping cannot leak). Data must
+// not be used after Close.
+type Mapped struct {
+	Data []byte
+
+	once sync.Once
+	raw  []byte
+}
+
+// Close releases the mapping. Idempotent.
+func (m *Mapped) Close() error {
+	var err error
+	m.once.Do(func() {
+		runtime.SetFinalizer(m, nil)
+		err = syscall.Munmap(m.raw)
+		m.raw, m.Data = nil, nil
+	})
+	return err
+}
+
+func mapFile(path string) (*Mapped, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	st, err := f.Stat()
+	if err != nil {
+		return nil, err
+	}
+	size := st.Size()
+	if size <= 0 || size != int64(int(size)) {
+		return nil, fmt.Errorf("diskstore: %s: unmappable size %d", path, size)
+	}
+	data, err := syscall.Mmap(int(f.Fd()), 0, int(size), syscall.PROT_READ, syscall.MAP_SHARED)
+	if err != nil {
+		// Some filesystems refuse mmap; fall back to a byte copy.
+		return readFileMapped(path)
+	}
+	m := &Mapped{Data: data, raw: data}
+	runtime.SetFinalizer(m, func(m *Mapped) { _ = m.Close() })
+	return m, nil
+}

@@ -1,0 +1,13 @@
+package diskstore
+
+import "os"
+
+// readFileMapped is the byte-copy open path shared by the non-mmap
+// platforms and the mmap error fallback.
+func readFileMapped(path string) (*Mapped, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	return &Mapped{Data: data}, nil
+}

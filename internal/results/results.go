@@ -77,6 +77,33 @@ type Service struct {
 	Batch  Phase `json:"batch"`
 	// Speedup is Batch.RequestsPerSecond / Single.RequestsPerSecond.
 	Speedup float64 `json:"speedup"`
+	// Cluster holds the multi-node scaling measurement; absent until
+	// krallload -throughput -nodes N has merged one in.
+	Cluster *Cluster `json:"cluster,omitempty"`
+}
+
+// Cluster is the multi-node scaling section: the same ring-routed
+// request mix served by one rate-capped kralld process and then by
+// Nodes of them, with the aggregate requests/sec ratio. Every node
+// carries the same PerNodeMaxRPS admission cap, so cluster capacity is
+// capacity partitioning (nodes × cap) rather than a race for the same
+// cores — which is what makes the scaling number meaningful on a small
+// CI host.
+type Cluster struct {
+	Nodes         int     `json:"nodes"`
+	PerNodeMaxRPS float64 `json:"per_node_max_rps"`
+	SingleNode    Phase   `json:"single_node"`
+	MultiNode     Phase   `json:"multi_node"`
+	// Scaling is MultiNode.RequestsPerSecond / SingleNode.RequestsPerSecond.
+	Scaling float64 `json:"scaling"`
+}
+
+// EndpointLatency is one endpoint's client-observed request latency
+// percentiles within a phase ("batch" covers whole /v1/batch posts).
+type EndpointLatency struct {
+	Endpoint  string  `json:"endpoint"`
+	P50Millis float64 `json:"p50_millis"`
+	P99Millis float64 `json:"p99_millis"`
 }
 
 // Phase is one throughput measurement: N sub-requests served at a given
@@ -93,6 +120,9 @@ type Phase struct {
 	Seconds           float64 `json:"seconds"`
 	RequestsPerSecond float64 `json:"requests_per_second"`
 	BranchesPerSecond float64 `json:"branches_per_second"`
+	// Latency is the per-endpoint client-observed p50/p99, sorted by
+	// endpoint name.
+	Latency []EndpointLatency `json:"latency,omitempty"`
 }
 
 // Exec is the execution-backend throughput section: identical budgeted

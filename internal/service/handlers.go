@@ -8,6 +8,7 @@ import (
 	"net/http"
 
 	"repro/internal/bench"
+	"repro/internal/diskstore"
 	"repro/internal/exec"
 	"repro/internal/interp"
 	"repro/internal/ir"
@@ -85,6 +86,10 @@ type artifact struct {
 	steps     uint64
 	checksum  uint64
 	truncated bool
+	// pin holds the disk mapping the slab's event bytes alias, when the
+	// artifact was opened zero-copy from the disk tier; it keeps the
+	// mapping alive exactly as long as the artifact.
+	pin *diskstore.Mapped
 }
 
 // RateBlock is the predicted/mispredicted summary used across responses.
@@ -209,7 +214,7 @@ func runMachine(m exec.Machine) (truncated bool, err error) {
 // concurrent waiter sharing the entry. Failed recordings are not cached
 // (LRU drops errors), so a retry after a timeout starts clean.
 func (s *Server) artifactFor(ctx context.Context, c *compiled, req *Request, budget uint64) (*artifact, error) {
-	key := contentKey("art", c.key, field(budget, req.Seed, req.Scale))
+	key := artifactKey(c.key, budget, req)
 	return runner.Cached(s.store, key, func() (*artifact, error) {
 		rctx, cancel := context.WithTimeout(context.WithoutCancel(ctx), s.cfg.RequestTimeout)
 		defer cancel()

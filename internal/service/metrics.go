@@ -102,10 +102,28 @@ type verifySnapshot struct {
 	verified, failed int64
 }
 
+// diskSnapshot carries the disk tier's counters into write (nil when the
+// tier is disabled — its metric lines are then omitted entirely).
+type diskSnapshot struct {
+	entries                            int
+	bytes                              int64
+	hits, misses, evictions, putErrors int64
+}
+
+// clusterSnapshot carries the cluster view into write (nil when
+// clustering is off).
+type clusterSnapshot struct {
+	nodes                        int
+	peerUp                       map[string]bool
+	forwards, forwardErrors      int64
+	peerFetches, peerFetchErrors int64
+	rateLimited                  int64
+}
+
 // write renders the registry in Prometheus text exposition format, with
 // deterministic ordering (sorted endpoints, sorted codes, buckets in
 // bound order) so snapshots diff cleanly.
-func (m *metrics) write(w io.Writer, eng runner.Stats, store storeSnapshot, verify verifySnapshot, uptime time.Duration) {
+func (m *metrics) write(w io.Writer, eng runner.Stats, store storeSnapshot, verify verifySnapshot, disk *diskSnapshot, clu *clusterSnapshot, uptime time.Duration) {
 	for _, name := range m.names {
 		e := m.endpoints[name]
 		e.mu.Lock()
@@ -168,6 +186,34 @@ func (m *metrics) write(w io.Writer, eng runner.Stats, store storeSnapshot, veri
 		fmt.Fprintf(w, "kralld_store_shard_entries{shard=\"%d\"} %d\n", i, sh.Entries)
 		fmt.Fprintf(w, "kralld_store_shard_hits_total{shard=\"%d\"} %d\n", i, sh.Hits)
 		fmt.Fprintf(w, "kralld_store_shard_misses_total{shard=\"%d\"} %d\n", i, sh.Misses)
+	}
+	if disk != nil {
+		fmt.Fprintf(w, "kralld_disk_entries %d\n", disk.entries)
+		fmt.Fprintf(w, "kralld_disk_bytes %d\n", disk.bytes)
+		fmt.Fprintf(w, "kralld_disk_hits_total %d\n", disk.hits)
+		fmt.Fprintf(w, "kralld_disk_misses_total %d\n", disk.misses)
+		fmt.Fprintf(w, "kralld_disk_evictions_total %d\n", disk.evictions)
+		fmt.Fprintf(w, "kralld_disk_put_errors_total %d\n", disk.putErrors)
+	}
+	if clu != nil {
+		fmt.Fprintf(w, "kralld_cluster_ring_nodes %d\n", clu.nodes)
+		peers := make([]string, 0, len(clu.peerUp))
+		for p := range clu.peerUp {
+			peers = append(peers, p)
+		}
+		sort.Strings(peers)
+		for _, p := range peers {
+			up := 0
+			if clu.peerUp[p] {
+				up = 1
+			}
+			fmt.Fprintf(w, "kralld_cluster_peer_up{peer=%q} %d\n", p, up)
+		}
+		fmt.Fprintf(w, "kralld_cluster_forwards_total %d\n", clu.forwards)
+		fmt.Fprintf(w, "kralld_cluster_forward_errors_total %d\n", clu.forwardErrors)
+		fmt.Fprintf(w, "kralld_cluster_peer_fetches_total %d\n", clu.peerFetches)
+		fmt.Fprintf(w, "kralld_cluster_peer_fetch_errors_total %d\n", clu.peerFetchErrors)
+		fmt.Fprintf(w, "kralld_cluster_rate_limited_total %d\n", clu.rateLimited)
 	}
 	fmt.Fprintf(w, "krallcheck_verified_total %d\n", verify.verified)
 	fmt.Fprintf(w, "krallcheck_failed_total %d\n", verify.failed)

@@ -30,7 +30,7 @@ func scoreBenchSlab(nsites int, events int) *trace.Slab {
 // proportionally to sites or events — only the handful of fixed escapes
 // (evaluator headers, the memoised entry) remain.
 func TestScoreSlabSteadyStateAllocs(t *testing.T) {
-	srv := New(Config{})
+	srv := mustNew(t, Config{})
 	slab := scoreBenchSlab(64, 20_000)
 	preds := []string{"taken", "not_taken", "", "taken"}
 	for _, strategy := range []string{"profile", "last", "twobit", "static"} {
@@ -52,7 +52,7 @@ func TestScoreSlabSteadyStateAllocs(t *testing.T) {
 // BenchmarkScoreSlab measures the service's hot scoring path end to end
 // (site scan + strategy replay) against a recorded trace, per strategy.
 func BenchmarkScoreSlab(b *testing.B) {
-	srv := New(Config{})
+	srv := mustNew(b, Config{})
 	slab := scoreBenchSlab(64, 100_000)
 	preds := []string{"taken", "not_taken", "", "taken"}
 	for _, strategy := range []string{"profile", "last", "twobit", "static"} {

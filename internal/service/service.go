@@ -34,6 +34,8 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/cluster"
+	"repro/internal/diskstore"
 	"repro/internal/exec"
 	"repro/internal/runner"
 	"repro/internal/trace"
@@ -83,6 +85,27 @@ type Config struct {
 	// may ask for fewer workers than the cap, never more.
 	MaxBatchItems int
 	BatchWorkers  int
+	// DiskDir enables the disk artifact tier: recorded traces, profile
+	// bundles, machine selections, and scores persist under this directory
+	// and survive restarts and memory-tier eviction. Empty = memory only.
+	DiskDir string
+	// DiskMaxBytes budgets the disk tier (default 256 MiB); DiskFsync
+	// forces fsync-before-rename on every disk write.
+	DiskMaxBytes int64
+	DiskFsync    bool
+	// ClusterSelf enables multi-node serving: this node's own base URL as
+	// peers reach it (e.g. "http://127.0.0.1:9301"). ClusterPeers lists
+	// the other nodes. Empty ClusterSelf = single node.
+	ClusterSelf  string
+	ClusterPeers []string
+	// ClusterHealth tunes peer probing (zero values = 1s interval, 500ms
+	// timeout, 2 consecutive failures to mark down).
+	ClusterHealth cluster.HealthOptions
+	// MaxRPS caps locally-admitted pipeline requests per second with a
+	// token bucket (429 + Retry-After over the cap). 0 = uncapped. Capped
+	// nodes partition host capacity, which is what makes multi-node
+	// scaling measurable on one machine.
+	MaxRPS float64
 	// Logger receives structured request/lifecycle lines (nil = discard).
 	Logger *slog.Logger
 	// Backend selects the execution plane for every program run the server
@@ -138,12 +161,22 @@ func (c *Config) setDefaults() {
 type Server struct {
 	cfg     Config
 	eng     *runner.Engine
-	store   *runner.Sharded
+	store   *tieredStore
+	cluster *cluster.Cluster
+	limiter *rateLimiter
 	metrics *metrics
 	mux     *http.ServeMux
 	sems    map[string]chan struct{}
 	log     *slog.Logger
 	started time.Time
+
+	// forwardClient carries proxied requests to ring peers.
+	forwardClient *http.Client
+	// draining flips when Serve begins shutdown; /readyz then answers 503
+	// so load balancers stop sending new work while in-flight drains.
+	draining atomic.Bool
+	// rateLimited counts requests refused by the MaxRPS token bucket.
+	rateLimited atomic.Int64
 
 	// verifyOK/verifyFail count replication-equivalence verifier verdicts
 	// on /v1/replicate requests that asked for checking; both are exported
@@ -153,20 +186,46 @@ type Server struct {
 }
 
 // New builds a server. The engine provides bounded job execution and the
-// record/replay counters surfaced on /metrics; the LRU store holds
-// compiled programs and recorded trace slabs keyed by content hash.
-func New(cfg Config) *Server {
+// record/replay counters surfaced on /metrics; the content-addressed
+// store holds compiled programs and recorded trace slabs in a sharded
+// in-memory LRU, optionally backed by the disk tier (Config.DiskDir) and
+// the cluster peer fetch (Config.ClusterSelf).
+func New(cfg Config) (*Server, error) {
 	cfg.setDefaults()
 	metered := append([]string{batchEndpoint}, Endpoints...)
 	s := &Server{
 		cfg:     cfg,
 		eng:     runner.New(cfg.Workers),
-		store:   runner.NewSharded(cfg.CacheEntries, cfg.CacheShards),
 		metrics: newMetrics(metered),
 		mux:     http.NewServeMux(),
 		sems:    map[string]chan struct{}{},
 		log:     cfg.Logger,
 		started: time.Now(),
+	}
+	s.store = &tieredStore{mem: runner.NewSharded(cfg.CacheEntries, cfg.CacheShards)}
+	if cfg.DiskDir != "" {
+		disk, err := diskstore.Open(cfg.DiskDir, diskstore.Options{MaxBytes: cfg.DiskMaxBytes, Fsync: cfg.DiskFsync})
+		if err != nil {
+			return nil, fmt.Errorf("opening disk tier: %w", err)
+		}
+		s.store.disk = disk
+	}
+	if cfg.ClusterSelf != "" {
+		cl, err := cluster.New(cluster.Options{
+			Self:   cfg.ClusterSelf,
+			Peers:  cfg.ClusterPeers,
+			Health: cfg.ClusterHealth,
+			Logger: cfg.Logger,
+		})
+		if err != nil {
+			return nil, err
+		}
+		s.cluster = cl
+		s.store.fetchPeer = s.fetchFromOwner
+		s.forwardClient = &http.Client{Timeout: cfg.RequestTimeout}
+	}
+	if cfg.MaxRPS > 0 {
+		s.limiter = newRateLimiter(cfg.MaxRPS)
 	}
 	for _, ep := range metered {
 		s.sems[ep] = make(chan struct{}, cfg.MaxInflight)
@@ -176,10 +235,24 @@ func New(cfg Config) *Server {
 	s.mux.HandleFunc("/v1/replicate", s.endpoint("replicate", s.handleReplicate))
 	s.mux.HandleFunc("/v1/score", s.endpoint("score", s.handleScore))
 	s.mux.HandleFunc("/v1/batch", s.handleBatch)
+	s.mux.HandleFunc("/v1/internal/artifact/", s.handleInternalArtifact)
 	s.mux.HandleFunc("/metrics", s.handleMetrics)
 	s.mux.HandleFunc("/healthz", s.handleHealthz)
-	return s
+	s.mux.HandleFunc("/readyz", s.handleReadyz)
+	return s, nil
 }
+
+// Start launches the server's background work — today, cluster health
+// probing — until ctx is cancelled. Serve calls it; tests that drive the
+// Handler directly (httptest) call it themselves when they need probing.
+func (s *Server) Start(ctx context.Context) {
+	if s.cluster != nil {
+		s.cluster.Start(ctx)
+	}
+}
+
+// Cluster exposes the node's cluster view (nil when clustering is off).
+func (s *Server) Cluster() *cluster.Cluster { return s.cluster }
 
 // Engine exposes the server's experiment engine (counters, artifact cache).
 func (s *Server) Engine() *runner.Engine { return s.eng }
@@ -201,6 +274,9 @@ func (s *Server) Serve(ctx context.Context, l net.Listener, drainTimeout time.Du
 		ReadHeaderTimeout: 10 * time.Second,
 		ReadTimeout:       s.cfg.RequestTimeout,
 	}
+	bctx, bcancel := context.WithCancel(context.Background())
+	defer bcancel()
+	s.Start(bctx)
 	errc := make(chan error, 1)
 	go func() { errc <- srv.Serve(l) }()
 	select {
@@ -208,6 +284,7 @@ func (s *Server) Serve(ctx context.Context, l net.Listener, drainTimeout time.Du
 		return err
 	case <-ctx.Done():
 	}
+	s.draining.Store(true)
 	s.log.Info("draining", "timeout", drainTimeout)
 	dctx, cancel := context.WithTimeout(context.Background(), drainTimeout)
 	defer cancel()
@@ -269,6 +346,24 @@ func (s *Server) endpoint(name string, h func(ctx context.Context, req *Request)
 		// request file can still opt in. Only replicate reads Check.
 		if v := r.URL.Query().Get("check"); v == "true" || v == "1" {
 			req.Check = true
+		}
+
+		// Cluster routing: if another healthy node owns this request's
+		// artifact, proxy to it (one hop; forwarded requests never
+		// re-forward). A failed forward falls through and serves locally.
+		if s.maybeForward(w, r, name, &req, start) {
+			return
+		}
+
+		// The per-node rate cap admits only locally-served work; proxied
+		// requests count against the owner's bucket, not this node's.
+		if s.limiter != nil && !s.limiter.allow() {
+			s.rateLimited.Add(1)
+			w.Header().Set("Retry-After", "1")
+			s.metrics.rejected(name)
+			s.writeError(w, name, &httpError{http.StatusTooManyRequests,
+				fmt.Sprintf("node rate cap (%g req/s) exceeded", s.cfg.MaxRPS)}, start)
+			return
 		}
 
 		select {
@@ -361,18 +456,57 @@ func (s *Server) writeError(w http.ResponseWriter, name string, err error, start
 
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
-	storeHits, storeMisses := s.store.Counters()
+	storeHits, storeMisses := s.store.mem.Counters()
+	var disk *diskSnapshot
+	if d := s.store.disk; d != nil {
+		hits, misses, evictions, putErrors := d.Counters()
+		disk = &diskSnapshot{
+			entries: d.Len(), bytes: d.Bytes(),
+			hits: hits, misses: misses, evictions: evictions, putErrors: putErrors,
+		}
+	}
+	var clu *clusterSnapshot
+	if c := s.cluster; c != nil {
+		forwards, forwardErrors, peerFetches, peerFetchErrors := c.Counters()
+		clu = &clusterSnapshot{
+			nodes:           c.Size(),
+			peerUp:          map[string]bool{},
+			forwards:        forwards,
+			forwardErrors:   forwardErrors,
+			peerFetches:     peerFetches,
+			peerFetchErrors: peerFetchErrors,
+			rateLimited:     s.rateLimited.Load(),
+		}
+		for _, n := range c.Nodes() {
+			if !c.IsSelf(n) {
+				clu.peerUp[n] = c.PeerUp(n)
+			}
+		}
+	}
 	s.metrics.write(w, s.eng.Stats(), storeSnapshot{
-		entries: s.store.Len(), hits: storeHits, misses: storeMisses,
-		shards: s.store.Shards(),
+		entries: s.store.mem.Len(), hits: storeHits, misses: storeMisses,
+		shards: s.store.mem.Shards(),
 	}, verifySnapshot{
 		verified: s.verifyOK.Load(), failed: s.verifyFail.Load(),
-	}, time.Since(s.started))
+	}, disk, clu, time.Since(s.started))
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "application/json")
 	fmt.Fprintf(w, "{\"schema\":%q,\"status\":\"ok\"}\n", Schema)
+}
+
+// handleReadyz reports readiness for new work: 503 once draining has
+// begun, 200 otherwise. Liveness (/healthz) stays green through a drain —
+// the process is healthy, it just wants no new requests.
+func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	if s.draining.Load() {
+		w.WriteHeader(http.StatusServiceUnavailable)
+		fmt.Fprintf(w, "{\"schema\":%q,\"status\":\"draining\"}\n", Schema)
+		return
+	}
+	fmt.Fprintf(w, "{\"schema\":%q,\"status\":\"ready\"}\n", Schema)
 }
 
 // contentKey builds a content-addressed store key: the kind namespace plus

@@ -25,9 +25,18 @@ import (
 
 var update = flag.Bool("update", false, "rewrite golden files")
 
+func mustNew(tb testing.TB, cfg Config) *Server {
+	tb.Helper()
+	s, err := New(cfg)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	return s
+}
+
 func newTestServer(t *testing.T, cfg Config) (*Server, *httptest.Server) {
 	t.Helper()
-	s := New(cfg)
+	s := mustNew(t, cfg)
 	ts := httptest.NewServer(s.Handler())
 	t.Cleanup(ts.Close)
 	return s, ts
@@ -280,7 +289,7 @@ func main() int {
 // client that disconnects (here: a context cancelled before the call)
 // cannot poison the cache entry for concurrent waiters sharing it.
 func TestArtifactDetachedFromRequester(t *testing.T) {
-	s := New(Config{})
+	s := mustNew(t, Config{})
 	ctx, cancel := context.WithCancel(context.Background())
 	cancel()
 	req := &Request{Workload: "cc"}
@@ -354,7 +363,7 @@ func TestConcurrentClients(t *testing.T) {
 // TestGracefulShutdown covers the SIGTERM drain path: an in-flight request
 // completes after shutdown begins, and the listener refuses new work.
 func TestGracefulShutdown(t *testing.T) {
-	s := New(Config{})
+	s := mustNew(t, Config{})
 	l, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {
 		t.Fatal(err)

@@ -12,6 +12,7 @@ import (
 	"time"
 
 	"repro/internal/bench"
+	"repro/internal/cluster"
 	"repro/internal/results"
 )
 
@@ -70,6 +71,91 @@ func (o *ThroughputOptions) setDefaults() {
 type tputCall struct {
 	endpoint string
 	body     json.RawMessage
+	// route is the cluster placement key ("" = no stable placement);
+	// ClusterThroughput uses it to ring-route each call client-side.
+	route string
+}
+
+// baseRequests is the request mix skeleton — profile, machines, and
+// score over the workloads.
+func baseRequests(opts *ThroughputOptions) []struct {
+	endpoint string
+	req      Request
+} {
+	var out []struct {
+		endpoint string
+		req      Request
+	}
+	for _, name := range opts.Workloads {
+		out = append(out, []struct {
+			endpoint string
+			req      Request
+		}{
+			{"profile", Request{Workload: name, Budget: opts.Budget}},
+			{"machines", Request{Workload: name, Budget: opts.Budget, States: 4}},
+			{"score", Request{Workload: name, Budget: opts.Budget, Strategy: "twobit"}},
+		}...)
+	}
+	return out
+}
+
+// asCall marshals a request into a mix entry with its placement key
+// precomputed from the same Request the JSON body encodes, so client
+// routing and server serving agree byte for byte.
+func asCall(endpoint string, req *Request, defaultBudget uint64) (tputCall, error) {
+	buf, err := json.Marshal(req)
+	if err != nil {
+		return tputCall{}, err
+	}
+	return tputCall{endpoint: endpoint, body: buf, route: RouteKey(req, defaultBudget)}, nil
+}
+
+// buildMix builds the single-server request mix.
+func buildMix(opts *ThroughputOptions) ([]tputCall, error) {
+	var mix []tputCall
+	for _, c := range baseRequests(opts) {
+		call, err := asCall(c.endpoint, &c.req, opts.Budget)
+		if err != nil {
+			return nil, err
+		}
+		mix = append(mix, call)
+	}
+	return mix, nil
+}
+
+// balancedMix builds the cluster request mix: every base call is
+// expanded with one seed variant per node, chosen so its placement key
+// lands on that node. The seed participates in the artifact content key
+// (it changes the recorded run), so each variant is a legitimately
+// distinct request — and the population is owner-balanced by
+// construction, making the scaling measurement capacity-limited rather
+// than hostage to how a handful of keys happened to hash. Entries are
+// interleaved node-minor so round-robin draws cycle the nodes.
+func balancedMix(opts *ThroughputOptions, ring *cluster.Ring, nodes []string) ([]tputCall, error) {
+	var mix []tputCall
+	for _, c := range baseRequests(opts) {
+		for _, node := range nodes {
+			found := false
+			for seed := int64(1); seed <= 20_000; seed++ {
+				req := c.req
+				req.Seed = seed
+				key := RouteKey(&req, opts.Budget)
+				if owner, ok := ring.Owner(key); ok && owner == node {
+					call, err := asCall(c.endpoint, &req, opts.Budget)
+					if err != nil {
+						return nil, err
+					}
+					mix = append(mix, call)
+					found = true
+					break
+				}
+			}
+			if !found {
+				return nil, fmt.Errorf("no seed in 20000 routes %s %q to %s", c.endpoint, c.req.Workload, node)
+			}
+		}
+	}
+	return mix, nil
 }
 
 // Throughput measures the service's request throughput twice over the
@@ -88,25 +174,9 @@ func Throughput(ctx context.Context, baseURL string, opts ThroughputOptions) (*r
 	baseURL = strings.TrimRight(baseURL, "/")
 	sort.Strings(opts.Workloads)
 
-	var mix []tputCall
-	add := func(endpoint string, body map[string]any) error {
-		buf, err := json.Marshal(body)
-		if err != nil {
-			return err
-		}
-		mix = append(mix, tputCall{endpoint: endpoint, body: buf})
-		return nil
-	}
-	for _, name := range opts.Workloads {
-		if err := add("profile", map[string]any{"workload": name, "budget": opts.Budget}); err != nil {
-			return nil, err
-		}
-		if err := add("machines", map[string]any{"workload": name, "budget": opts.Budget, "states": 4}); err != nil {
-			return nil, err
-		}
-		if err := add("score", map[string]any{"workload": name, "budget": opts.Budget, "strategy": "twobit"}); err != nil {
-			return nil, err
-		}
+	mix, err := buildMix(&opts)
+	if err != nil {
+		return nil, err
 	}
 
 	// The default transport keeps only two idle connections per host;
@@ -135,7 +205,7 @@ func Throughput(ctx context.Context, baseURL string, opts ThroughputOptions) (*r
 	bestOf := func(batchSize int) (*results.Phase, error) {
 		var best *results.Phase
 		for r := 0; r < opts.Rounds; r++ {
-			ph, err := runPhase(ctx, client, baseURL, mix, n, batchSize, opts.Concurrency)
+			ph, err := runPhase(ctx, client, func(tputCall) string { return baseURL }, mix, n, batchSize, opts.Concurrency)
 			if err != nil {
 				return nil, err
 			}
@@ -170,12 +240,18 @@ func Throughput(ctx context.Context, baseURL string, opts ThroughputOptions) (*r
 
 // runPhase serves n sub-requests drawn round-robin from mix, batchSize
 // per HTTP POST (1 = the plain per-endpoint path, >1 = /v1/batch), with
-// conc posts in flight, and reports the throughput.
-func runPhase(ctx context.Context, client *http.Client, baseURL string, mix []tputCall, n, batchSize, conc int) (*results.Phase, error) {
+// conc posts in flight, and reports the throughput plus per-endpoint
+// client-observed latency percentiles. baseFor picks the node each call
+// is posted to — constant for a single server, ring-routed for a
+// cluster (batched posts always go to the first call's node).
+func runPhase(ctx context.Context, client *http.Client, baseFor func(tputCall) string, mix []tputCall, n, batchSize, conc int) (*results.Phase, error) {
 	type post struct {
 		url  string
 		body []byte
-		// endpoints names each sub-request carried, for response parsing.
+		// label names the endpoint for latency bucketing ("batch" for a
+		// multi-item post); endpoints names each sub-request carried, for
+		// response parsing.
+		label     string
 		endpoints []string
 	}
 	var posts []post
@@ -183,13 +259,15 @@ func runPhase(ctx context.Context, client *http.Client, baseURL string, mix []tp
 		if batchSize == 1 {
 			c := mix[at%len(mix)]
 			posts = append(posts, post{
-				url: baseURL + "/v1/" + c.endpoint, body: c.body, endpoints: []string{c.endpoint},
+				url: baseFor(c) + "/v1/" + c.endpoint, body: c.body,
+				label: c.endpoint, endpoints: []string{c.endpoint},
 			})
 			at++
 			continue
 		}
 		items := make([]map[string]any, 0, batchSize)
 		eps := make([]string, 0, batchSize)
+		first := mix[at%len(mix)]
 		for k := 0; k < batchSize && at < n; k++ {
 			c := mix[at%len(mix)]
 			var item map[string]any
@@ -205,7 +283,10 @@ func runPhase(ctx context.Context, client *http.Client, baseURL string, mix []tp
 		if err != nil {
 			return nil, err
 		}
-		posts = append(posts, post{url: baseURL + "/v1/batch", body: body, endpoints: eps})
+		posts = append(posts, post{
+			url: baseFor(first) + "/v1/batch", body: body,
+			label: "batch", endpoints: eps,
+		})
 	}
 
 	var branches atomic.Uint64
@@ -218,6 +299,10 @@ func runPhase(ctx context.Context, client *http.Client, baseURL string, mix []tp
 		}
 		errMu.Unlock()
 	}
+	// One latency slot per post, written lock-free by index and bucketed
+	// by endpoint afterwards; retries and Retry-After sleeps count, since
+	// they are what the client actually waits.
+	latencies := make([]time.Duration, len(posts))
 
 	var next atomic.Int64
 	var wg sync.WaitGroup
@@ -232,7 +317,9 @@ func runPhase(ctx context.Context, client *http.Client, baseURL string, mix []tp
 					return
 				}
 				p := posts[i]
+				t0 := time.Now()
 				out, _, err := postWithRetry(ctx, client, p.url, p.body)
+				latencies[i] = time.Since(t0)
 				if err != nil {
 					setErr(err)
 					return
@@ -252,18 +339,109 @@ func runPhase(ctx context.Context, client *http.Client, baseURL string, mix []tp
 		return nil, firstErr
 	}
 
+	byEndpoint := make(map[string][]time.Duration)
+	for i, p := range posts {
+		byEndpoint[p.label] = append(byEndpoint[p.label], latencies[i])
+	}
 	ph := &results.Phase{
 		BatchSize: batchSize,
 		HTTPPosts: len(posts),
 		Requests:  n,
 		Branches:  branches.Load(),
 		Seconds:   elapsed.Seconds(),
+		Latency:   latencySummary(byEndpoint),
 	}
 	if secs := elapsed.Seconds(); secs > 0 {
 		ph.RequestsPerSecond = float64(n) / secs
 		ph.BranchesPerSecond = float64(ph.Branches) / secs
 	}
 	return ph, nil
+}
+
+// latencySummary reduces per-endpoint duration samples to p50/p99,
+// sorted by endpoint name for stable JSON.
+func latencySummary(byEndpoint map[string][]time.Duration) []results.EndpointLatency {
+	var out []results.EndpointLatency
+	for ep, ds := range byEndpoint {
+		if len(ds) == 0 {
+			continue
+		}
+		sort.Slice(ds, func(i, j int) bool { return ds[i] < ds[j] })
+		pick := func(q float64) float64 {
+			i := int(q * float64(len(ds)-1))
+			return float64(ds[i]) / float64(time.Millisecond)
+		}
+		out = append(out, results.EndpointLatency{
+			Endpoint:  ep,
+			P50Millis: pick(0.50),
+			P99Millis: pick(0.99),
+		})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Endpoint < out[j].Endpoint })
+	return out
+}
+
+// ClusterThroughput measures aggregate requests/sec against a set of
+// kralld nodes with client-side consistent-hash routing: each call is
+// posted straight to the ring owner of its placement key (the same ring
+// and RouteKey the servers use), so no request pays a forwarding hop
+// during measurement. Single posts only — batching would smear one
+// post's sub-requests across owners. With one node it degenerates to a
+// plain single-phase measurement, which is how krallload -nodes
+// establishes the single-node baseline with identical client mechanics.
+func ClusterThroughput(ctx context.Context, nodes []string, opts ThroughputOptions) (*results.Phase, error) {
+	if len(nodes) == 0 {
+		return nil, fmt.Errorf("cluster throughput: no nodes")
+	}
+	opts.setDefaults()
+	sort.Strings(opts.Workloads)
+	trimmed := make([]string, len(nodes))
+	for i, u := range nodes {
+		trimmed[i] = strings.TrimRight(u, "/")
+	}
+	ring := cluster.NewRing(trimmed, 0)
+
+	mix, err := balancedMix(&opts, ring, trimmed)
+	if err != nil {
+		return nil, err
+	}
+	var rr atomic.Int64
+	baseFor := func(c tputCall) string {
+		if c.route != "" {
+			if owner, ok := ring.Owner(c.route); ok {
+				return owner
+			}
+		}
+		// No stable placement: spread round-robin so unroutable calls
+		// don't pile onto one node.
+		return trimmed[int(rr.Add(1))%len(trimmed)]
+	}
+
+	tr := http.DefaultTransport.(*http.Transport).Clone()
+	tr.MaxIdleConns = opts.Concurrency * len(trimmed)
+	tr.MaxIdleConnsPerHost = opts.Concurrency
+	client := &http.Client{Timeout: opts.Timeout, Transport: tr}
+	defer tr.CloseIdleConnections()
+
+	// Warmup each call on its owner so recordings happen once, outside
+	// the timed rounds, on the node that will keep serving the artifact.
+	for _, c := range mix {
+		if _, _, err := postWithRetry(ctx, client, baseFor(c)+"/v1/"+c.endpoint, c.body); err != nil {
+			return nil, fmt.Errorf("cluster warmup %s: %w", c.endpoint, err)
+		}
+	}
+
+	var best *results.Phase
+	for r := 0; r < opts.Rounds; r++ {
+		ph, err := runPhase(ctx, client, baseFor, mix, opts.Requests, 1, opts.Concurrency)
+		if err != nil {
+			return nil, err
+		}
+		if best == nil || ph.RequestsPerSecond > best.RequestsPerSecond {
+			best = ph
+		}
+	}
+	return best, nil
 }
 
 // eventsField is the slice of a pipeline response the harness needs: the

@@ -1,0 +1,9 @@
+//go:build !unix
+
+package trace
+
+// MapSealedFile on platforms without mmap reads the whole file; the close
+// func is a no-op. Same contract as the unix version, minus zero-copy.
+func MapSealedFile(path string) (*Slab, func() error, error) {
+	return readSealedFile(path)
+}

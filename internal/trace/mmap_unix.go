@@ -1,0 +1,45 @@
+//go:build unix
+
+package trace
+
+import (
+	"fmt"
+	"os"
+	"syscall"
+)
+
+// MapSealedFile opens a sealed-slab container file (AppendSealed's layout)
+// by memory-mapping it read-only: replay reads the event bytes straight
+// from the page cache, no copy. The returned close func unmaps the file;
+// the slab must not be used after close. On platforms without mmap the
+// fallback in mmap_fallback.go reads the file into memory instead, so
+// callers never need to care which path they got.
+func MapSealedFile(path string) (*Slab, func() error, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, nil, err
+	}
+	defer f.Close()
+	st, err := f.Stat()
+	if err != nil {
+		return nil, nil, err
+	}
+	size := st.Size()
+	if size <= 0 {
+		return nil, nil, fmt.Errorf("trace: %s: empty sealed slab file", path)
+	}
+	if size != int64(int(size)) {
+		return nil, nil, fmt.Errorf("trace: %s: sealed slab file too large to map", path)
+	}
+	data, err := syscall.Mmap(int(f.Fd()), 0, int(size), syscall.PROT_READ, syscall.MAP_SHARED)
+	if err != nil {
+		// Some filesystems refuse mmap; fall back to a byte copy.
+		return readSealedFile(path)
+	}
+	s, err := OpenSealed(data)
+	if err != nil {
+		_ = syscall.Munmap(data)
+		return nil, nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return s, func() error { return syscall.Munmap(data) }, nil
+}

@@ -1,0 +1,131 @@
+package trace
+
+import (
+	"math/rand"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+)
+
+// buildSlab records a deterministic pseudo-random event stream with enough
+// events to cross several checkpoint boundaries.
+func buildSlab(t *testing.T, seed int64, n int) *Slab {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	s := NewSlab(n)
+	site := int32(0)
+	for i := 0; i < n; i++ {
+		switch rng.Intn(10) {
+		case 0:
+			site = int32(rng.Intn(64))
+		}
+		// Biased outcomes produce genuine RLE runs.
+		s.Record(site, rng.Intn(4) != 0)
+	}
+	s.Seal()
+	return s
+}
+
+func TestSealedRoundTrip(t *testing.T) {
+	for _, n := range []int{0, 1, 100, 3 * ckEvery} {
+		orig := buildSlab(t, int64(n)+1, n)
+		enc := orig.AppendSealed(nil)
+		if len(enc) != orig.SealedSize() {
+			t.Fatalf("n=%d: SealedSize %d != encoded %d", n, orig.SealedSize(), len(enc))
+		}
+		got, err := OpenSealed(enc)
+		if err != nil {
+			t.Fatalf("n=%d: OpenSealed: %v", n, err)
+		}
+		if got.Len() != orig.Len() {
+			t.Fatalf("n=%d: Len %d != %d", n, got.Len(), orig.Len())
+		}
+		if !reflect.DeepEqual(got.Events(), orig.Events()) {
+			t.Fatalf("n=%d: events differ after round trip", n)
+		}
+		if !reflect.DeepEqual(got.cks, orig.cks) && !(len(got.cks) == 0 && len(orig.cks) == 0) {
+			t.Fatalf("n=%d: checkpoints differ: %v != %v", n, got.cks, orig.cks)
+		}
+	}
+}
+
+// TestSealedZeroCopy pins the zero-copy contract: the opened slab's event
+// bytes alias the container, not a copy.
+func TestSealedZeroCopy(t *testing.T) {
+	orig := buildSlab(t, 7, 5000)
+	enc := orig.AppendSealed(nil)
+	got, err := OpenSealed(enc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.buf) > 0 && &got.buf[0] != &enc[len(enc)-len(got.buf)-sealedCRCSize] {
+		t.Fatal("OpenSealed copied the event bytes instead of aliasing the container")
+	}
+}
+
+func TestSealedRejectsCorruption(t *testing.T) {
+	orig := buildSlab(t, 3, 2000)
+	enc := orig.AppendSealed(nil)
+
+	// Truncations at every boundary-ish length must error, not panic.
+	for _, cut := range []int{0, 4, len(sealedMagic), len(sealedMagic) + 1, len(enc) / 2, len(enc) - 1} {
+		if _, err := OpenSealed(enc[:cut]); err == nil {
+			t.Errorf("OpenSealed accepted a %d-byte truncation of %d bytes", cut, len(enc))
+		}
+	}
+	// A flipped payload bit must fail the CRC.
+	bad := append([]byte(nil), enc...)
+	bad[len(bad)-sealedCRCSize-10] ^= 0x40
+	if _, err := OpenSealed(bad); err == nil {
+		t.Error("OpenSealed accepted a corrupt payload")
+	}
+	// A bad magic must be refused.
+	bad = append([]byte(nil), enc...)
+	bad[0] = 'X'
+	if _, err := OpenSealed(bad); err == nil {
+		t.Error("OpenSealed accepted a bad magic")
+	}
+}
+
+func TestMapSealedFile(t *testing.T) {
+	orig := buildSlab(t, 11, 3*ckEvery)
+	path := filepath.Join(t.TempDir(), "slab.blslab")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := orig.WriteSealedTo(f); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	got, closeFn, err := MapSealedFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got.Events(), orig.Events()) {
+		t.Fatal("mapped slab replays differently from the original")
+	}
+	// The partitioned replay path must work over a mapped slab too (it
+	// reads the checkpoint table decoded from the container).
+	var a, b Counts
+	a.Taken = make([]uint64, 64)
+	a.NotTaken = make([]uint64, 64)
+	b.Taken = make([]uint64, 64)
+	b.NotTaken = make([]uint64, 64)
+	orig.ReplayInto(&a)
+	got.ReplayInto(&b)
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("mapped slab counts differ")
+	}
+	if err := closeFn(); err != nil {
+		t.Fatalf("close: %v", err)
+	}
+
+	if _, _, err := MapSealedFile(filepath.Join(t.TempDir(), "missing")); err == nil {
+		t.Error("MapSealedFile accepted a missing file")
+	}
+}

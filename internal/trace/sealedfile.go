@@ -1,0 +1,20 @@
+package trace
+
+import (
+	"fmt"
+	"os"
+)
+
+// readSealedFile is the byte-copy open path shared by the non-mmap
+// platforms and the mmap error fallback.
+func readSealedFile(path string) (*Slab, func() error, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, nil, err
+	}
+	s, err := OpenSealed(data)
+	if err != nil {
+		return nil, nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return s, func() error { return nil }, nil
+}
