@@ -45,7 +45,7 @@ func TestBenchJSON(t *testing.T) {
 	}
 
 	wantOrder := []string{
-		"table1", "table2", "table3", "table4", "table5",
+		"table1", "table2", "table3", "table4", "table5", "staticpred",
 		"figures", "measured", "crossdataset", "layout", "scope", "joint", "headline",
 	}
 	if len(res.Experiments) != len(wantOrder) {

@@ -8,6 +8,7 @@
 //	-budget N     branch-event budget per workload (default 2000000)
 //	-quick        use the scaled-down quick configuration
 //	-table N      print only table N (1-5); repeatable via comma list
+//	-staticpred   print the static (profile-free) prediction table
 //	-figures      print the misprediction-vs-size curves
 //	-measured     print the interpreter-verified replication results
 //	-crossdata    print the dataset-sensitivity experiment
@@ -83,6 +84,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 		budget     = fs.Uint64("budget", 2_000_000, "branch-event budget per workload")
 		quick      = fs.Bool("quick", false, "use the quick configuration")
 		tables     = fs.String("table", "", "comma-separated table numbers (1-5)")
+		staticpred = fs.Bool("staticpred", false, "print the static (profile-free) prediction table")
 		figures    = fs.Bool("figures", false, "print figure curves")
 		measured   = fs.Bool("measured", false, "print measured replication results")
 		crossdata  = fs.Bool("crossdata", false, "print dataset sensitivity")
@@ -163,11 +165,15 @@ func run(args []string, stdout, stderr io.Writer) error {
 		}
 		sel["table"+t] = true
 	}
+	if *staticpred {
+		sel["staticpred"] = true
+	}
 	nothing := len(sel) == 0 && !*figures && !*measured && !*crossdata && !*headline && !*layoutExp && !*scopeExp && !*jointExp && !*execbench && !*tracebench
 	if *all || nothing {
 		for i := 1; i <= 5; i++ {
 			sel[fmt.Sprintf("table%d", i)] = true
 		}
+		sel["staticpred"] = true
 		*figures, *measured, *crossdata, *headline, *layoutExp, *scopeExp, *jointExp = true, true, true, true, true, true, true
 	}
 
@@ -211,6 +217,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 		{"table3", func() (*bench.Table, error) { return suite.Table3(), nil }},
 		{"table4", func() (*bench.Table, error) { return suite.Table4(), nil }},
 		{"table5", func() (*bench.Table, error) { return suite.Table5(), nil }},
+		{"staticpred", func() (*bench.Table, error) { return suite.StaticPrediction(), nil }},
 	}
 	for _, sec := range sections {
 		if err := section(sec.id, sec.f); err != nil {

@@ -24,6 +24,7 @@ var goldenCases = []struct {
 	{"table3", []string{"-quick", "-budget", "20000", "-table", "3"}},
 	{"table4", []string{"-quick", "-budget", "20000", "-table", "4"}},
 	{"table5", []string{"-quick", "-budget", "20000", "-table", "5"}},
+	{"staticpred", []string{"-quick", "-budget", "20000", "-staticpred"}},
 }
 
 // TestGolden compares krallbench's stdout against committed golden files.

@@ -16,6 +16,12 @@
 //	-joint           verify the joint (§6) replication driver
 //	-max-size-factor F  replication size budget (default 3)
 //	-lint-only       skip the replication equivalence check
+//	-predict         print the static (profile-free) prediction report: the
+//	                 per-site probability/confidence/heuristics table plus a
+//	                 static-vs-profiled accuracy comparison; lint diagnostics
+//	                 (including the SCCP dead-branch/always-taken warnings)
+//	                 still run, the replication verifier does not. With no
+//	                 targets, prints the catalog-wide accuracy table instead.
 //	-q               print errors only
 //
 // Exit status: 0 when no pass reported an error (warnings are allowed), 1
@@ -51,6 +57,7 @@ type options struct {
 	joint    bool
 	sizeFac  float64
 	lintOnly bool
+	predict  bool
 	quiet    bool
 }
 
@@ -74,6 +81,7 @@ func run(args []string, stdout, stderr io.Writer) (code int) {
 	fs.BoolVar(&opts.joint, "joint", false, "verify the joint replication driver")
 	fs.Float64Var(&opts.sizeFac, "max-size-factor", 3, "replication size budget")
 	fs.BoolVar(&opts.lintOnly, "lint-only", false, "skip the replication equivalence check")
+	fs.BoolVar(&opts.predict, "predict", false, "print the static prediction report instead of verifying replication")
 	fs.BoolVar(&opts.quiet, "q", false, "print errors only")
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -114,6 +122,10 @@ func run(args []string, stdout, stderr io.Writer) (code int) {
 			}})
 		}
 	default:
+		if opts.predict {
+			// No targets: the catalog-wide accuracy table.
+			return predictCatalog(opts, stdout, stderr)
+		}
 		fmt.Fprintln(stderr, "usage: krallcheck [flags] (file.bl ... | -workload NAME)")
 		fs.Usage()
 		return 2
@@ -125,11 +137,35 @@ func run(args []string, stdout, stderr io.Writer) (code int) {
 			fmt.Fprintf(stderr, "krallcheck: %s: %v\n", tg.name, err)
 			return 2
 		}
-		if c := checkOne(tg.name, prog, opts, stdout, stderr); c > code {
+		check := checkOne
+		if opts.predict {
+			check = predictOne
+		}
+		if c := check(tg.name, prog, opts, stdout, stderr); c > code {
 			code = c
 		}
 	}
 	return code
+}
+
+// reportDiags prints diagnostics (errors always, warnings only without -q)
+// and returns the counts. The exit-code contract hangs off the error count:
+// any error diagnostic makes the target exit 1, warnings alone keep exit 0,
+// and malformed input or internal failure is reported before this point as
+// exit 2.
+func reportDiags(name string, diags []analysis.Diagnostic, quiet bool, stdout io.Writer) (errs, warns int) {
+	for _, d := range diags {
+		if d.Sev == analysis.Error {
+			errs++
+			fmt.Fprintf(stdout, "%s: %s\n", name, d)
+		} else {
+			warns++
+			if !quiet {
+				fmt.Fprintf(stdout, "%s: %s\n", name, d)
+			}
+		}
+	}
+	return errs, warns
 }
 
 // checkOne analyses one compiled program and returns its exit code.
@@ -183,18 +219,7 @@ func checkOne(name string, prog *ir.Program, opts options, stdout, stderr io.Wri
 		verified = st != nil && st.Verified
 	}
 
-	errs, warns := 0, 0
-	for _, d := range diags {
-		if d.Sev == analysis.Error {
-			errs++
-			fmt.Fprintf(stdout, "%s: %s\n", name, d)
-		} else {
-			warns++
-			if !opts.quiet {
-				fmt.Fprintf(stdout, "%s: %s\n", name, d)
-			}
-		}
-	}
+	errs, warns := reportDiags(name, diags, opts.quiet, stdout)
 	if !opts.quiet {
 		status := "replication not checked"
 		switch {

@@ -107,44 +107,95 @@ type Context struct {
 	// Prof is the collected profile, for ProfileConsistency.
 	Prof *profile.Profile
 
-	graphs map[*ir.Func]*cfg.Graph
-	loops  map[*ir.Func]*cfg.LoopForest
+	graphs map[*ir.Func]graphEntry
+	loops  map[*ir.Func]loopEntry
 	pass   string
 	diags  []Diagnostic
+}
+
+// graphEntry/loopEntry pair a cached structure with the structural
+// signature of the function at build time, so a mutation between lookups
+// invalidates the cache instead of serving stale CFGs.
+type graphEntry struct {
+	g   *cfg.Graph
+	sig uint64
+}
+
+type loopEntry struct {
+	lf  *cfg.LoopForest
+	sig uint64
+}
+
+// funcSig hashes the structure the cfg package derives from a function:
+// block count and, per block, identity, instruction count (Loop.NumInstrs
+// depends on it), terminator opcode, and successor IDs. FNV-1a over those
+// words; any mutation that changes the CFG or loop forest changes the
+// signature.
+func funcSig(f *ir.Func) uint64 {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	mix := func(x uint64) {
+		for i := 0; i < 8; i++ {
+			h ^= x & 0xff
+			h *= prime64
+			x >>= 8
+		}
+	}
+	mix(uint64(len(f.Blocks)))
+	for _, b := range f.Blocks {
+		mix(uint64(b.ID))
+		mix(uint64(len(b.Instrs)))
+		mix(uint64(b.Term.Op))
+		if b.Term.Then != nil {
+			mix(uint64(b.Term.Then.ID) + 1)
+		}
+		if b.Term.Op == ir.TermBr && b.Term.Else != nil {
+			mix(uint64(b.Term.Else.ID) + 1)
+		}
+	}
+	return h
 }
 
 // NewContext returns a Context for analysing prog.
 func NewContext(prog *ir.Program) *Context {
 	return &Context{
 		Prog:   prog,
-		graphs: make(map[*ir.Func]*cfg.Graph),
-		loops:  make(map[*ir.Func]*cfg.LoopForest),
+		graphs: make(map[*ir.Func]graphEntry),
+		loops:  make(map[*ir.Func]loopEntry),
 	}
 }
 
-// Graph returns the (cached) CFG of f.
+// Graph returns the (cached) CFG of f. The cache is keyed on the function's
+// structural signature: a mutation after a previous lookup rebuilds rather
+// than serving the stale graph.
 func (c *Context) Graph(f *ir.Func) *cfg.Graph {
 	if c.graphs == nil {
-		c.graphs = make(map[*ir.Func]*cfg.Graph)
+		c.graphs = make(map[*ir.Func]graphEntry)
 	}
-	g, ok := c.graphs[f]
-	if !ok {
-		g = cfg.Build(f)
-		c.graphs[f] = g
+	sig := funcSig(f)
+	if e, ok := c.graphs[f]; ok && e.sig == sig {
+		return e.g
 	}
+	g := cfg.Build(f)
+	c.graphs[f] = graphEntry{g: g, sig: sig}
 	return g
 }
 
-// Loops returns the (cached) loop forest of f.
+// Loops returns the (cached) loop forest of f, invalidated together with
+// the CFG it was derived from.
 func (c *Context) Loops(f *ir.Func) *cfg.LoopForest {
 	if c.loops == nil {
-		c.loops = make(map[*ir.Func]*cfg.LoopForest)
+		c.loops = make(map[*ir.Func]loopEntry)
 	}
-	lf, ok := c.loops[f]
-	if !ok {
-		lf = cfg.FindLoops(c.Graph(f))
-		c.loops[f] = lf
+	sig := funcSig(f)
+	if e, ok := c.loops[f]; ok && e.sig == sig {
+		return e.lf
 	}
+	lf := cfg.FindLoops(c.Graph(f))
+	c.loops[f] = loopEntry{lf: lf, sig: sig}
 	return lf
 }
 

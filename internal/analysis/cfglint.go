@@ -6,11 +6,12 @@ import (
 
 // CFGLint flags suspicious control-flow shapes: unreachable blocks that are
 // not marked dead, side-effect-free infinite self-loops, conditional
-// branches with identical arms, and back edges annotated as predicted
-// against their loop. Lint findings on the last two are advisory (Warning):
-// state-machine replication legitimately predicts against a back edge in
-// exit-biased states, which is exactly why this pass is not part of the
-// Apply-time verification set.
+// branches with identical arms (an Error, matching ir.Validate's rejection
+// of the degenerate shape — ssa.Build folds it to a jump rather than let it
+// reach the VM), and back edges annotated as predicted against their loop.
+// The back-edge finding is advisory (Warning): state-machine replication
+// legitimately predicts against a back edge in exit-biased states, which is
+// exactly why this pass is not part of the Apply-time verification set.
 type CFGLint struct{}
 
 // Name implements Pass.
@@ -34,7 +35,7 @@ func (CFGLint) Run(c *Context) {
 				}
 			case ir.TermBr:
 				if b.Term.Then == b.Term.Else {
-					c.Warnf(BlockPos(f, b), "conditional branch with identical arms")
+					c.Errorf(BlockPos(f, b), "conditional branch with identical arms")
 					if b.Term.Then == b && !hasSideEffects(b) {
 						c.Warnf(BlockPos(f, b), "infinite self-loop with no side effects")
 					}

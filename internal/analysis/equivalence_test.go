@@ -136,9 +136,10 @@ func TestVerifyCleanOnGeneratedPrograms(t *testing.T) {
 }
 
 // TestVerifyCatchesWrongSuccessor corrupts one successor edge of the
-// replicated program — pointing a branch at a copy of the wrong original
-// block — and requires the verifier to reject it. The mutant still passes
-// ir.Validate: only the equivalence check can see the provenance mismatch.
+// replicated program — swapping a branch's arms so each points at a copy of
+// the wrong original block — and requires the verifier to reject it. The
+// mutant still passes ir.Validate (both targets are in-function and
+// distinct): only the equivalence check can see the provenance mismatch.
 func TestVerifyCatchesWrongSuccessor(t *testing.T) {
 	p := pipe(t, periodicSrc, 2)
 	prog, st := applyVerified(t, p, false)
@@ -164,7 +165,8 @@ func TestVerifyCatchesWrongSuccessor(t *testing.T) {
 	if mb == nil {
 		t.Fatal("no mutable branch found")
 	}
-	mb.Term.Then = mb.Term.Else // now a copy of the wrong original successor
+	// Each arm now lands on a copy of the wrong original successor.
+	mb.Term.Then, mb.Term.Else = mb.Term.Else, mb.Term.Then
 	ir.MarkUnreachableDead(mf)
 	if err := prog.Validate(); err != nil {
 		t.Fatalf("mutant must stay structurally valid, got: %v", err)

@@ -20,6 +20,7 @@ func Experiments() []Experiment {
 		{"table3", "Misprediction rates of loop and loop exit branches", true},
 		{"table4", "Misprediction rates of correlated branches", true},
 		{"table5", "Best achievable misprediction rates", true},
+		{"staticpred", "Static (profile-free) prediction vs the profiled oracle", true},
 		{"figures", "Misprediction rate vs code size factor (Figures 6-13)", true},
 		{"measured", "Measured replication: interpreter-verified rates and sizes", false},
 		{"crossdataset", "Dataset sensitivity", false},

@@ -1,0 +1,98 @@
+package bench
+
+import (
+	"repro/internal/analysis"
+	"repro/internal/predict"
+	"repro/internal/runner"
+)
+
+// This file is the experiment face of the static branch-prediction engine:
+// it scores the profile-free predictors — the paper-era baselines
+// (always-taken, BTFN, opcode, Ball–Larus) and the Dempster–Shafer
+// heuristic engine with SCCP-decided sites overridden — against the
+// profiled oracle on every catalog workload, the regime where replication
+// budgets must be spent blind.
+
+// staticReportFor memoises one workload's static predictability report in
+// the artifact cache. The report depends only on the compiled program, but
+// the key stays inside the suite prefix so engines shared across datasets
+// never collide.
+func (s *Suite) staticReportFor(d *WorkloadData) (*analysis.StaticReport, error) {
+	key := s.prefix + "staticreport/" + d.C.Workload.Name
+	return runner.Cached(s.eng.Cache(), key, func() (*analysis.StaticReport, error) {
+		return analysis.BuildStaticReport(d.C.Prog)
+	})
+}
+
+// staticPredRows names the rate rows of the static-prediction table, in
+// render order.
+var staticPredRows = []string{
+	"always taken",
+	"always not taken",
+	"backward taken",
+	"opcode",
+	"ball-larus",
+	"static heuristic",
+	"profile",
+}
+
+// StaticPrediction builds the static-prediction table: misprediction rates
+// (%) of each profile-free strategy per workload, an "all" column
+// aggregating the whole catalog (the acceptance metric: the heuristic
+// engine must beat always-taken there), and a final row counting the
+// branch sites SCCP decided per workload.
+func (s *Suite) StaticPrediction() *Table {
+	t := &Table{ID: "staticpred", Title: "Static (profile-free) prediction misprediction rates (%)"}
+	type col struct {
+		res     []predict.Result
+		decided int
+	}
+	cols, err := runner.Map(s.eng, s.Data, func(_ int, d *WorkloadData) (col, error) {
+		rep, err := s.staticReportFor(d)
+		if err != nil {
+			return col{}, err
+		}
+		counts := d.Prof.Counts
+		strategies := []*predict.Static{
+			predict.AlwaysTaken(d.C.NSites),
+			predict.AlwaysNotTaken(d.C.NSites),
+			predict.BackwardTaken(d.C.Features),
+			predict.OpcodeStatic(d.C.Features),
+			predict.BallLarus(d.C.Features),
+			predict.StaticHeuristic(rep.Predictions()),
+			predict.ProfileStatic(counts),
+		}
+		c := col{res: make([]predict.Result, len(strategies)), decided: rep.Decided()}
+		for i, st := range strategies {
+			c.res[i] = st.Score(counts)
+		}
+		return c, nil
+	})
+	if err != nil {
+		// The suite's programs are compiled and validated; a failure here
+		// is a job panic and should crash loudly, like the other tables.
+		panic(err)
+	}
+	t.Cols = append(s.colNames(), "all")
+	for ri, name := range staticPredRows {
+		row := Row{Name: name}
+		var misses, total uint64
+		for _, c := range cols {
+			r := c.res[ri]
+			row.Cells = append(row.Cells, rateCell(r.Misses, r.Total))
+			misses += r.Misses
+			total += r.Total
+		}
+		row.Cells = append(row.Cells, rateCell(misses, total))
+		t.Rows = append(t.Rows, row)
+	}
+	decided := Row{Name: "sccp-decided sites"}
+	sum := 0
+	for _, c := range cols {
+		decided.Cells = append(decided.Cells, countCell(uint64(c.decided)))
+		sum += c.decided
+	}
+	decided.Cells = append(decided.Cells, countCell(uint64(sum)))
+	t.Rows = append(t.Rows, decided)
+	return t
+}

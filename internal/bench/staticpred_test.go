@@ -1,0 +1,88 @@
+package bench
+
+import (
+	"testing"
+
+	"repro/internal/analysis"
+)
+
+func TestStaticPredictionShape(t *testing.T) {
+	s := testSuite(t)
+	tab := s.StaticPrediction()
+	if len(tab.Cols) != len(s.Data)+1 || tab.Cols[len(tab.Cols)-1] != "all" {
+		t.Fatalf("columns %v must be the workloads plus an aggregate", tab.Cols)
+	}
+	if len(tab.Rows) != len(staticPredRows)+1 {
+		t.Fatalf("table has %d rows, want %d", len(tab.Rows), len(staticPredRows)+1)
+	}
+	for _, r := range tab.Rows {
+		if len(r.Cells) != len(tab.Cols) {
+			t.Fatalf("row %q has %d cells for %d columns", r.Name, len(r.Cells), len(tab.Cols))
+		}
+	}
+	decided := rowByName(t, tab, "sccp-decided sites")
+	for _, c := range decided.Cells {
+		if !c.Count {
+			t.Fatal("decided row must hold counts, not rates")
+		}
+	}
+}
+
+// TestStaticHeuristicBeatsAlwaysTaken pins the acceptance criterion: on
+// the catalog aggregate ("all" column), the Dempster–Shafer heuristic
+// engine mispredicts less than the always-taken baseline — and, being
+// profile-free, cannot be expected to beat the profiled oracle.
+func TestStaticHeuristicBeatsAlwaysTaken(t *testing.T) {
+	s := testSuite(t)
+	tab := s.StaticPrediction()
+	agg := func(name string) float64 {
+		r := rowByName(t, tab, name)
+		c := r.Cells[len(r.Cells)-1]
+		if !c.Valid {
+			t.Fatalf("row %q has no aggregate", name)
+		}
+		return c.Value
+	}
+	heur, always, oracle := agg("static heuristic"), agg("always taken"), agg("profile")
+	if heur >= always {
+		t.Fatalf("static heuristic (%.2f%%) does not beat always-taken (%.2f%%)", heur, always)
+	}
+	if heur < oracle {
+		t.Fatalf("profile-free heuristic (%.2f%%) beats the profiled oracle (%.2f%%): scoring bug", heur, oracle)
+	}
+}
+
+// TestStaticDecidedSoundCatalog checks every SCCP claim against the
+// recorded catalog traces: a branch proven one-way must never be observed
+// going the other way in the profiling run of any workload.
+func TestStaticDecidedSoundCatalog(t *testing.T) {
+	s := testSuite(t)
+	for _, d := range s.Data {
+		rep, err := s.staticReportFor(d)
+		if err != nil {
+			t.Fatalf("%s: %v", d.C.Workload.Name, err)
+		}
+		if len(rep.Sites) != d.C.NSites {
+			t.Fatalf("%s: report has %d sites, workload %d", d.C.Workload.Name, len(rep.Sites), d.C.NSites)
+		}
+		counts := d.Prof.Counts
+		for i := range rep.Sites {
+			switch rep.Sites[i].Fact {
+			case analysis.FactAlwaysTaken:
+				if counts.NotTaken[i] != 0 {
+					t.Errorf("%s site %d: proven always-taken, observed not-taken %d times",
+						d.C.Workload.Name, i, counts.NotTaken[i])
+				}
+			case analysis.FactNeverTaken:
+				if counts.Taken[i] != 0 {
+					t.Errorf("%s site %d: proven dead-branch, observed taken %d times",
+						d.C.Workload.Name, i, counts.Taken[i])
+				}
+			case analysis.FactUnreachable:
+				if counts.Taken[i]+counts.NotTaken[i] != 0 {
+					t.Errorf("%s site %d: proven unreachable, but executed", d.C.Workload.Name, i)
+				}
+			}
+		}
+	}
+}

@@ -119,6 +119,16 @@ func TestValidateCatchesErrors(t *testing.T) {
 			t.Fatal("want error for element access to scalar")
 		}
 	})
+	t.Run("degenerateBranch", func(t *testing.T) {
+		p, f := mk()
+		// countdown's branch with both arms pointed at the body: an
+		// unconditional jump wearing a prediction site.
+		f.Blocks[1].Term.Else = f.Blocks[1].Term.Then
+		MarkUnreachableDead(f)
+		if err := p.Validate(); err == nil || !strings.Contains(err.Error(), "identical arms") {
+			t.Fatalf("want identical-arms error, got %v", err)
+		}
+	})
 	t.Run("dupFunc", func(t *testing.T) {
 		p, _ := mk()
 		if err := p.AddFunc(&Func{Name: "countdown"}); err == nil {

@@ -18,7 +18,10 @@ import (
 //     argument counts match the callee's parameter count;
 //   - array accesses name array globals, scalar accesses name scalars;
 //   - every block is reachable from the entry or explicitly marked Dead;
-//   - Prediction annotations appear only on conditional-branch terminators.
+//   - Prediction annotations appear only on conditional-branch terminators;
+//   - conditional branches have distinct successors (a degenerate cond-br
+//     whose arms coincide is an unconditional jump in disguise: it wastes a
+//     prediction site and trips the static analyses).
 func (p *Program) Validate() error {
 	for _, f := range p.Funcs {
 		if err := p.validateFunc(f); err != nil {
@@ -130,6 +133,9 @@ func (p *Program) validateFunc(f *Func) error {
 			}
 			if b.Term.Else == nil || !member[b.Term.Else] {
 				return fmt.Errorf("%s: br fall-through target not in function", b)
+			}
+			if b.Term.Then == b.Term.Else {
+				return fmt.Errorf("%s: degenerate br with identical arms %s", b, b.Term.Then)
 			}
 		case TermRet:
 			if b.Term.HasVal {

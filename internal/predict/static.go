@@ -336,3 +336,12 @@ func ballLarusSite(ft *SiteFeatures) ir.Prediction {
 	}
 	return ir.PredNotTaken
 }
+
+// StaticHeuristic wraps a per-site prediction vector produced by the
+// analysis package's static prediction engine (Dempster–Shafer combined
+// Ball–Larus heuristics with SCCP-decided sites overridden). The analysis
+// package cannot be imported from here (it depends on statemachine, which
+// depends on this package), so callers pass the finished vector.
+func StaticHeuristic(preds []ir.Prediction) *Static {
+	return &Static{Strategy: "static heuristic", Preds: append([]ir.Prediction(nil), preds...)}
+}

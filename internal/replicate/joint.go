@@ -32,6 +32,12 @@ func ApplyJoint(prog *ir.Program, choices []statemachine.Choice, profilePreds []
 	choiceBySite := map[int32]*statemachine.Choice{}
 	for i := range choices {
 		c := &choices[i]
+		// Statically-decided sites never enter the joint groups — same
+		// "budget: static" rule as the sequential driver.
+		if int(c.Site) < len(opts.StaticSkip) && opts.StaticSkip[c.Site] {
+			st.StaticSkipped++
+			continue
+		}
 		if c.Kind != statemachine.KindProfile {
 			choiceBySite[c.Site] = c
 		}

@@ -38,6 +38,10 @@ type Stats struct {
 	// Skipped counts machines that could not be applied (e.g. the loop
 	// disappeared after an earlier transform).
 	Skipped int
+	// StaticSkipped counts machines dropped because Options.StaticSkip
+	// marked their site as statically decided — replication budget is
+	// never spent on a branch whose direction is already proven.
+	StaticSkipped int
 	// InstrsBefore/After measure code size (the paper's size metric).
 	InstrsBefore, InstrsAfter int
 	// Verified reports that Options.Verify was set and the equivalence
@@ -113,6 +117,11 @@ type Options struct {
 	// bound, and §5's optimizer applies replication only where a cost
 	// function allows it.
 	MaxSizeFactor float64
+	// StaticSkip, indexed by original branch site, marks sites the static
+	// analysis decided (always-taken, dead, or unreachable branches).
+	// Machines targeting a marked site are dropped before the budget is
+	// allocated — the "budget: static" selection mode.
+	StaticSkip []bool
 	// Verify makes Apply record copy provenance while transforming and run
 	// the analysis.Verify equivalence suite on the result: any verifier
 	// Error fails the call with ErrVerify. The snapshot, provenance, and
@@ -155,6 +164,13 @@ func ApplyOpts(prog *ir.Program, choices []statemachine.Choice, profilePreds []i
 	var cands []cand
 	for i := range choices {
 		c := &choices[i]
+		// Statically-decided sites are claimed by the analysis before the
+		// profile-static fallback: however the selection classified them,
+		// no replication budget is spent there.
+		if int(c.Site) < len(opts.StaticSkip) && opts.StaticSkip[c.Site] {
+			st.StaticSkipped++
+			continue
+		}
 		if c.Kind == statemachine.KindProfile {
 			continue
 		}

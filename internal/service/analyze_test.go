@@ -1,0 +1,171 @@
+package service
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+)
+
+// analyzeSrc has two SCCP-decidable branches (x>100 never taken, x<100
+// always taken) around an undecided loop — the same shape the analysis
+// unit tests pin, here driven over the wire.
+const analyzeSrc = `
+func main() int {
+    var x int = 10;
+    var s int = 0;
+    if x > 100 { s = s + 7; } else { s = s + 1; }
+    for var i int = 0; i < 1000; i = i + 1 {
+        if i % 3 == 0 { s = s + 1; }
+    }
+    if x < 100 { s = s + 2; }
+    print(s);
+    return s;
+}`
+
+// TestAnalyzeEndpoint drives POST /v1/analyze end to end: response shape,
+// SCCP facts, probability pinning, and the decided count.
+func TestAnalyzeEndpoint(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	code, body := post(t, ts, "analyze", `{"source":`+mustJSON(t, analyzeSrc)+`}`)
+	if code != http.StatusOK {
+		t.Fatalf("status %d: %s", code, body)
+	}
+	var resp AnalyzeResponse
+	if err := json.Unmarshal(body, &resp); err != nil {
+		t.Fatal(err)
+	}
+	if resp.SchemaV != Schema || resp.Kind != "analyze" {
+		t.Fatalf("envelope: %+v", resp)
+	}
+	if resp.NumSites != len(resp.Sites) {
+		t.Fatalf("num_sites %d, %d site rows", resp.NumSites, len(resp.Sites))
+	}
+	if resp.Decided != 2 {
+		t.Fatalf("decided = %d, want 2:\n%s", resp.Decided, body)
+	}
+	facts := map[string]int{}
+	for _, s := range resp.Sites {
+		facts[s.Fact]++
+		switch s.Fact {
+		case "always-taken":
+			if s.Prob != 1 || s.Pred != "taken" || s.Confidence != 1 {
+				t.Errorf("always-taken site %d: prob=%v pred=%s conf=%v", s.Site, s.Prob, s.Pred, s.Confidence)
+			}
+		case "never-taken":
+			if s.Prob != 0 || s.Pred != "not_taken" {
+				t.Errorf("never-taken site %d: prob=%v pred=%s", s.Site, s.Prob, s.Pred)
+			}
+		}
+	}
+	if facts["always-taken"] != 1 || facts["never-taken"] != 1 || facts["undecided"] == 0 {
+		t.Fatalf("fact histogram %v", facts)
+	}
+}
+
+// TestAnalyzeWorkloadAndErrors covers the workload path and the request
+// validation errors shared with the other endpoints.
+func TestAnalyzeWorkloadAndErrors(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	code, body := post(t, ts, "analyze", `{"workload":"compress"}`)
+	if code != http.StatusOK {
+		t.Fatalf("status %d: %s", code, body)
+	}
+	var resp AnalyzeResponse
+	if err := json.Unmarshal(body, &resp); err != nil {
+		t.Fatal(err)
+	}
+	if resp.Program != "compress" || resp.NumSites == 0 {
+		t.Fatalf("workload response: %+v", resp)
+	}
+	if code, _ := post(t, ts, "analyze", `{}`); code != http.StatusBadRequest {
+		t.Fatalf("no program: status %d, want 400", code)
+	}
+	if code, _ := post(t, ts, "analyze", `{"workload":"nope"}`); code != http.StatusBadRequest {
+		t.Fatalf("unknown workload: status %d, want 400", code)
+	}
+	if code, _ := post(t, ts, "analyze", `{"source":"func main( {"}`); code != http.StatusBadRequest {
+		t.Fatalf("bad source: status %d, want 400", code)
+	}
+}
+
+// TestAnalyzeCachedAndMetered pins the store discipline and the
+// kralld_analyze_* counters: repeated requests for the same program
+// compute the report once, and the counters advance only on that cold
+// compute.
+func TestAnalyzeCachedAndMetered(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	req := `{"source":` + mustJSON(t, analyzeSrc) + `}`
+	var first []byte
+	for i := 0; i < 3; i++ {
+		code, body := post(t, ts, "analyze", req)
+		if code != http.StatusOK {
+			t.Fatalf("status %d: %s", code, body)
+		}
+		if first == nil {
+			first = body
+		} else if string(first) != string(body) {
+			t.Fatalf("response bytes drifted between repeats")
+		}
+	}
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	mbody, _ := io.ReadAll(resp.Body)
+	var sites AnalyzeResponse
+	if err := json.Unmarshal(first, &sites); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		// One cold compute despite three requests: the counters are the
+		// single-source numbers, not per-request tallies.
+		"kralld_analyze_sites_total " + itoa(sites.NumSites),
+		"kralld_analyze_decided_total 2",
+		`kralld_requests_total{endpoint="analyze",code="200"} 3`,
+	} {
+		if !strings.Contains(string(mbody), want) {
+			t.Errorf("/metrics missing %q:\n%s", want, mbody)
+		}
+	}
+}
+
+// TestReplicateStaticBudget pins the static_budget knob: replication must
+// report the statically-decided sites it skipped, and the transformed
+// program must still agree with the baseline checksum.
+func TestReplicateStaticBudget(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	req := `{"source":` + mustJSON(t, analyzeSrc) + `,"budget":20000,"static_budget":true}`
+	code, body := post(t, ts, "replicate", req)
+	if code != http.StatusOK {
+		t.Fatalf("status %d: %s", code, body)
+	}
+	var resp ReplicateResponse
+	if err := json.Unmarshal(body, &resp); err != nil {
+		t.Fatal(err)
+	}
+	if !resp.SemanticsVerified {
+		t.Fatal("checksums diverged under static_budget")
+	}
+	// Both SCCP-decided sites must be claimed by the static skip, whatever
+	// machine kind the profile-driven selection had picked for them.
+	if resp.Machines.StaticSkipped != 2 {
+		t.Fatalf("static_skipped = %d, want 2:\n%s", resp.Machines.StaticSkipped, body)
+	}
+}
+
+func mustJSON(t *testing.T, s string) string {
+	t.Helper()
+	b, err := json.Marshal(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(b)
+}
+
+func itoa(n int) string {
+	b, _ := json.Marshal(n)
+	return string(b)
+}

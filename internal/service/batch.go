@@ -54,6 +54,8 @@ type BatchResponse struct {
 // pipelineHandler resolves a batch item's endpoint name.
 func (s *Server) pipelineHandler(name string) func(context.Context, *Request) (any, error) {
 	switch name {
+	case "analyze":
+		return s.handleAnalyze
 	case "profile":
 		return s.handleProfile
 	case "machines":
@@ -220,7 +222,7 @@ func (s *Server) runBatchItem(ctx context.Context, item *BatchItem) BatchItemRes
 	h := s.pipelineHandler(item.Endpoint)
 	if h == nil {
 		res.Status = http.StatusBadRequest
-		res.Error = fmt.Sprintf("unknown endpoint %q (want one of profile, machines, replicate, score)", item.Endpoint)
+		res.Error = fmt.Sprintf("unknown endpoint %q (want one of analyze, profile, machines, replicate, score)", item.Endpoint)
 		return res
 	}
 	out, err := runJob(s.eng, func() (any, error) { return h(ctx, &item.Request) })

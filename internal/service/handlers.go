@@ -47,11 +47,14 @@ type Request struct {
 	// Joint selects the §6 joint machines; IncludeIR returns the
 	// transformed program text; Check runs the replication-equivalence
 	// verifier on the transform (also settable as the check=true query
-	// parameter).
+	// parameter); StaticBudget makes /v1/replicate skip replication at
+	// sites the static analysis (/v1/analyze) proved one-way — budget is
+	// never spent on statically-decided branches.
 	MaxSizeFactor float64 `json:"max_size_factor,omitempty"`
 	Joint         bool    `json:"joint,omitempty"`
 	IncludeIR     bool    `json:"include_ir,omitempty"`
 	Check         bool    `json:"check,omitempty"`
+	StaticBudget  bool    `json:"static_budget,omitempty"`
 
 	// TraceB64 is a base64 BLTRACE1 stream for /v1/score; Strategy picks
 	// the scoring strategy (profile, last, twobit, static); Preds is the
@@ -464,6 +467,7 @@ type ReplicateResponse struct {
 		EdgesRouted   int `json:"edges_routed"`
 		EdgesCatchAll int `json:"edges_catch_all"`
 		Skipped       int `json:"skipped"`
+		StaticSkipped int `json:"static_skipped"`
 	} `json:"machines"`
 	SemanticsVerified bool `json:"semantics_verified"`
 	// Verified reports the replication-equivalence verifier's verdict; it
@@ -528,12 +532,24 @@ func (s *Server) handleReplicate(ctx context.Context, req *Request) (any, error)
 		return nil, err
 	}
 
+	ropts := replicate.Options{MaxSizeFactor: sizeFactor, Verify: req.Check}
+	if req.StaticBudget {
+		// The "budget: static" mode: sites the dataflow analysis proved
+		// one-way get no replication machinery — a static annotation is
+		// already a perfect predictor there.
+		rep, err := s.staticReportFor(c)
+		if err != nil {
+			return nil, err
+		}
+		ropts.StaticSkip = rep.DecidedSites()
+	}
+
 	clone := ir.CloneProgram(c.prog)
 	apply := replicate.ApplyOpts
 	if req.Joint {
 		apply = replicate.ApplyJoint
 	}
-	st, err := apply(clone, choices, preds, replicate.Options{MaxSizeFactor: sizeFactor, Verify: req.Check})
+	st, err := apply(clone, choices, preds, ropts)
 	if err != nil {
 		if errors.Is(err, replicate.ErrVerify) {
 			// The transform produced a program the verifier cannot prove
@@ -571,6 +587,7 @@ func (s *Server) handleReplicate(ctx context.Context, req *Request) (any, error)
 	resp.Machines.EdgesRouted = st.PathEdgesRouted
 	resp.Machines.EdgesCatchAll = st.PathEdgesCatchAll
 	resp.Machines.Skipped = st.Skipped
+	resp.Machines.StaticSkipped = st.StaticSkipped
 	if req.IncludeIR {
 		resp.IR = clone.String()
 	}

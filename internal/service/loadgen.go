@@ -116,6 +116,11 @@ func Load(ctx context.Context, baseURL string, opts LoadOptions) (*LoadReport, e
 		if err := addCall("profile", common); err != nil {
 			return nil, err
 		}
+		// The static analysis endpoint takes no budget: its response is a
+		// pure function of the program.
+		if err := addCall("analyze", map[string]any{"workload": name}); err != nil {
+			return nil, err
+		}
 		if err := addCall("machines", map[string]any{
 			"workload": name, "budget": opts.Budget, "states": opts.States,
 		}); err != nil {

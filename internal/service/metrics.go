@@ -102,6 +102,12 @@ type verifySnapshot struct {
 	verified, failed int64
 }
 
+// analyzeSnapshot carries the static-analysis endpoint's counters into
+// write: branch sites examined and sites proven one-way.
+type analyzeSnapshot struct {
+	sites, decided int64
+}
+
 // diskSnapshot carries the disk tier's counters into write (nil when the
 // tier is disabled — its metric lines are then omitted entirely).
 type diskSnapshot struct {
@@ -123,7 +129,7 @@ type clusterSnapshot struct {
 // write renders the registry in Prometheus text exposition format, with
 // deterministic ordering (sorted endpoints, sorted codes, buckets in
 // bound order) so snapshots diff cleanly.
-func (m *metrics) write(w io.Writer, eng runner.Stats, store storeSnapshot, verify verifySnapshot, disk *diskSnapshot, clu *clusterSnapshot, uptime time.Duration) {
+func (m *metrics) write(w io.Writer, eng runner.Stats, store storeSnapshot, verify verifySnapshot, analyze analyzeSnapshot, disk *diskSnapshot, clu *clusterSnapshot, uptime time.Duration) {
 	for _, name := range m.names {
 		e := m.endpoints[name]
 		e.mu.Lock()
@@ -215,6 +221,8 @@ func (m *metrics) write(w io.Writer, eng runner.Stats, store storeSnapshot, veri
 		fmt.Fprintf(w, "kralld_cluster_peer_fetch_errors_total %d\n", clu.peerFetchErrors)
 		fmt.Fprintf(w, "kralld_cluster_rate_limited_total %d\n", clu.rateLimited)
 	}
+	fmt.Fprintf(w, "kralld_analyze_sites_total %d\n", analyze.sites)
+	fmt.Fprintf(w, "kralld_analyze_decided_total %d\n", analyze.decided)
 	fmt.Fprintf(w, "krallcheck_verified_total %d\n", verify.verified)
 	fmt.Fprintf(w, "krallcheck_failed_total %d\n", verify.failed)
 	fmt.Fprintf(w, "kralld_uptime_seconds %g\n", uptime.Seconds())

@@ -45,8 +45,8 @@ import (
 const Schema = "kralld/v1"
 
 // Endpoints lists the POST pipeline endpoints in metrics order; "batch"
-// (POST /v1/batch, which multiplexes the four) is metered separately.
-var Endpoints = []string{"machines", "profile", "replicate", "score"}
+// (POST /v1/batch, which multiplexes the five) is metered separately.
+var Endpoints = []string{"analyze", "machines", "profile", "replicate", "score"}
 
 // batchEndpoint is the metrics/admission name of POST /v1/batch.
 const batchEndpoint = "batch"
@@ -183,6 +183,12 @@ type Server struct {
 	// on /metrics as krallcheck_{verified,failed}_total.
 	verifyOK   atomic.Int64
 	verifyFail atomic.Int64
+
+	// analyzeSites/analyzeDecided count branch sites examined and proven
+	// one-way by /v1/analyze (cold runs only; cache hits recompute
+	// nothing). Exported as kralld_analyze_{sites,decided}_total.
+	analyzeSites   atomic.Int64
+	analyzeDecided atomic.Int64
 }
 
 // New builds a server. The engine provides bounded job execution and the
@@ -230,6 +236,7 @@ func New(cfg Config) (*Server, error) {
 	for _, ep := range metered {
 		s.sems[ep] = make(chan struct{}, cfg.MaxInflight)
 	}
+	s.mux.HandleFunc("/v1/analyze", s.endpoint("analyze", s.handleAnalyze))
 	s.mux.HandleFunc("/v1/profile", s.endpoint("profile", s.handleProfile))
 	s.mux.HandleFunc("/v1/machines", s.endpoint("machines", s.handleMachines))
 	s.mux.HandleFunc("/v1/replicate", s.endpoint("replicate", s.handleReplicate))
@@ -488,6 +495,8 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		shards: s.store.mem.Shards(),
 	}, verifySnapshot{
 		verified: s.verifyOK.Load(), failed: s.verifyFail.Load(),
+	}, analyzeSnapshot{
+		sites: s.analyzeSites.Load(), decided: s.analyzeDecided.Load(),
 	}, disk, clu, time.Since(s.started))
 }
 

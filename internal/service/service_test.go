@@ -74,6 +74,8 @@ func TestGoldenResponses(t *testing.T) {
 		{"score_compress_static", "score", `{"workload":"compress","budget":20000,"strategy":"static","preds":["taken","not_taken"]}`},
 		{"machines_scheduler_paths", "machines", `{"workload":"scheduler","budget":20000,"states":6,"max_path_len":2}`},
 		{"replicate_cc_joint", "replicate", `{"workload":"cc","budget":20000,"joint":true}`},
+		{"analyze_compress", "analyze", `{"workload":"compress"}`},
+		{"replicate_compress_static", "replicate", `{"workload":"compress","budget":20000,"states":4,"static_budget":true}`},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
@@ -355,7 +357,9 @@ func TestConcurrentClients(t *testing.T) {
 	if err != nil {
 		t.Fatalf("load: %v (report: %v)", err, report)
 	}
-	if want := 3 * 5 * 4; report.Requests != want {
+	// Six distinct calls per workload: analyze, profile, machines,
+	// replicate, score, and the uploaded-trace score.
+	if want := 3 * 6 * 4; report.Requests != want {
 		t.Fatalf("Requests = %d, want %d", report.Requests, want)
 	}
 }

@@ -63,6 +63,17 @@ func buildFunc(irf *ir.Func) (*Func, error) {
 			sb.Term.Then = b.bmap[ib.Term.Then.ID]
 			sb.Term.Then.Preds = append(sb.Term.Then.Preds, sb)
 		case ir.TermBr:
+			if ib.Term.Then == ib.Term.Else {
+				// Degenerate cond-br (identical arms): fold to an
+				// unconditional jump so the condition is dead-code-swept
+				// and downstream consumers never see a two-way edge pair
+				// to one target. ir.Validate rejects this shape, but Build
+				// stays defensive for hand-built inputs.
+				sb.Term.Op = ir.TermJmp
+				sb.Term.Then = b.bmap[ib.Term.Then.ID]
+				sb.Term.Then.Preds = append(sb.Term.Then.Preds, sb)
+				break
+			}
 			sb.Term.Then = b.bmap[ib.Term.Then.ID]
 			sb.Term.Else = b.bmap[ib.Term.Else.ID]
 			sb.Term.Src = &ib.Term
@@ -231,7 +242,11 @@ func (b *builder) renameBlock(blk *Block) error {
 	t := &blk.Orig.Term
 	switch t.Op {
 	case ir.TermBr:
-		blk.Term.Cond = b.top(t.Cond)
+		// A degenerate br was folded to a jump during edge wiring; its
+		// condition is not an SSA use.
+		if blk.Term.Op == ir.TermBr {
+			blk.Term.Cond = b.top(t.Cond)
+		}
 	case ir.TermRet:
 		if t.HasVal {
 			blk.Term.Val = b.top(t.A)
