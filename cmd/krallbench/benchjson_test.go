@@ -46,7 +46,8 @@ func TestBenchJSON(t *testing.T) {
 
 	wantOrder := []string{
 		"table1", "table2", "table3", "table4", "table5", "staticpred",
-		"figures", "measured", "crossdataset", "layout", "scope", "joint", "headline",
+		"figures", "measured", "crossdataset", "layout", "scope", "joint",
+		"indirect", "headline",
 	}
 	if len(res.Experiments) != len(wantOrder) {
 		t.Fatalf("experiments = %d entries, want %d", len(res.Experiments), len(wantOrder))
@@ -63,7 +64,7 @@ func TestBenchJSON(t *testing.T) {
 	// execution-bound experiments.
 	for _, e := range res.Experiments {
 		switch e.ID {
-		case "measured", "crossdataset", "layout", "scope", "joint":
+		case "measured", "crossdataset", "layout", "scope", "joint", "indirect":
 			if e.TraceSufficient {
 				t.Fatalf("%s marked trace-sufficient", e.ID)
 			}

@@ -12,6 +12,8 @@
 //	-figures      print the misprediction-vs-size curves
 //	-measured     print the interpreter-verified replication results
 //	-crossdata    print the dataset-sensitivity experiment
+//	-indirect     print the indirect-dispatch experiment: switch clustering
+//	              vs the annotated baseline on the dispatch workloads
 //	-headline     print the §5 headline summary
 //	-all          print everything (default when no selector is given)
 //	-states N     machine size for the measured-replication experiment
@@ -91,6 +93,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 		layoutExp  = fs.Bool("layout", false, "print the code-positioning experiment")
 		scopeExp   = fs.Bool("scope", false, "print the scheduler-scope experiment")
 		jointExp   = fs.Bool("joint", false, "print the joint-machine (§6) experiment")
+		indirExp   = fs.Bool("indirect", false, "print the indirect-dispatch (switch clustering) experiment")
 		headline   = fs.Bool("headline", false, "print headline summary")
 		all        = fs.Bool("all", false, "print everything")
 		states     = fs.Int("states", 5, "machine size for measured replication")
@@ -168,13 +171,13 @@ func run(args []string, stdout, stderr io.Writer) error {
 	if *staticpred {
 		sel["staticpred"] = true
 	}
-	nothing := len(sel) == 0 && !*figures && !*measured && !*crossdata && !*headline && !*layoutExp && !*scopeExp && !*jointExp && !*execbench && !*tracebench
+	nothing := len(sel) == 0 && !*figures && !*measured && !*crossdata && !*headline && !*layoutExp && !*scopeExp && !*jointExp && !*indirExp && !*execbench && !*tracebench
 	if *all || nothing {
 		for i := 1; i <= 5; i++ {
 			sel[fmt.Sprintf("table%d", i)] = true
 		}
 		sel["staticpred"] = true
-		*figures, *measured, *crossdata, *headline, *layoutExp, *scopeExp, *jointExp = true, true, true, true, true, true, true
+		*figures, *measured, *crossdata, *headline, *layoutExp, *scopeExp, *jointExp, *indirExp = true, true, true, true, true, true, true, true
 	}
 
 	var timings []results.Section
@@ -287,6 +290,15 @@ func run(args []string, stdout, stderr io.Writer) error {
 		}
 		fmt.Fprintln(stdout, t.Render())
 		report("joint", time.Since(secStart))
+	}
+	if *indirExp {
+		secStart := time.Now()
+		t, err := suite.IndirectTable()
+		if err != nil {
+			return err
+		}
+		fmt.Fprintln(stdout, t.Render())
+		report("indirect", time.Since(secStart))
 	}
 	if *headline {
 		secStart := time.Now()

@@ -25,6 +25,7 @@ var goldenCases = []struct {
 	{"table4", []string{"-quick", "-budget", "20000", "-table", "4"}},
 	{"table5", []string{"-quick", "-budget", "20000", "-table", "5"}},
 	{"staticpred", []string{"-quick", "-budget", "20000", "-staticpred"}},
+	{"indirect", []string{"-quick", "-budget", "20000", "-indirect"}},
 }
 
 // TestGolden compares krallbench's stdout against committed golden files.

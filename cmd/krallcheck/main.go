@@ -37,6 +37,7 @@ import (
 
 	"repro/internal/analysis"
 	"repro/internal/bench"
+	"repro/internal/indirect"
 	"repro/internal/interp"
 	"repro/internal/ir"
 	"repro/internal/lang"
@@ -44,6 +45,7 @@ import (
 	"repro/internal/profile"
 	"repro/internal/replicate"
 	"repro/internal/statemachine"
+	"repro/internal/trace"
 )
 
 func main() {
@@ -177,11 +179,16 @@ func checkOne(name string, prog *ir.Program, opts options, stdout, stderr io.Wri
 	}
 
 	// Profile the program so machine selection and the profile-consistency
-	// pass have real data to check.
+	// pass have real data to check; switch dispatches feed the target
+	// distribution the clustering pass consumes.
 	prof := profile.New(nSites, profile.Options{})
+	targets := trace.NewTargetCounts(nSites)
 	m := interp.New(prog)
 	m.MaxBranches = opts.budget
 	m.Hook = prof.Branch
+	m.SwHook = func(t *ir.Term, outcome int32) {
+		targets.RecordSwitch(t.Orig, outcome)
+	}
 	if opts.seed != 0 {
 		// Only workloads declare wseed; ad-hoc programs simply lack it.
 		_ = m.SetGlobal("wseed", opts.seed)
@@ -219,6 +226,36 @@ func checkOne(name string, prog *ir.Program, opts options, stdout, stderr io.Wri
 		verified = st != nil && st.Verified
 	}
 
+	// The indirect family's pass: programs with switch dispatches also get
+	// clustered (against the profiled target distribution) and re-derived
+	// structurally. Switch-free programs skip it silently.
+	nSwitches := 0
+	for _, f := range prog.Funcs {
+		for _, b := range f.Blocks {
+			if b.Term.Op == ir.TermSwitch {
+				nSwitches++
+			}
+		}
+	}
+	clusterStatus := ""
+	if nSwitches > 0 && !opts.lintOnly {
+		snap := ir.CloneProgram(prog)
+		clustered := ir.CloneProgram(prog)
+		st, prov, err := indirect.Cluster(clustered, targets, indirect.Options{})
+		if err != nil {
+			fmt.Fprintf(stderr, "krallcheck: %s: clustering: %v\n", name, err)
+			return 2
+		}
+		idiags := analysis.VerifyIndirect(snap, clustered, prov)
+		diags = append(diags, idiags...)
+		if len(idiags) == 0 {
+			clusterStatus = fmt.Sprintf(", clustering verified (%d of %d dispatch sites)",
+				st.Clustered, st.Switches)
+		} else {
+			clusterStatus = ", clustering NOT verified"
+		}
+	}
+
 	errs, warns := reportDiags(name, diags, opts.quiet, stdout)
 	if !opts.quiet {
 		status := "replication not checked"
@@ -228,8 +265,8 @@ func checkOne(name string, prog *ir.Program, opts options, stdout, stderr io.Wri
 		case !opts.lintOnly:
 			status = "replication NOT verified"
 		}
-		fmt.Fprintf(stdout, "%s: %d branch sites, %d errors, %d warnings, %s\n",
-			name, nSites, errs, warns, status)
+		fmt.Fprintf(stdout, "%s: %d branch sites, %d errors, %d warnings, %s%s\n",
+			name, nSites, errs, warns, status, clusterStatus)
 	}
 	if errs > 0 {
 		return 1

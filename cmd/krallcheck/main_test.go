@@ -69,6 +69,22 @@ func TestCheckExamples(t *testing.T) {
 	}
 }
 
+// TestCheckDispatchClustering pins the indirect family's pass on the
+// dispatch example: the skewed switch must be clustered and re-derived.
+func TestCheckDispatchClustering(t *testing.T) {
+	path := filepath.Join("..", "..", "examples", "bl", "dispatch.bl")
+	if _, err := os.Stat(path); err != nil {
+		t.Skipf("dispatch example missing: %v", err)
+	}
+	var out, errOut strings.Builder
+	if code := run([]string{path}, &out, &errOut); code != 0 {
+		t.Fatalf("exit %d, stderr: %s\nstdout: %s", code, errOut.String(), out.String())
+	}
+	if !strings.Contains(out.String(), "clustering verified (1 of 1 dispatch sites)") {
+		t.Fatalf("missing clustering verdict:\n%s", out.String())
+	}
+}
+
 func TestMalformedSourceExitsTwo(t *testing.T) {
 	path := write(t, "bad.bl", "func main( {")
 	var out, errOut strings.Builder

@@ -152,8 +152,11 @@ func funcSig(f *ir.Func) uint64 {
 		if b.Term.Then != nil {
 			mix(uint64(b.Term.Then.ID) + 1)
 		}
-		if b.Term.Op == ir.TermBr && b.Term.Else != nil {
+		if (b.Term.Op == ir.TermBr || b.Term.Op == ir.TermSwitch) && b.Term.Else != nil {
 			mix(uint64(b.Term.Else.ID) + 1)
+		}
+		for _, t := range b.Term.Targets {
+			mix(uint64(t.ID) + 1)
 		}
 	}
 	return h

@@ -124,7 +124,7 @@ func checkBlocks(c *Context, fi int, f, of *ir.Func) {
 		}
 		checkBody(c, f, b, ob)
 		checkTerm(c, fi, f, b, ob, of)
-		if b.Term.Op == ir.TermBr {
+		if b.Term.Op == ir.TermBr && !b.Term.SwTest {
 			checkPrediction(c, f, b, ob)
 		}
 	}
@@ -168,7 +168,7 @@ func checkTerm(c *Context, fi int, f *ir.Func, b, ob *ir.Block, of *ir.Func) {
 	if t.Cond != ot.Cond || t.A != ot.A || t.HasVal != ot.HasVal {
 		c.Errorf(BlockPos(f, b), "terminator operands differ from origin %s", ob)
 	}
-	if t.Op == ir.TermBr && t.Orig != ot.Orig {
+	if (t.Op == ir.TermBr || t.Op == ir.TermSwitch) && t.Orig != ot.Orig {
 		c.Errorf(BlockPos(f, b), "branch ancestry %d differs from origin %s's %d", t.Orig, ob, ot.Orig)
 	}
 	checkSucc := func(succ *ir.Block, osucc *ir.Block, slot string) {
@@ -187,6 +187,15 @@ func checkTerm(c *Context, fi int, f *ir.Func, b, ob *ir.Block, of *ir.Func) {
 	case ir.TermBr:
 		checkSucc(t.Then, ot.Then, "taken")
 		checkSucc(t.Else, ot.Else, "fall-through")
+	case ir.TermSwitch:
+		if len(t.Targets) != len(ot.Targets) {
+			c.Errorf(BlockPos(f, b), "switch has %d case targets, origin %s has %d", len(t.Targets), ob, len(ot.Targets))
+			return
+		}
+		for i := range t.Targets {
+			checkSucc(t.Targets[i], ot.Targets[i], "case")
+		}
+		checkSucc(t.Else, ot.Else, "default")
 	}
 }
 
@@ -272,6 +281,14 @@ func checkTransitions(c *Context) {
 				case ir.TermBr:
 					check(b.Term.Then, true, "taken")
 					check(b.Term.Else, false, "fall-through")
+				case ir.TermSwitch:
+					// Machines govern two-way branches only, so a switch
+					// inside a state copy is never the governed block and
+					// every edge must obey the stay rule.
+					for _, tb := range b.Term.Targets {
+						check(tb, true, "case")
+					}
+					check(b.Term.Else, false, "default")
 				}
 			}
 		}

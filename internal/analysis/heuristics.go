@@ -112,12 +112,20 @@ type SiteHeuristics struct {
 	// LoopDepth is the nesting depth of the branch block (0 = not in a
 	// loop).
 	LoopDepth int
+	// Switch marks a multi-way dispatch site. The two-way heuristics do
+	// not apply there; the indirect clustering family predicts such sites
+	// from profiled target frequencies instead.
+	Switch bool
 }
 
 // Prediction maps the combined probability to a static direction: strictly
 // above one half predicts taken, everything else not-taken (the
-// repository-wide tie convention).
+// repository-wide tie convention). Switch sites have no two-way direction
+// and predict nothing.
 func (sh *SiteHeuristics) Prediction() ir.Prediction {
+	if sh.Switch {
+		return ir.PredNone
+	}
 	if sh.Prob > 0.5 {
 		return ir.PredTaken
 	}
@@ -136,7 +144,8 @@ func HeuristicSites(c *Context) []SiteHeuristics {
 	n := 0
 	for _, f := range c.Prog.Funcs {
 		for _, b := range f.Blocks {
-			if b.Term.Op == ir.TermBr {
+			t := &b.Term
+			if (t.Op == ir.TermBr && !t.SwTest) || t.Op == ir.TermSwitch {
 				n++
 			}
 		}
@@ -146,11 +155,16 @@ func HeuristicSites(c *Context) []SiteHeuristics {
 		g := c.Graph(f)
 		lf := c.Loops(f)
 		for _, b := range f.Blocks {
-			if b.Term.Op != ir.TermBr {
-				continue
+			switch {
+			case b.Term.Op == ir.TermSwitch:
+				// Multi-way dispatch: no two-way evidence applies.
+				out[b.Term.Site] = SiteHeuristics{
+					Site: b.Term.Site, Func: f.Name, Prob: 0.5, Switch: true,
+				}
+			case b.Term.Op == ir.TermBr && !b.Term.SwTest:
+				sh := &out[b.Term.Site]
+				*sh = siteHeuristics(f, g, lf, b)
 			}
-			sh := &out[b.Term.Site]
-			*sh = siteHeuristics(f, g, lf, b)
 		}
 	}
 	return out

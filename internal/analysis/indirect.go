@@ -1,0 +1,24 @@
+package analysis
+
+import (
+	"repro/internal/indirect"
+	"repro/internal/ir"
+)
+
+// VerifyIndirect runs the case-clustering equivalence verifier and converts
+// each failure into an Error diagnostic, so drivers report the indirect
+// family's translation validation through the same channel as the branch
+// family's. orig is the pre-transform snapshot, prog the clustered program,
+// prov the provenance indirect.Cluster returned.
+func VerifyIndirect(orig, prog *ir.Program, prov *indirect.Provenance) []Diagnostic {
+	var diags []Diagnostic
+	for _, err := range indirect.Verify(orig, prog, prov) {
+		diags = append(diags, Diagnostic{
+			Pass: "indirect-equivalence",
+			Sev:  Error,
+			Pos:  Pos{Block: -1, Instr: -1},
+			Msg:  err.Error(),
+		})
+	}
+	return diags
+}

@@ -69,7 +69,8 @@ func SCCP(prog *ir.Program) (*SCCPResult, error) {
 	n := 0
 	for _, f := range prog.Funcs {
 		for _, b := range f.Blocks {
-			if b.Term.Op == ir.TermBr {
+			t := &b.Term
+			if (t.Op == ir.TermBr && !t.SwTest) || t.Op == ir.TermSwitch {
 				n++
 			}
 		}
@@ -205,8 +206,10 @@ type sccpState struct {
 	edgeExec  map[edgeRef]bool
 
 	// thenEdge/elseEdge/jmpEdge give each block's outgoing pred indices in
-	// its successors' Preds lists, reconstructed in build order.
+	// its successors' Preds lists, reconstructed in build order; swEdge
+	// holds a switch block's indices in Targets-then-Else order.
 	thenEdge, elseEdge, jmpEdge []int
+	swEdge                      map[int][]int
 
 	users map[int][]*ssa.Value // value ID -> values consuming it
 	conds map[int][]*ssa.Block // value ID -> blocks branching on it
@@ -230,6 +233,7 @@ func runSCCP(f *ssa.Func, res *SCCPResult) {
 		thenEdge:  make([]int, len(f.Blocks)),
 		elseEdge:  make([]int, len(f.Blocks)),
 		jmpEdge:   make([]int, len(f.Blocks)),
+		swEdge:    map[int][]int{},
 		users:     map[int][]*ssa.Value{},
 		conds:     map[int][]*ssa.Block{},
 		defIn:     map[int]*ssa.Block{},
@@ -249,6 +253,13 @@ func runSCCP(f *ssa.Func, res *SCCPResult) {
 		case ir.TermBr:
 			st.thenEdge[b.ID] = take(b.Term.Then)
 			st.elseEdge[b.ID] = take(b.Term.Else)
+		case ir.TermSwitch:
+			es := make([]int, 0, len(b.Term.Targets)+1)
+			for _, t := range b.Term.Targets {
+				es = append(es, take(t))
+			}
+			es = append(es, take(b.Term.Else))
+			st.swEdge[b.ID] = es
 		}
 	}
 	// Def sites and use lists.
@@ -299,26 +310,36 @@ func runSCCP(f *ssa.Func, res *SCCPResult) {
 		}
 	}
 
-	// Verdicts.
+	// Verdicts. SwTest branches share their governing switch's site and
+	// carry no direction fact of their own; switch sites get at most the
+	// unreachability verdict (a multi-way dispatch has no taken direction
+	// the binary fact lattice could pin).
 	for _, b := range f.Blocks {
-		if b.Term.Op != ir.TermBr || b.Term.Src == nil {
+		if b.Term.Src == nil || b.Term.Src.SwTest {
 			continue
 		}
 		site := b.Term.Src.Site
 		if int(site) >= len(res.Facts) {
 			continue
 		}
-		if !st.blockExec[b.ID] {
-			res.Facts[site] = FactUnreachable
-			continue
-		}
-		thenOK := st.edgeExec[edgeRef{b.Term.Then, st.thenEdge[b.ID]}]
-		elseOK := st.edgeExec[edgeRef{b.Term.Else, st.elseEdge[b.ID]}]
-		switch {
-		case thenOK && !elseOK:
-			res.Facts[site] = FactAlwaysTaken
-		case elseOK && !thenOK:
-			res.Facts[site] = FactNeverTaken
+		switch b.Term.Op {
+		case ir.TermSwitch:
+			if !st.blockExec[b.ID] {
+				res.Facts[site] = FactUnreachable
+			}
+		case ir.TermBr:
+			if !st.blockExec[b.ID] {
+				res.Facts[site] = FactUnreachable
+				continue
+			}
+			thenOK := st.edgeExec[edgeRef{b.Term.Then, st.thenEdge[b.ID]}]
+			elseOK := st.edgeExec[edgeRef{b.Term.Else, st.elseEdge[b.ID]}]
+			switch {
+			case thenOK && !elseOK:
+				res.Facts[site] = FactAlwaysTaken
+			case elseOK && !thenOK:
+				res.Facts[site] = FactNeverTaken
+			}
 		}
 	}
 }
@@ -430,6 +451,31 @@ func (st *sccpState) evalTerm(b *ssa.Block) {
 			// truthiness test inspects), and bottom: both arms.
 			st.pushEdge(edgeRef{b.Term.Then, st.thenEdge[b.ID]})
 			st.pushEdge(edgeRef{b.Term.Else, st.elseEdge[b.ID]})
+		}
+	case ir.TermSwitch:
+		cond := st.val[b.Term.Cond.ID]
+		es := st.swEdge[b.ID]
+		n := len(b.Term.Targets)
+		switch {
+		case cond.tag == lTop:
+			// No executable definition yet; revisited when it lowers.
+		case cond.tag == lIRange:
+			// Only case edges whose label intersects the range can run;
+			// the default needs a range value outside [0, n).
+			for i, t := range b.Term.Targets {
+				if cond.lo <= int64(i) && int64(i) <= cond.hi {
+					st.pushEdge(edgeRef{t, es[i]})
+				}
+			}
+			if cond.lo < 0 || cond.hi >= int64(n) {
+				st.pushEdge(edgeRef{b.Term.Else, es[n]})
+			}
+		default:
+			// Floats and bottom: every outcome is possible.
+			for i, t := range b.Term.Targets {
+				st.pushEdge(edgeRef{t, es[i]})
+			}
+			st.pushEdge(edgeRef{b.Term.Else, es[n]})
 		}
 	}
 }

@@ -31,8 +31,12 @@ type SiteReport struct {
 	// Fact is the SCCP verdict; when it decides the branch it overrides
 	// the heuristic probability.
 	Fact BranchFact
-	// Pred is the final static direction for the site.
+	// Pred is the final static direction for the site; PredNone for
+	// switch sites.
 	Pred ir.Prediction
+	// Switch marks a multi-way dispatch site: no two-way direction
+	// applies, and the indirect clustering family owns its prediction.
+	Switch bool
 }
 
 // Heuristics renders the fired heuristic names, comma-separated.
@@ -77,15 +81,18 @@ func BuildStaticReport(prog *ir.Program) (*StaticReport, error) {
 			Fired:     h.Fired,
 			LoopDepth: h.LoopDepth,
 			Pred:      h.Prediction(),
+			Switch:    h.Switch,
 		}
 		if i < len(sccp.Facts) {
 			s.Fact = sccp.Facts[i]
 		}
-		switch s.Fact {
-		case FactAlwaysTaken:
-			s.Prob, s.Pred = 1, ir.PredTaken
-		case FactNeverTaken:
-			s.Prob, s.Pred = 0, ir.PredNotTaken
+		if !s.Switch {
+			switch s.Fact {
+			case FactAlwaysTaken:
+				s.Prob, s.Pred = 1, ir.PredTaken
+			case FactNeverTaken:
+				s.Prob, s.Pred = 0, ir.PredNotTaken
+			}
 		}
 		s.Confidence = abs2(s.Prob)
 	}
@@ -152,11 +159,19 @@ func (StaticPredict) Run(c *Context) {
 	}
 	for _, f := range c.Prog.Funcs {
 		for _, b := range f.Blocks {
-			if b.Term.Op != ir.TermBr {
-				continue
-			}
 			site := b.Term.Site
 			if int(site) >= len(sccp.Facts) {
+				continue
+			}
+			if b.Term.Op == ir.TermSwitch {
+				if sccp.Facts[site] == FactUnreachable {
+					c.Warnf(BlockPos(f, b), "dead-switch: site %d is unreachable on every executable path", site)
+				}
+				continue
+			}
+			// SwTest branches share the governing switch's site; the fact
+			// there describes the switch, not this branch.
+			if b.Term.Op != ir.TermBr || b.Term.SwTest {
 				continue
 			}
 			switch sccp.Facts[site] {

@@ -43,9 +43,16 @@ func Workloads() []Workload {
 	}
 }
 
-// ByName returns a workload from the suite.
+// ByName returns a workload by name: the paper suite first, then the
+// indirect-dispatch workloads (which stay out of Workloads so the paper's
+// pinned tables never change shape).
 func ByName(name string) (Workload, error) {
 	for _, w := range Workloads() {
+		if w.Name == name {
+			return w, nil
+		}
+	}
+	for _, w := range IndirectWorkloads() {
 		if w.Name == name {
 			return w, nil
 		}
@@ -170,6 +177,22 @@ func runCompiled(ep exec.Program, cfg RunConfig, collectors ...trace.Collector) 
 		b := trace.NewBatcher(collectors...)
 		defer b.Release()
 		m.SetHook(b.Branch)
+	}
+	// Switch dispatch events go to the collectors that can consume them
+	// (the branch batcher carries only binary events). Switches are orders
+	// of magnitude rarer than branches, so a direct fan-out is fine.
+	var sws []trace.SwitchCollector
+	for _, c := range collectors {
+		if sc, ok := c.(trace.SwitchCollector); ok {
+			sws = append(sws, sc)
+		}
+	}
+	if len(sws) > 0 {
+		m.SetSwHook(func(t *ir.Term, outcome int32) {
+			for _, sc := range sws {
+				sc.RecordSwitch(t.Orig, outcome)
+			}
+		})
 	}
 	_, err := m.Run()
 	if err != nil && !errors.Is(err, interp.ErrLimit) {

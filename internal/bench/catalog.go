@@ -27,6 +27,7 @@ func Experiments() []Experiment {
 		{"layout", "Code positioning [PH90]", false},
 		{"scope", "Scheduler scope", false},
 		{"joint", "Sequential vs joint replication", false},
+		{"indirect", "Indirect dispatch: switch clustering vs annotated baseline", false},
 		{"headline", "Headline summary (§5 operating point)", true},
 	}
 }

@@ -271,7 +271,7 @@ func TestFusedReplayEncodingProgen(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		s.Replay(oldW.RecordBranch)
+		s.ReplayAll(oldW.RecordBranch, oldW.RecordSwitch)
 		if err := oldW.Close(); err != nil {
 			t.Fatal(err)
 		}

@@ -355,6 +355,15 @@ func (l *Loop) Exits() []ExitEdge {
 			if !l.members[b.Term.Else] {
 				out = append(out, ExitEdge{From: b, To: b.Term.Else})
 			}
+		case ir.TermSwitch:
+			for _, t := range b.Term.Targets {
+				if !l.members[t] {
+					out = append(out, ExitEdge{From: b, To: t, Taken: true})
+				}
+			}
+			if !l.members[b.Term.Else] {
+				out = append(out, ExitEdge{From: b, To: b.Term.Else})
+			}
 		}
 	}
 	return out

@@ -84,7 +84,7 @@ func Run(prog *ir.Program, cfg Config) (*Result, error) {
 	prof := profile.New(nSites, profile.Options{
 		LocalK: cfg.LocalK, GlobalK: cfg.GlobalK, PathM: cfg.PathM,
 	})
-	if _, _, err := execute(prog, cfg, prof.Branch); err != nil {
+	if _, _, err := execute(prog, cfg, prof.Branch, prof.Switch); err != nil {
 		return nil, fmt.Errorf("core: profiling run: %w", err)
 	}
 
@@ -97,7 +97,7 @@ func Run(prog *ir.Program, cfg Config) (*Result, error) {
 
 	baseline := ir.CloneProgram(prog)
 	replicate.Annotate(baseline, preds)
-	baseRate, baseSum, err := execute(baseline, cfg, nil)
+	baseRate, baseSum, err := execute(baseline, cfg, nil, nil)
 	if err != nil {
 		return nil, fmt.Errorf("core: baseline run: %w", err)
 	}
@@ -109,7 +109,7 @@ func Run(prog *ir.Program, cfg Config) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	replRate, replSum, err := execute(clone, cfg, nil)
+	replRate, replSum, err := execute(clone, cfg, nil, nil)
 	if err != nil {
 		return nil, fmt.Errorf("core: replicated run: %w", err)
 	}
@@ -136,10 +136,11 @@ func RunBL(src string, cfg Config) (*Result, error) {
 	return Run(prog, cfg)
 }
 
-func execute(prog *ir.Program, cfg Config, hook interp.BranchFunc) (rate float64, checksum uint64, err error) {
+func execute(prog *ir.Program, cfg Config, hook interp.BranchFunc, swHook interp.SwitchFunc) (rate float64, checksum uint64, err error) {
 	m := interp.New(prog)
 	m.MaxBranches = cfg.Budget
 	m.Hook = hook
+	m.SwHook = swHook
 	for name, v := range cfg.Globals {
 		if err := m.SetGlobal(name, v); err != nil {
 			return 0, 0, err

@@ -27,6 +27,10 @@ type Counters = vm.Counters
 type Machine interface {
 	// SetHook installs the per-branch observer (nil disables).
 	SetHook(fn func(t *ir.Term, taken bool))
+	// SetSwHook installs the per-switch observer (nil disables): it fires
+	// for every executed switch dispatch and for every taken clustering
+	// test, with the dispatch outcome.
+	SetSwHook(fn func(t *ir.Term, outcome int32))
 	// SetRec directs branch events into a trace slab (nil disables). When
 	// both a hook and a slab are set the slab records first.
 	SetRec(s *trace.Slab)
@@ -115,10 +119,13 @@ func (p interpProgram) NewMachine() Machine { return &interpMachine{interp.New(p
 type interpMachine struct{ m *interp.Machine }
 
 func (a *interpMachine) SetHook(fn func(t *ir.Term, taken bool)) { a.m.Hook = fn }
-func (a *interpMachine) SetRec(s *trace.Slab)                    { a.m.Rec = s }
-func (a *interpMachine) SetMaxSteps(n uint64)                    { a.m.MaxSteps = n }
-func (a *interpMachine) SetMaxBranches(n uint64)                 { a.m.MaxBranches = n }
-func (a *interpMachine) SetMaxDepth(n int)                       { a.m.MaxDepth = n }
+func (a *interpMachine) SetSwHook(fn func(t *ir.Term, outcome int32)) {
+	a.m.SwHook = fn
+}
+func (a *interpMachine) SetRec(s *trace.Slab)    { a.m.Rec = s }
+func (a *interpMachine) SetMaxSteps(n uint64)    { a.m.MaxSteps = n }
+func (a *interpMachine) SetMaxBranches(n uint64) { a.m.MaxBranches = n }
+func (a *interpMachine) SetMaxDepth(n int)       { a.m.MaxDepth = n }
 func (a *interpMachine) SetContext(ctx context.Context, every uint32) {
 	a.m.Ctx = ctx
 	a.m.CtxCheckEvery = every

@@ -1,0 +1,273 @@
+package indirect
+
+import (
+	"fmt"
+
+	"repro/internal/ir"
+)
+
+// Verify is the translation-validation half of the clustering transform: it
+// checks a clustered program against its pre-transform snapshot using the
+// recorded provenance, in the style of the branch family's equivalence pass.
+// The provenance induces a block correspondence — Cluster only inserts
+// blocks, so removing the inserted chain/residual blocks from the clustered
+// function must leave the snapshot's block list — and on top of it Verify
+// checks, per clustered site, that the fast-path chain is exactly the
+// transform's output shape:
+//
+//   - each test block appends one ConstI/EqI pair over the switch condition
+//     and branches with SwTest set, emitting the tested outcome;
+//   - test outcomes are distinct in-range case outcomes, chain-linked to
+//     the residual switch;
+//   - the residual switch is the original dispatch (same condition, case
+//     targets, default, and site identity) with the recorded residual
+//     prediction;
+//   - every block outside the chains is byte-identical to its snapshot
+//     counterpart, successors resolved through the correspondence.
+//
+// Together with the byte-identical trace contract (checked dynamically by
+// the differential suites) this pins the transform end to end. The snapshot
+// should be the program state immediately before Cluster ran — annotations
+// applied earlier are compared too.
+func Verify(orig, prog *ir.Program, prov *Provenance) []error {
+	var errs []error
+	fail := func(format string, args ...any) {
+		errs = append(errs, fmt.Errorf(format, args...))
+	}
+	if len(prog.Funcs) != len(orig.Funcs) {
+		fail("function count changed: %d, originally %d", len(prog.Funcs), len(orig.Funcs))
+		return errs
+	}
+	if len(prog.Globals) != len(orig.Globals) {
+		fail("global count changed: %d, originally %d", len(prog.Globals), len(orig.Globals))
+	}
+	recsByFunc := make(map[int][]*SiteRecord)
+	for i := range prov.Sites {
+		r := &prov.Sites[i]
+		recsByFunc[r.FuncID] = append(recsByFunc[r.FuncID], r)
+	}
+	for fi := range prog.Funcs {
+		verifyFunc(prog.Funcs[fi], orig.Funcs[fi], recsByFunc[fi], fail)
+	}
+	return errs
+}
+
+func verifyFunc(f, of *ir.Func, recs []*SiteRecord, fail func(string, ...any)) {
+	if f.Name != of.Name || f.NParams != of.NParams || f.RetType != of.RetType {
+		fail("%s: signature changed", f.Name)
+		return
+	}
+	// The inserted blocks, and which chain head owns them.
+	inserted := map[*ir.Block]bool{}
+	for _, r := range recs {
+		for _, t := range r.Tests[1:] {
+			inserted[t.Block] = true
+		}
+		inserted[r.Residual] = true
+	}
+	// Block correspondence: clustered blocks minus insertions, in order.
+	m := map[*ir.Block]*ir.Block{}
+	oi := 0
+	for _, b := range f.Blocks {
+		if inserted[b] {
+			continue
+		}
+		if oi >= len(of.Blocks) {
+			fail("%s: %d blocks outside the chains, snapshot has %d", f.Name, oi+1, len(of.Blocks))
+			return
+		}
+		m[b] = of.Blocks[oi]
+		oi++
+	}
+	if oi != len(of.Blocks) {
+		fail("%s: %d blocks outside the chains, snapshot has %d", f.Name, oi, len(of.Blocks))
+		return
+	}
+	if m[f.Entry] != of.Entry {
+		fail("%s: entry does not correspond to the snapshot entry", f.Name)
+	}
+	heads := map[*ir.Block]*SiteRecord{}
+	for _, r := range recs {
+		if len(r.Tests) == 0 {
+			fail("%s: site %d provenance has no tests", f.Name, r.Site)
+			return
+		}
+		heads[r.Tests[0].Block] = r
+	}
+	// mapped resolves a successor through the correspondence; successors of
+	// untransformed blocks must not point into inserted chain internals.
+	mapped := func(b *ir.Block, s *ir.Block, slot string) *ir.Block {
+		if s == nil {
+			return nil
+		}
+		os, ok := m[s]
+		if !ok {
+			fail("%s/%s: %s successor %s is an inserted chain block", f.Name, b, slot, s)
+			return nil
+		}
+		return os
+	}
+	for _, b := range f.Blocks {
+		if inserted[b] {
+			continue // checked with its owning chain
+		}
+		ob := m[b]
+		if r, isHead := heads[b]; isHead {
+			verifyChain(f, r, ob, m, fail)
+			continue
+		}
+		if !sameInstrs(b.Instrs, ob.Instrs) {
+			fail("%s/%s: instructions differ from snapshot block %s", f.Name, b, ob)
+			continue
+		}
+		t, ot := &b.Term, &ob.Term
+		if t.Op != ot.Op || t.Cond != ot.Cond || t.A != ot.A || t.HasVal != ot.HasVal ||
+			t.Site != ot.Site || t.Orig != ot.Orig || t.Pred != ot.Pred ||
+			t.PredIdx != ot.PredIdx || t.SwTest != ot.SwTest || t.SwOutcome != ot.SwOutcome {
+			fail("%s/%s: terminator differs from snapshot block %s", f.Name, b, ob)
+			continue
+		}
+		if mapped(b, t.Then, "then") != ot.Then || mapped(b, t.Else, "else") != ot.Else {
+			fail("%s/%s: successors differ from snapshot block %s", f.Name, b, ob)
+		}
+		if len(t.Targets) != len(ot.Targets) {
+			fail("%s/%s: switch arity differs from snapshot block %s", f.Name, b, ob)
+			continue
+		}
+		for i := range t.Targets {
+			if mapped(b, t.Targets[i], "case") != ot.Targets[i] {
+				fail("%s/%s: case %d target differs from snapshot block %s", f.Name, b, i, ob)
+			}
+		}
+	}
+	// Walk-order site stability: each chain's inserted blocks must directly
+	// follow its head, residual last.
+	pos := map[*ir.Block]int{}
+	for i, b := range f.Blocks {
+		pos[b] = i
+	}
+	for _, r := range recs {
+		want := pos[r.Tests[0].Block]
+		for _, t := range r.Tests[1:] {
+			want++
+			if pos[t.Block] != want {
+				fail("%s: site %d chain block %s out of walk position", f.Name, r.Site, t.Block)
+			}
+		}
+		if pos[r.Residual] != want+1 {
+			fail("%s: site %d residual %s out of walk position", f.Name, r.Site, r.Residual)
+		}
+	}
+}
+
+// verifyChain checks one clustered site against its snapshot switch block.
+func verifyChain(f *ir.Func, r *SiteRecord, ob *ir.Block, m map[*ir.Block]*ir.Block, fail func(string, ...any)) {
+	osw := &ob.Term
+	if osw.Op != ir.TermSwitch {
+		fail("%s: site %d snapshot block %s is not a switch", f.Name, r.Site, ob)
+		return
+	}
+	rt := r.Residual.Term
+	if rt.Op != ir.TermSwitch {
+		fail("%s: site %d residual %s does not end in a switch", f.Name, r.Site, r.Residual)
+		return
+	}
+	if len(r.Residual.Instrs) != 0 {
+		fail("%s: site %d residual %s has a non-empty body", f.Name, r.Site, r.Residual)
+	}
+	if rt.Cond != osw.Cond || rt.Site != osw.Site || rt.Orig != osw.Orig || len(rt.Targets) != len(osw.Targets) {
+		fail("%s: site %d residual switch differs from the original dispatch", f.Name, r.Site)
+		return
+	}
+	for i := range rt.Targets {
+		if m[rt.Targets[i]] != osw.Targets[i] {
+			fail("%s: site %d residual case %d target differs from the original", f.Name, r.Site, i)
+		}
+	}
+	if m[rt.Else] != osw.Else {
+		fail("%s: site %d residual default target differs from the original", f.Name, r.Site)
+	}
+	if r.PredIdx >= 0 {
+		if rt.Pred != ir.PredTaken || rt.PredIdx != r.PredIdx {
+			fail("%s: site %d residual prediction %s/%d does not match the recorded %d",
+				f.Name, r.Site, rt.Pred, rt.PredIdx, r.PredIdx)
+		}
+	} else if rt.Pred != ir.PredNone {
+		fail("%s: site %d residual is predicted but no residual outcome was recorded", f.Name, r.Site)
+	}
+
+	seen := map[int32]bool{}
+	for i, tr := range r.Tests {
+		b := tr.Block
+		if int(tr.Outcome) < 0 || int(tr.Outcome) >= len(osw.Targets) {
+			fail("%s: site %d test %d outcome %d out of case range", f.Name, r.Site, i, tr.Outcome)
+			return
+		}
+		if seen[tr.Outcome] {
+			fail("%s: site %d tests outcome %d twice", f.Name, r.Site, tr.Outcome)
+		}
+		seen[tr.Outcome] = true
+		// The test body: the head keeps the snapshot block's instructions,
+		// later blocks are bare; both end with the ConstI/EqI pair.
+		want := 2
+		if i == 0 {
+			want = len(ob.Instrs) + 2
+		}
+		if len(b.Instrs) != want {
+			fail("%s: site %d test block %s has %d instructions, want %d", f.Name, r.Site, b, len(b.Instrs), want)
+			return
+		}
+		if i == 0 && !sameInstrs(b.Instrs[:len(ob.Instrs)], ob.Instrs) {
+			fail("%s: site %d head %s body differs from snapshot block %s", f.Name, r.Site, b, ob)
+		}
+		ci, ei := &b.Instrs[len(b.Instrs)-2], &b.Instrs[len(b.Instrs)-1]
+		if ci.Op != ir.OpConstI || ci.Imm != int64(tr.Outcome) {
+			fail("%s: site %d test %d does not load constant %d", f.Name, r.Site, i, tr.Outcome)
+		}
+		if ei.Op != ir.OpEqI || ei.A != osw.Cond || ei.B != ci.Dst {
+			fail("%s: site %d test %d does not compare the dispatch condition", f.Name, r.Site, i)
+		}
+		t := &b.Term
+		if t.Op != ir.TermBr || !t.SwTest || t.SwOutcome != tr.Outcome || t.Cond != ei.Dst {
+			fail("%s: site %d test %d terminator is not a clustering test of outcome %d", f.Name, r.Site, i, tr.Outcome)
+			continue
+		}
+		if t.Site != osw.Site || t.Orig != osw.Orig {
+			fail("%s: site %d test %d does not keep the dispatch's site identity", f.Name, r.Site, i)
+		}
+		if t.Pred != tr.Pred {
+			fail("%s: site %d test %d prediction %s does not match the recorded %s", f.Name, r.Site, i, t.Pred, tr.Pred)
+		}
+		if m[t.Then] != osw.Targets[tr.Outcome] {
+			fail("%s: site %d test %d taken arm is not the original case target", f.Name, r.Site, i)
+		}
+		next := r.Residual
+		if i+1 < len(r.Tests) {
+			next = r.Tests[i+1].Block
+		}
+		if t.Else != next {
+			fail("%s: site %d test %d does not chain to the next test/residual", f.Name, r.Site, i)
+		}
+	}
+}
+
+func sameInstrs(a, b []ir.Instr) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		x, y := &a[i], &b[i]
+		if x.Op != y.Op || x.Dst != y.Dst || x.A != y.A || x.B != y.B || x.Imm != y.Imm {
+			return false
+		}
+		if len(x.Args) != len(y.Args) {
+			return false
+		}
+		for j := range x.Args {
+			if x.Args[j] != y.Args[j] {
+				return false
+			}
+		}
+	}
+	return true
+}

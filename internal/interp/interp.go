@@ -44,10 +44,19 @@ func (e *RuntimeError) Error() string {
 // the site/orig identity and the static prediction annotation.
 type BranchFunc func(t *ir.Term, taken bool)
 
+// SwitchFunc observes one executed switch dispatch with its outcome index
+// (len(t.Targets) is the default). Clustering test branches report through
+// it too — on their taken edge only — so observers see exactly the event
+// stream the trace records.
+type SwitchFunc func(t *ir.Term, outcome int32)
+
 // Machine executes one program. A Machine is not safe for concurrent use.
 type Machine struct {
 	// Hook, when non-nil, is invoked for every executed conditional branch.
 	Hook BranchFunc
+	// SwHook, when non-nil, is invoked for every executed switch dispatch
+	// (and for every taken clustering test standing in for one).
+	SwHook SwitchFunc
 	// Rec, when non-nil, records every executed conditional branch into the
 	// event slab — the record-once path of the trace-replay engine. Unlike
 	// Hook it is a direct call on the concrete slab, so recording costs an
@@ -414,17 +423,59 @@ func (m *Machine) exec(f *ir.Func, regs []int64, depth int) (int64, error) {
 					m.Mispredicted++
 				}
 			}
-			if m.Rec != nil {
-				m.Rec.Record(t.Site, taken)
-			}
-			if m.Hook != nil {
-				m.Hook(t, taken)
+			if t.SwTest {
+				// A clustering test is trace-invisible except that its taken
+				// edge emits the governed switch's event, keeping clustered
+				// traces byte-identical to their originals.
+				if taken {
+					if m.Rec != nil {
+						m.Rec.RecordSwitch(t.Site, t.SwOutcome)
+					}
+					if m.SwHook != nil {
+						m.SwHook(t, t.SwOutcome)
+					}
+				}
+			} else {
+				if m.Rec != nil {
+					m.Rec.Record(t.Site, taken)
+				}
+				if m.Hook != nil {
+					m.Hook(t, taken)
+				}
 			}
 			if m.MaxBranches != 0 && m.Branches >= m.MaxBranches {
 				return 0, ErrLimit
 			}
 			if taken {
 				b = t.Then
+			} else {
+				b = t.Else
+			}
+		case ir.TermSwitch:
+			t := &b.Term
+			v := regs[t.Cond]
+			outcome := int32(len(t.Targets))
+			if v >= 0 && v < int64(len(t.Targets)) {
+				outcome = int32(v)
+			}
+			m.Branches++
+			if t.Pred != ir.PredNone {
+				m.Predicted++
+				if t.PredIdx != outcome {
+					m.Mispredicted++
+				}
+			}
+			if m.Rec != nil {
+				m.Rec.RecordSwitch(t.Site, outcome)
+			}
+			if m.SwHook != nil {
+				m.SwHook(t, outcome)
+			}
+			if m.MaxBranches != 0 && m.Branches >= m.MaxBranches {
+				return 0, ErrLimit
+			}
+			if int(outcome) < len(t.Targets) {
+				b = t.Targets[outcome]
 			} else {
 				b = t.Else
 			}

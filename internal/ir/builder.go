@@ -140,6 +140,18 @@ func (b *Builder) Br(cond Reg, then, els *Block) {
 	b.Cur.Term = Term{Op: TermBr, Cond: cond, Then: then, Else: els, Site: -1, Orig: -1}
 }
 
+// Switch terminates the current block with an N-way dispatch: cond values
+// 0..len(targets)-1 select the matching case target, everything else falls
+// through to def. The targets slice is copied.
+func (b *Builder) Switch(cond Reg, targets []*Block, def *Block) {
+	if b.sealed() {
+		return
+	}
+	ts := make([]*Block, len(targets))
+	copy(ts, targets)
+	b.Cur.Term = Term{Op: TermSwitch, Cond: cond, Targets: ts, Else: def, Site: -1, Orig: -1}
+}
+
 // Ret terminates the current block with a void return.
 func (b *Builder) Ret() {
 	if b.sealed() {

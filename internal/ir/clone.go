@@ -28,6 +28,13 @@ func CloneFunc(f *Func) (*Func, map[*Block]*Block) {
 		if nb.Term.Else != nil {
 			nb.Term.Else = m[nb.Term.Else]
 		}
+		if nb.Term.Targets != nil {
+			tgts := make([]*Block, len(nb.Term.Targets))
+			for i, t := range nb.Term.Targets {
+				tgts[i] = m[t]
+			}
+			nb.Term.Targets = tgts
+		}
 	}
 	nf.Entry = m[f.Entry]
 	return nf, m
@@ -56,6 +63,19 @@ func CloneBlocks(f *Func, set []*Block, suffix string) map[*Block]*Block {
 		}
 		if t, ok := m[nb.Term.Else]; ok {
 			nb.Term.Else = t
+		}
+		if nb.Term.Targets != nil {
+			// Always fresh: a shared slice would alias the original's
+			// targets even when no element needs redirecting.
+			tgts := make([]*Block, len(nb.Term.Targets))
+			for i, t := range nb.Term.Targets {
+				if c, ok := m[t]; ok {
+					tgts[i] = c
+				} else {
+					tgts[i] = t
+				}
+			}
+			nb.Term.Targets = tgts
 		}
 	}
 	return m

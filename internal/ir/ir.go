@@ -116,6 +116,12 @@ const (
 	// TermRet returns from the function, with the value in register A when
 	// HasVal is set.
 	TermRet
+	// TermSwitch is an N-way indirect dispatch: register Cond selects case
+	// target Targets[v] when 0 <= v < len(Targets), and the Else (default)
+	// successor otherwise. The dispatch outcome index is v for in-range
+	// values and len(Targets) for the default, so a switch with n case
+	// targets has n+1 outcomes.
+	TermSwitch
 )
 
 func (op TermOp) String() string {
@@ -128,6 +134,8 @@ func (op TermOp) String() string {
 		return "br"
 	case TermRet:
 		return "ret"
+	case TermSwitch:
+		return "switch"
 	}
 	return fmt.Sprintf("term(%d)", uint8(op))
 }
@@ -142,6 +150,18 @@ func (op TermOp) String() string {
 //     collected on the original program can be attributed to every copy.
 //   - Pred is the static prediction for this site (per-copy after
 //     replication).
+//
+// TermSwitch carries the same Site/Orig identity (switch dispatches are
+// prediction sites too, numbered in the same dense space as conditional
+// branches); its static prediction is Pred == PredTaken with PredIdx naming
+// the predicted outcome index (len(Targets) predicts the default).
+//
+// A conditional branch with SwTest set is a clustering test: one equality
+// test of a case-clustered switch's fast-path chain (internal/indirect). It
+// keeps the governed switch's Site/Orig, and in the trace it is invisible
+// except that taking it emits the switch event (Site, SwOutcome) the
+// residual switch would have emitted — so clustered programs produce
+// byte-identical traces. Its Pred/misprediction accounting stays binary.
 type Term struct {
 	Op     TermOp
 	Cond   Reg
@@ -149,9 +169,27 @@ type Term struct {
 	HasVal bool
 	Then   *Block
 	Else   *Block
-	Site   int32
-	Orig   int32
-	Pred   Prediction
+	// Targets holds the case successors of a TermSwitch (outcome i jumps to
+	// Targets[i]); nil for every other terminator.
+	Targets []*Block
+	Site    int32
+	Orig    int32
+	Pred    Prediction
+	// PredIdx is the predicted outcome index of a predicted TermSwitch.
+	PredIdx int32
+	// SwTest marks a clustering test branch; SwOutcome is the switch
+	// outcome it emits when taken.
+	SwTest    bool
+	SwOutcome int32
+}
+
+// NumOutcomes reports the number of dispatch outcomes of a TermSwitch
+// (cases plus the default), or 0 for other terminators.
+func (t *Term) NumOutcomes() int {
+	if t.Op != TermSwitch {
+		return 0
+	}
+	return len(t.Targets) + 1
 }
 
 // Block is a basic block: a straight-line instruction sequence ended by one
@@ -177,6 +215,9 @@ func (b *Block) Succs(dst []*Block) []*Block {
 		dst = append(dst, b.Term.Then)
 	case TermBr:
 		dst = append(dst, b.Term.Then, b.Term.Else)
+	case TermSwitch:
+		dst = append(dst, b.Term.Targets...)
+		dst = append(dst, b.Term.Else)
 	}
 	return dst
 }
@@ -188,6 +229,8 @@ func (b *Block) NumSuccs() int {
 		return 1
 	case TermBr:
 		return 2
+	case TermSwitch:
+		return len(b.Term.Targets) + 1
 	default:
 		return 0
 	}
@@ -324,15 +367,21 @@ func (p *Program) NumInstrs() int {
 }
 
 // NumberBranches walks every function in order and assigns dense Site IDs to
-// all conditional branches. When fresh is true the Orig IDs are reset to the
-// new site IDs (done once on the original program); otherwise Orig values are
+// all prediction sites: conditional branches and switch dispatches share one
+// numbering space. When fresh is true the Orig IDs are reset to the new site
+// IDs (done once on the original program); otherwise Orig values are
 // preserved (done after transforms, so copies keep their ancestry). It
 // returns the number of branch sites.
+//
+// Clustering test branches (SwTest) are not sites of their own: they keep
+// the Site/Orig of the switch they stand in for, so renumbering a clustered
+// program is a no-op as long as block walk order is preserved (the residual
+// switch occupies its original's walk position).
 func (p *Program) NumberBranches(fresh bool) int {
 	site := int32(0)
 	for _, f := range p.Funcs {
 		for _, b := range f.Blocks {
-			if b.Term.Op != TermBr {
+			if !b.Term.isSite() {
 				continue
 			}
 			b.Term.Site = site
@@ -345,13 +394,21 @@ func (p *Program) NumberBranches(fresh bool) int {
 	return int(site)
 }
 
-// BranchSite describes one conditional branch for analyses that need to map
-// site IDs back to their location.
+// isSite reports whether the terminator owns a prediction site ID.
+func (t *Term) isSite() bool {
+	return (t.Op == TermBr && !t.SwTest) || t.Op == TermSwitch
+}
+
+// BranchSite describes one prediction site (conditional branch or switch
+// dispatch) for analyses that need to map site IDs back to their location.
 type BranchSite struct {
 	Func  *Func
 	Block *Block
 	Site  int32
 	Orig  int32
+	// Switch is set when the site is a TermSwitch dispatch rather than a
+	// two-way conditional branch.
+	Switch bool
 }
 
 // BranchSites returns the table of all branch sites in site order.
@@ -360,8 +417,11 @@ func (p *Program) BranchSites() []BranchSite {
 	var sites []BranchSite
 	for _, f := range p.Funcs {
 		for _, b := range f.Blocks {
-			if b.Term.Op == TermBr {
-				sites = append(sites, BranchSite{Func: f, Block: b, Site: b.Term.Site, Orig: b.Term.Orig})
+			if b.Term.isSite() {
+				sites = append(sites, BranchSite{
+					Func: f, Block: b, Site: b.Term.Site, Orig: b.Term.Orig,
+					Switch: b.Term.Op == TermSwitch,
+				})
 			}
 		}
 	}

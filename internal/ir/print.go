@@ -99,7 +99,24 @@ func (t Term) String() string {
 		if t.Pred != PredNone {
 			s += " pred=" + t.Pred.String()
 		}
+		if t.SwTest {
+			s += fmt.Sprintf(" swtest=%d", t.SwOutcome)
+		}
 		return s
+	case TermSwitch:
+		var sb strings.Builder
+		fmt.Fprintf(&sb, "switch r%d [", t.Cond)
+		for i, tgt := range t.Targets {
+			if i > 0 {
+				sb.WriteByte(' ')
+			}
+			sb.WriteString(tgt.String())
+		}
+		fmt.Fprintf(&sb, "] default %s ; site=%d orig=%d", t.Else, t.Site, t.Orig)
+		if t.Pred != PredNone {
+			fmt.Fprintf(&sb, " pred=%d", t.PredIdx)
+		}
+		return sb.String()
 	case TermRet:
 		if t.HasVal {
 			return fmt.Sprintf("ret r%d", t.A)

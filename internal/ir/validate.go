@@ -18,10 +18,16 @@ import (
 //     argument counts match the callee's parameter count;
 //   - array accesses name array globals, scalar accesses name scalars;
 //   - every block is reachable from the entry or explicitly marked Dead;
-//   - Prediction annotations appear only on conditional-branch terminators;
+//   - Prediction annotations appear only on conditional-branch and switch
+//     terminators;
 //   - conditional branches have distinct successors (a degenerate cond-br
 //     whose arms coincide is an unconditional jump in disguise: it wastes a
-//     prediction site and trips the static analyses).
+//     prediction site and trips the static analyses);
+//   - switches have at least one case target, every target in-function, and
+//     a prediction (when present) that is PredTaken with an in-range
+//     outcome index;
+//   - clustering test branches (SwTest) appear only on conditional branches
+//     and name a non-negative switch outcome.
 func (p *Program) Validate() error {
 	for _, f := range p.Funcs {
 		if err := p.validateFunc(f); err != nil {
@@ -136,6 +142,37 @@ func (p *Program) validateFunc(f *Func) error {
 			}
 			if b.Term.Then == b.Term.Else {
 				return fmt.Errorf("%s: degenerate br with identical arms %s", b, b.Term.Then)
+			}
+			if b.Term.SwTest && b.Term.SwOutcome < 0 {
+				return fmt.Errorf("%s: clustering test with negative outcome %d", b, b.Term.SwOutcome)
+			}
+		case TermSwitch:
+			if err := checkReg(b, -1, b.Term.Cond, "switch cond"); err != nil {
+				return err
+			}
+			if len(b.Term.Targets) == 0 {
+				return fmt.Errorf("%s: switch with no case targets", b)
+			}
+			for i, tgt := range b.Term.Targets {
+				if tgt == nil || !member[tgt] {
+					return fmt.Errorf("%s: switch case %d target not in function", b, i)
+				}
+			}
+			if b.Term.Else == nil || !member[b.Term.Else] {
+				return fmt.Errorf("%s: switch default target not in function", b)
+			}
+			switch b.Term.Pred {
+			case PredNone:
+			case PredTaken:
+				if b.Term.PredIdx < 0 || int(b.Term.PredIdx) > len(b.Term.Targets) {
+					return fmt.Errorf("%s: switch prediction index %d out of range [0,%d]",
+						b, b.Term.PredIdx, len(b.Term.Targets))
+				}
+			default:
+				return fmt.Errorf("%s: prediction %s on switch (want none or taken+index)", b, b.Term.Pred)
+			}
+			if b.Term.SwTest {
+				return fmt.Errorf("%s: SwTest on switch terminator", b)
 			}
 		case TermRet:
 			if b.Term.HasVal {

@@ -90,6 +90,23 @@ type ForStmt struct {
 	Body *BlockStmt
 }
 
+// SwitchStmt is an N-way dispatch on an int expression. Cases do not fall
+// through; a missing default falls out of the switch. break/continue inside
+// a case body still bind to the enclosing loop, never the switch.
+type SwitchStmt struct {
+	Pos     Pos
+	Tag     Expr
+	Cases   []SwitchCase
+	Default *BlockStmt // nil when absent
+}
+
+// SwitchCase is one "case N:" arm with its body.
+type SwitchCase struct {
+	Pos  Pos
+	Val  int64
+	Body *BlockStmt
+}
+
 // BreakStmt exits the innermost loop.
 type BreakStmt struct{ Pos Pos }
 
@@ -113,6 +130,7 @@ func (*LocalDecl) stmtNode()    {}
 func (*AssignStmt) stmtNode()   {}
 func (*IfStmt) stmtNode()       {}
 func (*WhileStmt) stmtNode()    {}
+func (*SwitchStmt) stmtNode()   {}
 func (*ForStmt) stmtNode()      {}
 func (*BreakStmt) stmtNode()    {}
 func (*ContinueStmt) stmtNode() {}

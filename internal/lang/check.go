@@ -253,6 +253,8 @@ func (c *checker) checkStmt(s Stmt) error {
 		c.loops++
 		defer func() { c.loops-- }()
 		return c.checkBlock(s.Body)
+	case *SwitchStmt:
+		return c.checkSwitch(s)
 	case *ForStmt:
 		c.push()
 		defer c.pop()
@@ -311,6 +313,40 @@ func (c *checker) checkStmt(s Stmt) error {
 		return err
 	}
 	return fmt.Errorf("lang: unknown statement %T", s)
+}
+
+// maxSwitchLabel bounds case labels: lowering builds a dense target table
+// of size max(label)+1 (gaps dispatch to default), so an enormous label
+// would balloon the IR. Interpreter-style workloads use small dense opcode
+// spaces, far below this.
+const maxSwitchLabel = 1023
+
+func (c *checker) checkSwitch(s *SwitchStmt) error {
+	t, err := c.checkExpr(s.Tag)
+	if err != nil {
+		return err
+	}
+	if t != ir.TInt {
+		return errf(s.Tag.Position(), "switch tag must be int, got %v", t)
+	}
+	seen := make(map[int64]bool, len(s.Cases))
+	for i := range s.Cases {
+		cs := &s.Cases[i]
+		if cs.Val < 0 || cs.Val > maxSwitchLabel {
+			return errf(cs.Pos, "case label %d out of range [0, %d]", cs.Val, maxSwitchLabel)
+		}
+		if seen[cs.Val] {
+			return errf(cs.Pos, "duplicate case label %d", cs.Val)
+		}
+		seen[cs.Val] = true
+		if err := c.checkBlock(cs.Body); err != nil {
+			return err
+		}
+	}
+	if s.Default != nil {
+		return c.checkBlock(s.Default)
+	}
+	return nil
 }
 
 func (c *checker) checkAssign(s *AssignStmt) error {

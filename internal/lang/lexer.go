@@ -135,6 +135,9 @@ func (l *Lexer) Next() (Token, error) {
 	case ';':
 		l.advance()
 		return Token{Kind: TokSemi, Text: ";", Pos: start}, nil
+	case ':':
+		l.advance()
+		return Token{Kind: TokColon, Text: ":", Pos: start}, nil
 	case ',':
 		l.advance()
 		return Token{Kind: TokComma, Text: ",", Pos: start}, nil

@@ -196,6 +196,8 @@ func (lw *lowerer) lowerStmt(s Stmt) error {
 		return lw.lowerWhile(s)
 	case *ForStmt:
 		return lw.lowerFor(s)
+	case *SwitchStmt:
+		return lw.lowerSwitch(s)
 	case *BreakStmt:
 		if len(lw.loops) == 0 {
 			return errf(s.Pos, "internal error: break outside loop")
@@ -351,6 +353,56 @@ func (lw *lowerer) lowerFor(s *ForStmt) error {
 	}
 	lw.b.Jmp(head)
 	lw.b.SetBlock(exit)
+	return nil
+}
+
+// lowerSwitch lowers a switch statement to one TermSwitch terminator: a
+// dense target table of size max(label)+1, label gaps and out-of-range tag
+// values dispatching to the default arm (the join block when the source has
+// none). Each case body gets its own block and jumps to the join, so cases
+// never fall through.
+func (lw *lowerer) lowerSwitch(s *SwitchStmt) error {
+	tag, err := lw.lowerExpr(s.Tag)
+	if err != nil {
+		return err
+	}
+	join := lw.b.Block("switch.join")
+	defaultB := join
+	if s.Default != nil {
+		defaultB = lw.b.Block("switch.default")
+	}
+	maxLabel := int64(0)
+	for _, cs := range s.Cases {
+		if cs.Val > maxLabel {
+			maxLabel = cs.Val
+		}
+	}
+	targets := make([]*ir.Block, maxLabel+1)
+	for i := range targets {
+		targets[i] = defaultB
+	}
+	caseBlocks := make([]*ir.Block, len(s.Cases))
+	for i, cs := range s.Cases {
+		cb := lw.b.Block(fmt.Sprintf("switch.case%d", cs.Val))
+		caseBlocks[i] = cb
+		targets[cs.Val] = cb
+	}
+	lw.b.Switch(tag, targets, defaultB)
+	for i, cs := range s.Cases {
+		lw.b.SetBlock(caseBlocks[i])
+		if err := lw.lowerBlock(cs.Body); err != nil {
+			return err
+		}
+		lw.b.Jmp(join)
+	}
+	if s.Default != nil {
+		lw.b.SetBlock(defaultB)
+		if err := lw.lowerBlock(s.Default); err != nil {
+			return err
+		}
+		lw.b.Jmp(join)
+	}
+	lw.b.SetBlock(join)
 	return nil
 }
 

@@ -197,6 +197,8 @@ func (p *Parser) parseStmt() Stmt {
 		return p.parseWhile()
 	case TokFor:
 		return p.parseFor()
+	case TokSwitch:
+		return p.parseSwitch()
 	case TokBreak:
 		pos := p.tok.Pos
 		p.next()
@@ -289,6 +291,54 @@ func (p *Parser) parseWhile() *WhileStmt {
 	pos := p.expect(TokWhile).Pos
 	s := &WhileStmt{Pos: pos, Cond: p.parseExpr()}
 	s.Body = p.parseBlock()
+	return s
+}
+
+// parseSwitch parses
+//
+//	switch expr { case N: stmts... [case M: stmts...]... [default: stmts...] }
+//
+// Case labels are non-negative integer literals; bodies run to the next
+// label (no fallthrough). The default arm, when present, must come last.
+func (p *Parser) parseSwitch() *SwitchStmt {
+	pos := p.expect(TokSwitch).Pos
+	s := &SwitchStmt{Pos: pos, Tag: p.parseExpr()}
+	p.expect(TokLBrace)
+	parseArmBody := func() *BlockStmt {
+		b := &BlockStmt{Pos: p.tok.Pos}
+		for p.tok.Kind != TokCase && p.tok.Kind != TokDefault &&
+			p.tok.Kind != TokRBrace && p.tok.Kind != TokEOF {
+			b.Stmts = append(b.Stmts, p.parseStmt())
+			if p.err != nil {
+				return b
+			}
+		}
+		return b
+	}
+	for p.tok.Kind == TokCase {
+		cpos := p.tok.Pos
+		p.next()
+		lit := p.expect(TokIntLit)
+		v, convErr := strconv.ParseInt(lit.Text, 10, 32)
+		if convErr != nil {
+			p.fail(lit.Pos, "invalid case label %q", lit.Text)
+			return s
+		}
+		p.expect(TokColon)
+		s.Cases = append(s.Cases, SwitchCase{Pos: cpos, Val: v, Body: parseArmBody()})
+		if p.err != nil {
+			return s
+		}
+	}
+	if p.accept(TokDefault) {
+		p.expect(TokColon)
+		s.Default = parseArmBody()
+	}
+	if len(s.Cases) == 0 && p.err == nil {
+		p.fail(pos, "switch needs at least one case")
+		return s
+	}
+	p.expect(TokRBrace)
 	return s
 }
 

@@ -1,0 +1,150 @@
+package lang
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/ir"
+)
+
+func TestEndToEndSwitch(t *testing.T) {
+	got := run(t, `
+func classify(x int) int {
+	switch x {
+	case 0:
+		return 100;
+	case 1:
+		return 200;
+	case 3:
+		return 300;
+	default:
+		return -1;
+	}
+	return -2;
+}
+func main() int {
+	return classify(0) + classify(1) + classify(2) + classify(3) + classify(9);
+}`)
+	// 100 + 200 + (-1) + 300 + (-1)
+	if got != 598 {
+		t.Fatalf("got %d, want 598", got)
+	}
+}
+
+func TestSwitchNoDefaultFallsThrough(t *testing.T) {
+	got := run(t, `
+func main() int {
+	var s int = 0;
+	for var i int = 0; i < 6; i = i + 1 {
+		switch i % 3 {
+		case 0:
+			s = s + 1;
+		case 1:
+			s = s + 10;
+		}
+		s = s + 100; // join: runs for every i, including case 2
+	}
+	return s;
+}`)
+	// i=0,3 → +1; i=1,4 → +10; every i → +100
+	if got != 622 {
+		t.Fatalf("got %d, want 622", got)
+	}
+}
+
+func TestSwitchInLoopBreakBindsToLoop(t *testing.T) {
+	got := run(t, `
+func main() int {
+	var s int = 0;
+	for var i int = 0; i < 10; i = i + 1 {
+		switch i {
+		case 3:
+			break;
+		default:
+			s = s + i;
+		}
+	}
+	return s;
+}`)
+	// break exits the for loop at i==3: s = 0+1+2
+	if got != 3 {
+		t.Fatalf("got %d, want 3", got)
+	}
+}
+
+func TestSwitchNegativeTagUsesDefault(t *testing.T) {
+	got := run(t, `
+func main() int {
+	switch 0 - 5 {
+	case 0:
+		return 1;
+	default:
+		return 42;
+	}
+	return 0;
+}`)
+	if got != 42 {
+		t.Fatalf("got %d, want 42", got)
+	}
+}
+
+func TestSwitchLowersToTermSwitch(t *testing.T) {
+	prog, err := Compile(`
+func main() int {
+	var x int = 2;
+	switch x {
+	case 0:
+		return 10;
+	case 2:
+		return 20;
+	}
+	return 0;
+}`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sw *ir.Term
+	for _, b := range prog.Func("main").Blocks {
+		if b.Term.Op == ir.TermSwitch {
+			sw = &b.Term
+		}
+	}
+	if sw == nil {
+		t.Fatal("no TermSwitch in lowered program")
+	}
+	// Dense table of size max(label)+1 = 3; gap at 1 points at the default.
+	if len(sw.Targets) != 3 {
+		t.Fatalf("got %d targets, want 3", len(sw.Targets))
+	}
+	if sw.Targets[1] != sw.Else {
+		t.Fatal("label gap does not dispatch to default")
+	}
+	if sw.Site < 0 {
+		t.Fatal("switch did not get a prediction site")
+	}
+}
+
+func TestSwitchErrors(t *testing.T) {
+	cases := []struct {
+		name, src, wantSub string
+	}{
+		{"floatTag", `func main() int { switch 1.5 { case 0: return 1; } return 0; }`, "switch tag must be int"},
+		{"boolTag", `func main() int { switch true { case 0: return 1; } return 0; }`, "switch tag must be int"},
+		{"dupLabel", `func main() int { switch 1 { case 2: return 1; case 2: return 2; } return 0; }`, "duplicate case label"},
+		{"negLabel", `func main() int { switch 1 { case 0-1: return 1; } return 0; }`, "expected ':'"},
+		{"hugeLabel", `func main() int { switch 1 { case 9999: return 1; } return 0; }`, "out of range"},
+		{"noCases", `func main() int { switch 1 { default: return 1; } return 0; }`, "at least one case"},
+		{"missingColon", `func main() int { switch 1 { case 0 return 1; } return 0; }`, "expected ':'"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := Compile(tc.src)
+			if err == nil {
+				t.Fatalf("compiled without error, want %q", tc.wantSub)
+			}
+			if !strings.Contains(err.Error(), tc.wantSub) {
+				t.Fatalf("error %q does not contain %q", err, tc.wantSub)
+			}
+		})
+	}
+}

@@ -29,6 +29,9 @@ const (
 	TokBreak
 	TokContinue
 	TokReturn
+	TokSwitch
+	TokCase
+	TokDefault
 	TokTrue
 	TokFalse
 	TokTypeInt
@@ -37,6 +40,7 @@ const (
 
 	// Punctuation and operators.
 	TokSemi     // ;
+	TokColon    // :
 	TokComma    // ,
 	TokLParen   // (
 	TokRParen   // )
@@ -70,9 +74,10 @@ var tokNames = map[TokKind]string{
 	TokEOF: "EOF", TokIdent: "identifier", TokIntLit: "int literal", TokFloatLit: "float literal",
 	TokVar: "var", TokFunc: "func", TokIf: "if", TokElse: "else", TokWhile: "while",
 	TokFor: "for", TokBreak: "break", TokContinue: "continue", TokReturn: "return",
+	TokSwitch: "switch", TokCase: "case", TokDefault: "default",
 	TokTrue: "true", TokFalse: "false",
 	TokTypeInt: "int", TokTypeFloat: "float", TokTypeBool: "bool",
-	TokSemi: ";", TokComma: ",", TokLParen: "(", TokRParen: ")",
+	TokSemi: ";", TokColon: ":", TokComma: ",", TokLParen: "(", TokRParen: ")",
 	TokLBrace: "{", TokRBrace: "}", TokLBracket: "[", TokRBracket: "]",
 	TokAssign: "=", TokEq: "==", TokNe: "!=", TokLt: "<", TokLe: "<=",
 	TokGt: ">", TokGe: ">=", TokPlus: "+", TokMinus: "-", TokStar: "*",
@@ -90,7 +95,8 @@ func (k TokKind) String() string {
 var keywords = map[string]TokKind{
 	"var": TokVar, "func": TokFunc, "if": TokIf, "else": TokElse,
 	"while": TokWhile, "for": TokFor, "break": TokBreak, "continue": TokContinue,
-	"return": TokReturn, "true": TokTrue, "false": TokFalse,
+	"return": TokReturn, "switch": TokSwitch, "case": TokCase, "default": TokDefault,
+	"true": TokTrue, "false": TokFalse,
 	"int": TokTypeInt, "float": TokTypeFloat, "bool": TokTypeBool,
 }
 

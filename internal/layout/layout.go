@@ -200,6 +200,14 @@ func Evaluate(f *ir.Func, order []*ir.Block, blockCounts []uint64, counts *trace
 			if !fallsThrough(b, b.Term.Else) {
 				st.TakenTransfers += nt
 			}
+		case ir.TermSwitch:
+			// A multi-way dispatch always transfers control indirectly; no
+			// layout can turn it into a fall-through. This is exactly what
+			// the indirect clustering family attacks: its fast-path test is
+			// an ordinary conditional the layout can straighten.
+			n := blockCounts[b.ID]
+			st.Transfers += n
+			st.TakenTransfers += n
 		}
 	}
 	return st

@@ -13,6 +13,12 @@ import (
 type SiteFeatures struct {
 	Site int32
 
+	// Switch marks a TermSwitch dispatch site. The two-way heuristics below
+	// do not apply to switches; they emit PredNone for such sites and the
+	// indirect clustering family predicts them from profiled target
+	// frequencies instead.
+	Switch bool
+
 	// CmpOp is the comparison opcode that defines the branch condition in
 	// the same block, or ir.OpInvalid when the condition's origin is not a
 	// visible comparison.
@@ -40,13 +46,16 @@ type SiteFeatures struct {
 	TakenUses, ElseUses bool
 }
 
-// Analyze extracts the features of every branch site in the program.
-// Branch sites must be numbered. The returned slice is indexed by site ID.
+// Analyze extracts the features of every prediction site in the program.
+// Sites must be numbered (branches and switches share one site space). The
+// returned slice is indexed by site ID; switch sites carry only the Switch
+// marker, since the two-way feature set does not describe an N-way dispatch.
 func Analyze(prog *ir.Program) []SiteFeatures {
 	n := 0
 	for _, f := range prog.Funcs {
 		for _, b := range f.Blocks {
-			if b.Term.Op == ir.TermBr {
+			t := &b.Term
+			if (t.Op == ir.TermBr && !t.SwTest) || t.Op == ir.TermSwitch {
 				n++
 			}
 		}
@@ -56,7 +65,11 @@ func Analyze(prog *ir.Program) []SiteFeatures {
 		g := cfg.Build(f)
 		lf := cfg.FindLoops(g)
 		for _, b := range f.Blocks {
-			if b.Term.Op != ir.TermBr {
+			if b.Term.Op == ir.TermSwitch {
+				out[b.Term.Site] = SiteFeatures{Site: b.Term.Site, Switch: true}
+				continue
+			}
+			if b.Term.Op != ir.TermBr || b.Term.SwTest {
 				continue
 			}
 			ft := &out[b.Term.Site]
@@ -227,6 +240,9 @@ func AlwaysNotTaken(nSites int) *Static {
 func BackwardTaken(features []SiteFeatures) *Static {
 	s := &Static{Strategy: "backward taken", Preds: make([]ir.Prediction, len(features))}
 	for i, ft := range features {
+		if ft.Switch {
+			continue // PredNone: two-way heuristics do not cover switches
+		}
 		switch {
 		case ft.TakenBack && !ft.ElseBack:
 			s.Preds[i] = ir.PredTaken
@@ -263,6 +279,9 @@ func opcodePrediction(op ir.Op) (ir.Prediction, bool) {
 func OpcodeStatic(features []SiteFeatures) *Static {
 	s := &Static{Strategy: "opcode", Preds: make([]ir.Prediction, len(features))}
 	for i, ft := range features {
+		if ft.Switch {
+			continue
+		}
 		if p, ok := opcodePrediction(ft.CmpOp); ok {
 			s.Preds[i] = p
 		} else {
@@ -281,6 +300,9 @@ func OpcodeStatic(features []SiteFeatures) *Static {
 func BallLarus(features []SiteFeatures) *Static {
 	s := &Static{Strategy: "ball-larus", Preds: make([]ir.Prediction, len(features))}
 	for i := range features {
+		if features[i].Switch {
+			continue
+		}
 		s.Preds[i] = ballLarusSite(&features[i])
 	}
 	return s

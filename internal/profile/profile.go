@@ -448,6 +448,9 @@ type Profile struct {
 	Global  *GlobalHistory
 	Path    *PathHistory
 	Streams *Streams
+	// Targets holds the per-site switch outcome histograms that guide the
+	// indirect clustering family; conditional-branch sites keep nil rows.
+	Targets *trace.TargetCounts
 }
 
 // Options configures profile collection.
@@ -482,7 +485,21 @@ func New(nSites int, opts Options) *Profile {
 		Global:  NewGlobalHistory(nSites, opts.GlobalK),
 		Path:    NewPathHistory(nSites, opts.PathM),
 		Streams: NewStreams(nSites),
+		Targets: trace.NewTargetCounts(nSites),
 	}
+}
+
+// Switch implements interp's SwitchFunc shape, feeding the target table.
+func (p *Profile) Switch(t *ir.Term, outcome int32) { p.RecordSwitch(t.Site, outcome) }
+
+// RecordSwitch implements trace.SwitchCollector.
+func (p *Profile) RecordSwitch(site, outcome int32) {
+	p.Targets.RecordSwitch(site, outcome)
+}
+
+// RecordSwitchRun implements trace.SwitchRunCollector.
+func (p *Profile) RecordSwitchRun(site, outcome int32, n uint64) {
+	p.Targets.RecordSwitchRun(site, outcome, n)
 }
 
 // Branch implements trace.Collector, feeding all tables.

@@ -58,7 +58,7 @@ func ApplyJoint(prog *ir.Program, choices []statemachine.Choice, profilePreds []
 			groups := map[*cfg.Loop][]*ir.Block{}
 			var loopOrder []*cfg.Loop
 			for _, b := range f.Blocks {
-				if b.Term.Op != ir.TermBr || processed[b] {
+				if b.Term.Op != ir.TermBr || b.Term.SwTest || processed[b] {
 					continue
 				}
 				c := choiceBySite[b.Term.Orig]
@@ -158,7 +158,7 @@ func ApplyJoint(prog *ir.Program, choices []statemachine.Choice, profilePreds []
 		}
 		for _, f := range prog.Funcs {
 			for _, b := range f.Blocks {
-				if b.Term.Op == ir.TermBr && b.Term.Orig == c.Site {
+				if b.Term.Op == ir.TermBr && !b.Term.SwTest && b.Term.Orig == c.Site {
 					routed, catch := replicatePath(prog, f, b, c.Path, branchy, st.Prov)
 					st.PathEdgesRouted += routed
 					st.PathEdgesCatchAll += catch
@@ -230,8 +230,13 @@ func replicateLoopJoint(f *ir.Func, l *cfg.Loop, branches []*ir.Block, jm *state
 		if u.Term.Then == l.Header {
 			u.Term.Then = initHeader
 		}
-		if u.Term.Op == ir.TermBr && u.Term.Else == l.Header {
+		if (u.Term.Op == ir.TermBr || u.Term.Op == ir.TermSwitch) && u.Term.Else == l.Header {
 			u.Term.Else = initHeader
+		}
+		for ti, tb := range u.Term.Targets {
+			if tb == l.Header {
+				u.Term.Targets[ti] = initHeader
+			}
 		}
 	}
 	ir.RemoveUnreachable(f)

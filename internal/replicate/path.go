@@ -16,13 +16,25 @@ const (
 )
 
 // edge identifies one CFG edge by its source block and terminator slot
-// (taken = the Then slot; Jmp blocks use the Then slot).
+// (taken = the Then slot; Jmp blocks use the Then slot). Switch edges use
+// swIdx ≥ 0 for the Targets[swIdx] slot and swIdx == swElse for the
+// default slot; both leave taken false.
 type edge struct {
 	u     *ir.Block
 	taken bool
+	swIdx int
 }
 
+// swElse marks the default slot of a switch edge.
+const swElse = -1
+
 func (e edge) target() *ir.Block {
+	if e.u.Term.Op == ir.TermSwitch {
+		if e.swIdx >= 0 {
+			return e.u.Term.Targets[e.swIdx]
+		}
+		return e.u.Term.Else
+	}
 	if e.taken {
 		return e.u.Term.Then
 	}
@@ -30,6 +42,14 @@ func (e edge) target() *ir.Block {
 }
 
 func (e edge) redirect(to *ir.Block) {
+	if e.u.Term.Op == ir.TermSwitch {
+		if e.swIdx >= 0 {
+			e.u.Term.Targets[e.swIdx] = to
+		} else {
+			e.u.Term.Else = to
+		}
+		return
+	}
 	if e.taken {
 		e.u.Term.Then = to
 	} else {
@@ -112,6 +132,11 @@ func replicatePath(prog *ir.Program, f *ir.Func, b *ir.Block, pm *statemachine.P
 		if u.Term.Op == ir.TermBr {
 			return pathElem{u.Term.Orig, e.taken}, true
 		}
+		if u.Term.Op == ir.TermSwitch {
+			// A multi-way dispatch is not a length-1 branch-path element;
+			// its edges stay on the catch-all.
+			return pathElem{}, false
+		}
 		if depth >= pathMaxDepth || u == f.Entry || blockCallsBranchy(u, branchy) {
 			return pathElem{}, false
 		}
@@ -148,6 +173,11 @@ func replicatePath(prog *ir.Program, f *ir.Func, b *ir.Block, pm *statemachine.P
 		u := e.u
 		if u.Term.Op == ir.TermBr {
 			dispatch(e, pathElem{u.Term.Orig, e.taken}, true)
+			continue
+		}
+		if u.Term.Op == ir.TermSwitch {
+			// Not a branch-path element: the edge stays on the catch-all.
+			catchAll++
 			continue
 		}
 		// u is a jump block directly feeding b. If it merges several
@@ -213,6 +243,11 @@ func allEdges(f *ir.Func) []edge {
 			out = append(out, edge{u: u, taken: true})
 		case ir.TermBr:
 			out = append(out, edge{u: u, taken: true}, edge{u: u, taken: false})
+		case ir.TermSwitch:
+			for i := range u.Term.Targets {
+				out = append(out, edge{u: u, swIdx: i})
+			}
+			out = append(out, edge{u: u, swIdx: swElse})
 		}
 	}
 	return out

@@ -66,11 +66,13 @@ func (s *Stats) SizeFactor() float64 {
 // Annotate sets every conditional branch's static prediction from the
 // per-original-branch vector (indexed by Orig ID; ir.PredNone entries are
 // allowed and left unpredicted). Replicated copies inherit their original's
-// prediction until a machine overrides them.
+// prediction until a machine overrides them. SwTest branches are owned by
+// the indirect clustering family — their prediction encodes the profiled
+// hot outcome and must survive branch-family annotation.
 func Annotate(prog *ir.Program, preds []ir.Prediction) {
 	for _, f := range prog.Funcs {
 		for _, b := range f.Blocks {
-			if b.Term.Op != ir.TermBr {
+			if b.Term.Op != ir.TermBr || b.Term.SwTest {
 				continue
 			}
 			if int(b.Term.Orig) < len(preds) {
@@ -178,7 +180,7 @@ func ApplyOpts(prog *ir.Program, choices []statemachine.Choice, profilePreds []i
 		if c.Kind != statemachine.KindPath {
 			for _, f := range prog.Funcs {
 				for _, b := range f.Blocks {
-					if b.Term.Op == ir.TermBr && b.Term.Orig == c.Site {
+					if b.Term.Op == ir.TermBr && !b.Term.SwTest && b.Term.Orig == c.Site {
 						if est := estimateLoopGrowth(f, b, c.NumStates()); est > 0 {
 							cost += float64(est)
 						}
@@ -213,7 +215,7 @@ func ApplyOpts(prog *ir.Program, choices []statemachine.Choice, profilePreds []i
 		var sites []site
 		for _, f := range prog.Funcs {
 			for _, b := range f.Blocks {
-				if b.Term.Op == ir.TermBr && b.Term.Orig == c.Site {
+				if b.Term.Op == ir.TermBr && !b.Term.SwTest && b.Term.Orig == c.Site {
 					sites = append(sites, site{f, b})
 				}
 			}
@@ -347,8 +349,13 @@ func replicateLoop(f *ir.Func, b *ir.Block, m machine, prov *analysis.Provenance
 		if u.Term.Then == l.Header {
 			u.Term.Then = initHeader
 		}
-		if u.Term.Op == ir.TermBr && u.Term.Else == l.Header {
+		if (u.Term.Op == ir.TermBr || u.Term.Op == ir.TermSwitch) && u.Term.Else == l.Header {
 			u.Term.Else = initHeader
+		}
+		for ti, tb := range u.Term.Targets {
+			if tb == l.Header {
+				u.Term.Targets[ti] = initHeader
+			}
 		}
 	}
 	ir.RemoveUnreachable(f)

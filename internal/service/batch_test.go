@@ -24,6 +24,7 @@ func TestBatchMatchesSingle(t *testing.T) {
 		{"machines", `{"workload":"compress","budget":20000,"states":4}`},
 		{"score", `{"workload":"cc","budget":20000,"strategy":"twobit"}`},
 		{"replicate", `{"workload":"compress","budget":20000,"states":4}`},
+		{"replicate", `{"workload":"svm","budget":20000,"family":"indirect","check":true}`},
 	}
 	want := make([][]byte, len(singles))
 	for i, c := range singles {

@@ -43,6 +43,11 @@ type Request struct {
 	States     int `json:"states,omitempty"`
 	MaxPathLen int `json:"max_path_len,omitempty"`
 
+	// Family selects the replication family for /v1/replicate: "" or
+	// "branch" is the paper's two-way branch replication, "indirect" is
+	// switch-dispatch case clustering. Unknown families are rejected.
+	Family string `json:"family,omitempty"`
+
 	// MaxSizeFactor bounds code growth in /v1/replicate (default 3);
 	// Joint selects the §6 joint machines; IncludeIR returns the
 	// transformed program text; Check runs the replication-equivalence
@@ -477,6 +482,14 @@ type ReplicateResponse struct {
 }
 
 func (s *Server) handleReplicate(ctx context.Context, req *Request) (any, error) {
+	switch req.Family {
+	case "", "branch":
+		// The paper's family, below.
+	case "indirect":
+		return s.handleReplicateIndirect(ctx, req)
+	default:
+		return nil, badRequest("unknown family %q (want \"branch\" or \"indirect\")", req.Family)
+	}
 	c, err := s.resolveProgram(req)
 	if err != nil {
 		return nil, err

@@ -153,6 +153,18 @@ func Load(ctx context.Context, baseURL string, opts LoadOptions) (*LoadReport, e
 		}
 	}
 
+	// The indirect replication family rides every load run on its own
+	// dispatch workloads; check:true routes each through the structural
+	// clustering verifier, so a selfcheck also proves the second family
+	// sound end to end.
+	for _, w := range bench.IndirectWorkloads() {
+		if err := addCall("replicate", map[string]any{
+			"workload": w.Name, "budget": opts.Budget, "family": "indirect", "check": true,
+		}); err != nil {
+			return nil, err
+		}
+	}
+
 	client := &http.Client{Timeout: opts.Timeout}
 	report := &LoadReport{PerEndpoint: map[string]int{}}
 	var mu sync.Mutex

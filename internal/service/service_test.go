@@ -18,6 +18,7 @@ import (
 	"testing"
 	"time"
 
+	"repro/internal/bench"
 	"repro/internal/interp"
 	"repro/internal/lang"
 	"repro/internal/trace"
@@ -76,6 +77,8 @@ func TestGoldenResponses(t *testing.T) {
 		{"replicate_cc_joint", "replicate", `{"workload":"cc","budget":20000,"joint":true}`},
 		{"analyze_compress", "analyze", `{"workload":"compress"}`},
 		{"replicate_compress_static", "replicate", `{"workload":"compress","budget":20000,"states":4,"static_budget":true}`},
+		{"replicate_svm_indirect", "replicate", `{"workload":"svm","budget":20000,"family":"indirect","check":true}`},
+		{"replicate_lex_indirect", "replicate", `{"workload":"lex","budget":20000,"family":"indirect","check":true,"seed":424243}`},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
@@ -215,6 +218,7 @@ func TestBadRequests(t *testing.T) {
 		{"bad_base64", "score", `{"trace_b64":"@@@"}`, 400},
 		{"trace_and_program", "score", `{"workload":"cc","trace_b64":"QkxUUkFDRTE"}`, 400},
 		{"bad_preds", "score", `{"workload":"cc","strategy":"static","preds":["sideways"]}`, 400},
+		{"unknown_family", "replicate", `{"workload":"cc","family":"exotic"}`, 400},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
@@ -358,8 +362,9 @@ func TestConcurrentClients(t *testing.T) {
 		t.Fatalf("load: %v (report: %v)", err, report)
 	}
 	// Six distinct calls per workload: analyze, profile, machines,
-	// replicate, score, and the uploaded-trace score.
-	if want := 3 * 6 * 4; report.Requests != want {
+	// replicate, score, and the uploaded-trace score — plus one indirect
+	// replicate per dispatch workload.
+	if want := (3*6 + len(bench.IndirectWorkloads())) * 4; report.Requests != want {
 		t.Fatalf("Requests = %d, want %d", report.Requests, want)
 	}
 }

@@ -79,6 +79,18 @@ func buildFunc(irf *ir.Func) (*Func, error) {
 			sb.Term.Src = &ib.Term
 			sb.Term.Then.Preds = append(sb.Term.Then.Preds, sb)
 			sb.Term.Else.Preds = append(sb.Term.Else.Preds, sb)
+		case ir.TermSwitch:
+			// Never folded, even when every target coincides: the switch is
+			// a trace-observable dispatch site.
+			sb.Term.Targets = make([]*Block, len(ib.Term.Targets))
+			for ti, tb := range ib.Term.Targets {
+				st := b.bmap[tb.ID]
+				sb.Term.Targets[ti] = st
+				st.Preds = append(st.Preds, sb)
+			}
+			sb.Term.Else = b.bmap[ib.Term.Else.ID]
+			sb.Term.Else.Preds = append(sb.Term.Else.Preds, sb)
+			sb.Term.Src = &ib.Term
 		case ir.TermRet:
 			sb.Term.HasVal = ib.Term.HasVal
 		default:
@@ -247,6 +259,8 @@ func (b *builder) renameBlock(blk *Block) error {
 		if blk.Term.Op == ir.TermBr {
 			blk.Term.Cond = b.top(t.Cond)
 		}
+	case ir.TermSwitch:
+		blk.Term.Cond = b.top(t.Cond)
 	case ir.TermRet:
 		if t.HasVal {
 			blk.Term.Val = b.top(t.A)

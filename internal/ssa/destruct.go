@@ -26,15 +26,11 @@ func destructFunc(f *Func) {
 		for i := 0; i < len(s.Preds); i++ {
 			pred := s.Preds[i]
 			at := pred
-			if pred.Term.Op == ir.TermBr {
+			if pred.Term.Op == ir.TermBr || pred.Term.Op == ir.TermSwitch {
 				// Critical edge (the predecessor has another successor):
 				// split it so the copies run on this edge only.
 				e := f.newBlock(nil)
-				if pred.Term.Then == s {
-					pred.Term.Then = e
-				} else {
-					pred.Term.Else = e
-				}
+				redirectEdge(pred, s, e)
 				e.Term = Term{Op: ir.TermJmp, Then: s}
 				e.Preds = []*Block{pred}
 				s.Preds[i] = e
@@ -48,6 +44,29 @@ func destructFunc(f *Func) {
 		}
 		s.Phis = nil
 	}
+}
+
+// redirectEdge rewrites the first successor slot of pred that still points
+// at s to the edge block e. Preds entries for one predecessor appear in
+// successor-slot order (Then/Else for branches, Targets then Else for
+// switches), so repeated calls for a multi-edge predecessor peel off its
+// parallel edges one slot at a time, in order.
+func redirectEdge(pred, s, e *Block) {
+	if pred.Term.Op == ir.TermBr {
+		if pred.Term.Then == s {
+			pred.Term.Then = e
+		} else {
+			pred.Term.Else = e
+		}
+		return
+	}
+	for ti, t := range pred.Term.Targets {
+		if t == s {
+			pred.Term.Targets[ti] = e
+			return
+		}
+	}
+	pred.Term.Else = e
 }
 
 // emitParallelCopy appends the copies realising edge i's phi arguments to

@@ -47,13 +47,19 @@ func computeRPO(f *Func) []*Block {
 	return order
 }
 
-// succs returns the successor blocks in Then-before-Else order.
+// succs returns the successor blocks in deterministic edge order:
+// Then-before-Else for branches, Targets-then-Else for switches. The order
+// matches the Preds wiring in Build, so phi argument i flows over edge i.
 func (b *Block) succs() []*Block {
 	switch b.Term.Op {
 	case ir.TermJmp:
 		return []*Block{b.Term.Then}
 	case ir.TermBr:
 		return []*Block{b.Term.Then, b.Term.Else}
+	case ir.TermSwitch:
+		out := make([]*Block, 0, len(b.Term.Targets)+1)
+		out = append(out, b.Term.Targets...)
+		return append(out, b.Term.Else)
 	}
 	return nil
 }

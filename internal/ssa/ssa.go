@@ -104,9 +104,9 @@ func (op Op) HasImm() bool {
 	return op.IR().HasImm()
 }
 
-// Term is a block terminator over SSA values. For TermBr, Src points at the
-// original ir terminator carrying the branch's site/orig identity and static
-// prediction; edge blocks synthesised by Destruct have a nil Src.
+// Term is a block terminator over SSA values. For TermBr and TermSwitch,
+// Src points at the original ir terminator carrying the site/orig identity
+// and static prediction; edge blocks synthesised by Destruct have a nil Src.
 type Term struct {
 	Op     ir.TermOp
 	Cond   *Value
@@ -114,7 +114,10 @@ type Term struct {
 	HasVal bool
 	Then   *Block
 	Else   *Block
-	Src    *ir.Term
+	// Targets holds the case successors of a TermSwitch (outcome i jumps to
+	// Targets[i], Else is the default); nil for every other terminator.
+	Targets []*Block
+	Src     *ir.Term
 }
 
 // Block is one SSA basic block.
@@ -216,6 +219,15 @@ func (f *Func) Dump() string {
 			fmt.Fprintf(&sb, "    jmp %s\n", b.Term.Then)
 		case ir.TermBr:
 			fmt.Fprintf(&sb, "    br v%d %s %s\n", b.Term.Cond.ID, b.Term.Then, b.Term.Else)
+		case ir.TermSwitch:
+			fmt.Fprintf(&sb, "    switch v%d [", b.Term.Cond.ID)
+			for i, t := range b.Term.Targets {
+				if i > 0 {
+					sb.WriteString(" ")
+				}
+				fmt.Fprintf(&sb, "%s", t)
+			}
+			fmt.Fprintf(&sb, "] else %s\n", b.Term.Else)
 		case ir.TermRet:
 			if b.Term.HasVal {
 				fmt.Fprintf(&sb, "    ret v%d\n", b.Term.Val.ID)

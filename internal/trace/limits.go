@@ -92,6 +92,10 @@ func ReadSlab(r io.Reader, lim Limits) (*Slab, error) {
 		if err != nil {
 			return nil, err
 		}
-		s.Record(ev.Site, ev.Taken)
+		if ev.Switch {
+			s.RecordSwitch(ev.Site, ev.Outcome)
+		} else {
+			s.Record(ev.Site, ev.Taken)
+		}
 	}
 }

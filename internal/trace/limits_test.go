@@ -26,7 +26,7 @@ func encodeEvents(t testing.TB, events []Event) []byte {
 }
 
 func TestReadSlabRoundTrip(t *testing.T) {
-	events := []Event{{0, true}, {0, true}, {1, false}, {2, true}, {2, true}, {2, true}, {0, false}}
+	events := []Event{{Site: 0, Taken: true}, {Site: 0, Taken: true}, {Site: 1, Taken: false}, {Site: 2, Taken: true}, {Site: 2, Taken: true}, {Site: 2, Taken: true}, {Site: 0, Taken: false}}
 	data := encodeEvents(t, events)
 	s, err := ReadSlab(bytes.NewReader(data), DefaultLimits())
 	if err != nil {
@@ -75,7 +75,7 @@ func TestReadSlabRunBombLimited(t *testing.T) {
 // huge site must be refused before any consumer sizes per-site tables
 // from it.
 func TestReadSlabSiteLimit(t *testing.T) {
-	data := encodeEvents(t, []Event{{1 << 30, true}})
+	data := encodeEvents(t, []Event{{Site: 1 << 30, Taken: true}})
 	if _, err := ReadSlab(bytes.NewReader(data), DefaultLimits()); !errors.Is(err, ErrTooLarge) {
 		t.Fatalf("default limits: got %v, want ErrTooLarge", err)
 	}
@@ -114,7 +114,7 @@ func TestReadSlabByteLimit(t *testing.T) {
 }
 
 func TestReadSlabTruncated(t *testing.T) {
-	data := encodeEvents(t, []Event{{0, true}, {1, false}, {2, true}})
+	data := encodeEvents(t, []Event{{Site: 0, Taken: true}, {Site: 1, Taken: false}, {Site: 2, Taken: true}})
 	for cut := 0; cut < len(data); cut++ {
 		_, err := ReadSlab(bytes.NewReader(data[:cut]), DefaultLimits())
 		if err == nil {
@@ -127,7 +127,7 @@ func TestReadSlabTruncated(t *testing.T) {
 // decoder: it must never panic, and any stream it accepts must re-encode
 // into a byte stream that decodes to the same events within the limits.
 func FuzzReadSlab(f *testing.F) {
-	f.Add(encodeEvents(f, []Event{{0, true}, {0, true}, {1, false}}))
+	f.Add(encodeEvents(f, []Event{{Site: 0, Taken: true}, {Site: 0, Taken: true}, {Site: 1, Taken: false}}))
 	f.Add(encodeEvents(f, nil))
 	f.Add([]byte("BLTRACE1"))
 	f.Add([]byte("NOTATRACE"))
@@ -135,7 +135,7 @@ func FuzzReadSlab(f *testing.F) {
 	bomb = append(bomb, binary.AppendUvarint(nil, 1)...)
 	bomb = append(bomb, binary.AppendUvarint(nil, 1<<40)...)
 	f.Add(bomb)
-	f.Add(encodeEvents(f, []Event{{1 << 28, true}})) // site bomb
+	f.Add(encodeEvents(f, []Event{{Site: 1 << 28, Taken: true}})) // site bomb
 	lim := Limits{MaxEvents: 4096, MaxSites: 1 << 12, MaxBytes: 1 << 16}
 	f.Fuzz(func(t *testing.T, data []byte) {
 		s, err := ReadSlab(bytes.NewReader(data), lim)
@@ -167,7 +167,7 @@ func FuzzReadSlab(f *testing.F) {
 // TestReaderLimitsViaNewReader pins that the plain file loader path
 // (NewReader / ReadAll) enforces DefaultLimits rather than being unbounded.
 func TestReaderLimitsViaNewReader(t *testing.T) {
-	r, err := NewReader(bytes.NewReader(encodeEvents(t, []Event{{0, true}})))
+	r, err := NewReader(bytes.NewReader(encodeEvents(t, []Event{{Site: 0, Taken: true}})))
 	if err != nil {
 		t.Fatal(err)
 	}

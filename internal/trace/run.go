@@ -125,6 +125,13 @@ func (m *MaxSite) RecordRun(site int32, _ bool, _ uint64) {
 	}
 }
 
+// RecordSwitch implements SwitchCollector: switch sites share the dense
+// site space, so they raise the table size too.
+func (m *MaxSite) RecordSwitch(site, _ int32) { m.RecordRun(site, false, 1) }
+
+// RecordSwitchRun implements SwitchRunCollector.
+func (m *MaxSite) RecordSwitchRun(site, _ int32, _ uint64) { m.RecordRun(site, false, 1) }
+
 // NewShard implements Sharded.
 func (m *MaxSite) NewShard() RunCollector { return &MaxSite{} }
 
@@ -136,15 +143,20 @@ func (m *MaxSite) Merge(shard RunCollector) {
 }
 
 // replayRunBytes is the run-major decode loop: one pass over an RLE
-// segment, one fn call per run (a plain event is a run of 1). buf must
-// begin at a plain event code (never a run marker) — true of a whole slab
-// buffer and of every checkpointed segment. The 1- and 2-byte uvarint
+// segment, one fn (or sw, for switch events) call per run (a plain event
+// is a run of 1). buf must begin at a self-contained code — a plain event
+// or a switch escape, never a bare run marker — which is true of a whole
+// slab buffer and of every checkpointed segment. The 1- and 2-byte uvarint
 // forms are decoded inline (site IDs are small, so nearly every code
 // takes one or two bytes); longer forms and corruption fall through to
-// decodeUvarint.
-func replayRunBytes(buf []byte, fn func(site int32, taken bool, n uint64)) {
+// decodeUvarint. Run markers repeat whichever event kind came last, so
+// the loop tracks both the branch and the switch state plus which is
+// current.
+func replayRunBytes(buf []byte, fn func(site int32, taken bool, n uint64), sw func(site, outcome int32, n uint64)) {
 	var site int32
 	var taken bool
+	var swSite, swOutcome int32
+	inSwitch := false
 	for i := 0; i < len(buf); {
 		var code uint64
 		if b := buf[i]; b < 0x80 {
@@ -158,6 +170,7 @@ func replayRunBytes(buf []byte, fn func(site int32, taken bool, n uint64)) {
 		}
 		if code != 1 {
 			site, taken = int32(code>>1)-1, code&1 == 1
+			inSwitch = false
 			fn(site, taken, 1)
 			continue
 		}
@@ -171,7 +184,20 @@ func replayRunBytes(buf []byte, fn func(site int32, taken bool, n uint64)) {
 		} else {
 			n, i = decodeUvarint(buf, i)
 		}
-		fn(site, taken, n)
+		if n == 0 { // switch escape: uvarint(site+1) uvarint(outcome)
+			var sc, oc uint64
+			sc, i = decodeUvarint(buf, i)
+			oc, i = decodeUvarint(buf, i)
+			swSite, swOutcome = int32(sc-1), int32(oc)
+			inSwitch = true
+			sw(swSite, swOutcome, 1)
+			continue
+		}
+		if inSwitch {
+			sw(swSite, swOutcome, n)
+		} else {
+			fn(site, taken, n)
+		}
 	}
 }
 
@@ -179,11 +205,15 @@ func replayRunBytes(buf []byte, fn func(site int32, taken bool, n uint64)) {
 // single events go to ev — the collector's ordinary per-event entry
 // point, so a trace with no exploitable runs replays at per-event cost —
 // and only genuine RLE runs (the repeat count after the first event) go
-// to run, where run-aware collectors take their O(1) shortcut. Same
-// segment contract and inline-uvarint fast path as replayRunBytes.
-func replayBytes(buf []byte, ev func(site int32, taken bool), run func(site int32, taken bool, n uint64)) {
+// to run, where run-aware collectors take their O(1) shortcut. Switch
+// events split the same way between sw and swRun. Same segment contract
+// and inline-uvarint fast path as replayRunBytes.
+func replayBytes(buf []byte, ev func(site int32, taken bool), run func(site int32, taken bool, n uint64),
+	sw func(site, outcome int32), swRun func(site, outcome int32, n uint64)) {
 	var site int32
 	var taken bool
+	var swSite, swOutcome int32
+	inSwitch := false
 	for i := 0; i < len(buf); {
 		var code uint64
 		if b := buf[i]; b < 0x80 {
@@ -197,6 +227,7 @@ func replayBytes(buf []byte, ev func(site int32, taken bool), run func(site int3
 		}
 		if code != 1 {
 			site, taken = int32(code>>1)-1, code&1 == 1
+			inSwitch = false
 			ev(site, taken)
 			continue
 		}
@@ -210,7 +241,20 @@ func replayBytes(buf []byte, ev func(site int32, taken bool), run func(site int3
 		} else {
 			n, i = decodeUvarint(buf, i)
 		}
-		run(site, taken, n)
+		if n == 0 { // switch escape
+			var sc, oc uint64
+			sc, i = decodeUvarint(buf, i)
+			oc, i = decodeUvarint(buf, i)
+			swSite, swOutcome = int32(sc-1), int32(oc)
+			inSwitch = true
+			sw(swSite, swOutcome)
+			continue
+		}
+		if inSwitch {
+			swRun(swSite, swOutcome, n)
+		} else {
+			run(site, taken, n)
+		}
 	}
 }
 
@@ -222,6 +266,7 @@ func replayCountsBytes(buf []byte, c *Counts) {
 	tk, nt := c.Taken, c.NotTaken
 	var site int32
 	var taken bool
+	inSwitch := false
 	for i := 0; i < len(buf); {
 		var code uint64
 		if b := buf[i]; b < 0x80 {
@@ -235,6 +280,7 @@ func replayCountsBytes(buf []byte, c *Counts) {
 		}
 		if code != 1 {
 			site, taken = int32(code>>1)-1, code&1 == 1
+			inSwitch = false
 			if taken {
 				tk[site]++
 			} else {
@@ -252,6 +298,15 @@ func replayCountsBytes(buf []byte, c *Counts) {
 		} else {
 			n, i = decodeUvarint(buf, i)
 		}
+		if n == 0 { // switch escape: Counts ignores switch events entirely
+			_, i = decodeUvarint(buf, i)
+			_, i = decodeUvarint(buf, i)
+			inSwitch = true
+			continue
+		}
+		if inSwitch {
+			continue
+		}
 		if taken {
 			tk[site] += n
 		} else {
@@ -261,12 +316,16 @@ func replayCountsBytes(buf []byte, c *Counts) {
 }
 
 // collectorFns is one collector's resolved entry points: ev for single
-// events, run for RLE repeat runs. Splitting the two lets a run-aware
-// collector take its O(1) shortcut on genuine runs while single events —
-// the common case on interleaved traces — keep the lean per-event path.
+// events, run for RLE repeat runs, and sw/swRun for the switch-event
+// equivalents (the drop stubs when the collector has no switch support).
+// Splitting per-event from per-run lets a run-aware collector take its
+// O(1) shortcut on genuine runs while single events — the common case on
+// interleaved traces — keep the lean per-event path.
 type collectorFns struct {
-	ev  func(int32, bool)
-	run func(int32, bool, uint64)
+	ev    func(int32, bool)
+	run   func(int32, bool, uint64)
+	sw    func(int32, int32)
+	swRun func(int32, int32, uint64)
 }
 
 // resolveFns resolves each collector's fastest entry points once, in
@@ -327,6 +386,14 @@ func resolveFns(cs []Collector) []collectorFns {
 				},
 			}
 		}
+		if swc, ok := c.(SwitchCollector); ok {
+			f.sw = swc.RecordSwitch
+		} else if swr, ok := c.(SwitchRunCollector); ok {
+			f.sw = func(site, outcome int32) { swr.RecordSwitchRun(site, outcome, 1) }
+		} else {
+			f.sw = dropSwitch
+		}
+		f.swRun = switchRunFn(c)
 		fns = append(fns, f)
 	}
 	for _, c := range cs {
@@ -352,7 +419,11 @@ func (s *Slab) ReplayInto(cs ...Collector) {
 		// allocations per replay.
 		if rc, ok := cs[0].(RunCollector); ok {
 			if sc, ok := cs[0].(SiteCollector); ok {
-				replayBytes(s.buf, sc.RecordBranch, rc.RecordRun)
+				sw := dropSwitch
+				if swc, ok := cs[0].(SwitchCollector); ok {
+					sw = swc.RecordSwitch
+				}
+				replayBytes(s.buf, sc.RecordBranch, rc.RecordRun, sw, switchRunFn(cs[0]))
 				return
 			}
 		}
@@ -361,7 +432,7 @@ func (s *Slab) ReplayInto(cs ...Collector) {
 	switch len(fns) {
 	case 0:
 	case 1:
-		replayBytes(s.buf, fns[0].ev, fns[0].run)
+		replayBytes(s.buf, fns[0].ev, fns[0].run, fns[0].sw, fns[0].swRun)
 	default:
 		replayBytes(s.buf, func(site int32, taken bool) {
 			for _, f := range fns {
@@ -370,6 +441,14 @@ func (s *Slab) ReplayInto(cs ...Collector) {
 		}, func(site int32, taken bool, n uint64) {
 			for _, f := range fns {
 				f.run(site, taken, n)
+			}
+		}, func(site, outcome int32) {
+			for _, f := range fns {
+				f.sw(site, outcome)
+			}
+		}, func(site, outcome int32, n uint64) {
+			for _, f := range fns {
+				f.swRun(site, outcome, n)
 			}
 		})
 	}
@@ -428,12 +507,20 @@ func (s *Slab) ReplayPartitioned(workers int, cs ...Collector) {
 					replayCountsBytes(seg, c)
 					return
 				}
-				replayRunBytes(seg, local[0].RecordRun)
+				replayRunBytes(seg, local[0].RecordRun, switchRunFn(local[0]))
 				return
+			}
+			swFns := make([]func(int32, int32, uint64), len(local))
+			for i, rc := range local {
+				swFns[i] = switchRunFn(rc)
 			}
 			replayRunBytes(seg, func(site int32, taken bool, n uint64) {
 				for _, rc := range local {
 					rc.RecordRun(site, taken, n)
+				}
+			}, func(site, outcome int32, n uint64) {
+				for _, fn := range swFns {
+					fn(site, outcome, n)
 				}
 			})
 		}()

@@ -248,7 +248,7 @@ func TestSlabSegmentsCoverStream(t *testing.T) {
 			if seg[0] < 0x80 && seg[0] == 1 {
 				t.Fatalf("workers=%d: segment %d starts with a run marker", workers, si)
 			}
-			replayRunBytes(seg, func(_ int32, _ bool, n uint64) { total += n })
+			replayRunBytes(seg, func(_ int32, _ bool, n uint64) { total += n }, func(_, _ int32, n uint64) { total += n })
 			off += len(seg)
 		}
 		if off != len(s.buf) {

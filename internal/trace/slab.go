@@ -27,6 +27,27 @@ func (l *Log) RecordBranch(site int32, taken bool) {
 	l.Events = append(l.Events, Event{Site: site, Taken: taken})
 }
 
+// RecordSwitch implements SwitchCollector.
+func (l *Log) RecordSwitch(site, outcome int32) {
+	l.Seen++
+	if l.Max != 0 && len(l.Events) >= l.Max {
+		return
+	}
+	l.Events = append(l.Events, Event{Site: site, Switch: true, Outcome: outcome})
+}
+
+// RecordSwitchRun implements SwitchRunCollector; Seen counts the whole run
+// even when the cap truncates the stored events.
+func (l *Log) RecordSwitchRun(site, outcome int32, n uint64) {
+	l.Seen += n
+	for ; n > 0; n-- {
+		if l.Max != 0 && len(l.Events) >= l.Max {
+			return
+		}
+		l.Events = append(l.Events, Event{Site: site, Switch: true, Outcome: outcome})
+	}
+}
+
 // RecordBranch implements SiteCollector.
 func (c *Counts) RecordBranch(site int32, taken bool) {
 	if taken {
@@ -60,6 +81,23 @@ func (m Multi) RecordBranch(site int32, taken bool) {
 	}
 }
 
+// RecordSwitch implements SwitchCollector, fanning the event out to the
+// members that understand switch events; the rest see only branches.
+func (m Multi) RecordSwitch(site, outcome int32) {
+	for _, c := range m {
+		if sw, ok := c.(SwitchCollector); ok {
+			sw.RecordSwitch(site, outcome)
+		}
+	}
+}
+
+// RecordSwitchRun implements SwitchRunCollector.
+func (m Multi) RecordSwitchRun(site, outcome int32, n uint64) {
+	for _, c := range m {
+		recordSwitchRunOn(c, site, outcome, n)
+	}
+}
+
 // Slab is the record-once/replay-many in-memory branch trace: the event
 // stream of one interpreted run, encoded with the same varint+RLE scheme as
 // the on-disk format (Writer), so two million branch events occupy a few
@@ -78,10 +116,11 @@ type Slab struct {
 }
 
 // slabCk is an RLE-aligned replay checkpoint: buf[off:] starts with a
-// plain event code (never a run marker, which would need the previous
-// event's state), with done events encoded before it. Record drops one
-// roughly every ckEvery events; ReplayPartitioned splits the stream at
-// them so each segment decodes independently.
+// self-contained code — a plain event or a switch escape, never a bare run
+// marker, which would need the previous event's state — with done events
+// encoded before it. Record drops one roughly every ckEvery events;
+// ReplayPartitioned splits the stream at them so each segment decodes
+// independently.
 type slabCk struct {
 	off  int
 	done uint64
@@ -127,6 +166,32 @@ func (s *Slab) Record(site int32, taken bool) {
 	s.last = code
 }
 
+// RecordSwitch appends one N-way dispatch event as the switch escape
+// (uvarint 1, 0, site+1, outcome). Like Record it must not be called after
+// Seal, and repeats fold into the shared RLE run state.
+func (s *Slab) RecordSwitch(site, outcome int32) {
+	key := swKey(site, outcome)
+	s.n++
+	if key == s.last {
+		s.run++
+		return
+	}
+	if s.run > 0 {
+		s.buf = binary.AppendUvarint(s.buf, 1)
+		s.buf = binary.AppendUvarint(s.buf, s.run)
+		s.run = 0
+	}
+	if s.n-1-s.lastCk >= ckEvery {
+		s.cks = append(s.cks, slabCk{off: len(s.buf), done: s.n - 1})
+		s.lastCk = s.n - 1
+	}
+	s.buf = binary.AppendUvarint(s.buf, 1)
+	s.buf = binary.AppendUvarint(s.buf, 0)
+	s.buf = binary.AppendUvarint(s.buf, uint64(site)+1)
+	s.buf = binary.AppendUvarint(s.buf, uint64(outcome))
+	s.last = key
+}
+
 // Seal flushes the pending run and freezes the slab; budget-truncated runs
 // (the interpreter stopping at MaxBranches) are sealed exactly where they
 // stopped. Seal is idempotent, and a sealed slab is safe for concurrent
@@ -160,29 +225,59 @@ func decodeUvarint(buf []byte, i int) (uint64, int) {
 	return v, i + k
 }
 
-// Replay feeds every recorded event, in order, to fn.
+// Replay feeds every recorded conditional-branch event, in order, to fn;
+// switch events are skipped. Use ReplayAll when both kinds matter.
 func (s *Slab) Replay(fn func(site int32, taken bool)) {
 	s.mustSealed("Replay")
 	replayRunBytes(s.buf, func(site int32, taken bool, n uint64) {
 		for ; n > 0; n-- {
 			fn(site, taken)
 		}
+	}, dropSwitchRun)
+}
+
+// ReplayAll feeds every recorded event, in order: conditional branches to
+// fn and switch events to sw.
+func (s *Slab) ReplayAll(fn func(site int32, taken bool), sw func(site, outcome int32)) {
+	s.mustSealed("ReplayAll")
+	replayRunBytes(s.buf, func(site int32, taken bool, n uint64) {
+		for ; n > 0; n-- {
+			fn(site, taken)
+		}
+	}, func(site, outcome int32, n uint64) {
+		for ; n > 0; n-- {
+			sw(site, outcome)
+		}
 	})
 }
 
-// ReplayRuns feeds the events as (site, taken, count) runs — the
+// ReplayRuns feeds the branch events as (site, taken, count) runs — the
 // run-length fast path for order-insensitive consumers such as Counts.
-// Consecutive calls may repeat the same (site, taken) pair.
+// Consecutive calls may repeat the same (site, taken) pair. Switch events
+// are skipped; use ReplayAllRuns for both kinds.
 func (s *Slab) ReplayRuns(fn func(site int32, taken bool, n uint64)) {
 	s.mustSealed("ReplayRuns")
-	replayRunBytes(s.buf, fn)
+	replayRunBytes(s.buf, fn, dropSwitchRun)
+}
+
+// ReplayAllRuns is ReplayRuns with switch runs delivered to sw.
+func (s *Slab) ReplayAllRuns(fn func(site int32, taken bool, n uint64), sw func(site, outcome int32, n uint64)) {
+	s.mustSealed("ReplayAllRuns")
+	replayRunBytes(s.buf, fn, sw)
 }
 
 // Events decodes the whole slab (tests and small consumers).
 func (s *Slab) Events() []Event {
 	out := make([]Event, 0, s.n)
-	s.Replay(func(site int32, taken bool) {
-		out = append(out, Event{Site: site, Taken: taken})
+	s.mustSealed("Events")
+	replayRunBytes(s.buf, func(site int32, taken bool, n uint64) {
+		for ; n > 0; n-- {
+			out = append(out, Event{Site: site, Taken: taken})
+		}
+	}, func(site, outcome int32, n uint64) {
+		for ; n > 0; n-- {
+			out = append(out, Event{Site: site, Switch: true, Outcome: outcome})
+		}
 	})
 	return out
 }
@@ -250,14 +345,16 @@ func (l *Log) Release() {
 // Multi dispatch. Flush must be called after the run (bench.runProgram
 // does); Release returns the buffer to the shared pool.
 type Batcher struct {
-	fns []func(int32, bool)
-	buf []Event
+	fns   []func(int32, bool)
+	swFns []func(int32, int32)
+	buf   []Event
 }
 
 // NewBatcher wraps the collectors, resolving each one's fast path once.
 func NewBatcher(cs ...Collector) *Batcher {
 	b := &Batcher{buf: eventPool.Get().([]Event)[:0]}
 	b.fns = make([]func(int32, bool), len(cs))
+	b.swFns = make([]func(int32, int32), len(cs))
 	for i, c := range cs {
 		if sc, ok := c.(SiteCollector); ok {
 			b.fns[i] = sc.RecordBranch
@@ -272,6 +369,11 @@ func NewBatcher(cs ...Collector) *Batcher {
 				}
 				c.Branch(t, taken)
 			}
+		}
+		if sw, ok := c.(SwitchCollector); ok {
+			b.swFns[i] = sw.RecordSwitch
+		} else {
+			b.swFns[i] = dropSwitch
 		}
 	}
 	return b
@@ -288,11 +390,25 @@ func (b *Batcher) RecordBranch(site int32, taken bool) {
 	}
 }
 
+// RecordSwitch implements SwitchCollector: switch events ride the same
+// buffer, so per-collector order across the two kinds is preserved.
+func (b *Batcher) RecordSwitch(site, outcome int32) {
+	b.buf = append(b.buf, Event{Site: site, Switch: true, Outcome: outcome})
+	if len(b.buf) >= batchSize {
+		b.Flush()
+	}
+}
+
 // Flush drains the buffer into every collector.
 func (b *Batcher) Flush() {
-	for _, fn := range b.fns {
+	for ci, fn := range b.fns {
+		sw := b.swFns[ci]
 		for i := range b.buf {
-			fn(b.buf[i].Site, b.buf[i].Taken)
+			if b.buf[i].Switch {
+				sw(b.buf[i].Site, b.buf[i].Outcome)
+			} else {
+				fn(b.buf[i].Site, b.buf[i].Taken)
+			}
 		}
 	}
 	b.buf = b.buf[:0]

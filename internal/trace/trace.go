@@ -33,10 +33,14 @@ func (m Multi) Branch(t *ir.Term, taken bool) {
 	}
 }
 
-// Event is one recorded branch outcome.
+// Event is one recorded branch outcome. Switch marks an N-way dispatch
+// event, whose selected successor index is Outcome (Taken is meaningless
+// then); otherwise the event is a conditional branch and Outcome is 0.
 type Event struct {
-	Site  int32
-	Taken bool
+	Site    int32
+	Taken   bool
+	Switch  bool
+	Outcome int32
 }
 
 // Log records events in memory, up to an optional cap.
@@ -100,6 +104,15 @@ const magic = "BLTRACE1"
 // Consecutive repeats of the same (site, taken) pair are run-length
 // encoded as uvarint(1) uvarint(repeat count): the value 1 cannot occur as
 // an event code because site+1 >= 1 shifted left is >= 2.
+//
+// Switch (N-way dispatch) events use the run marker's one unused slot — a
+// zero-length run, previously a decode error — as an escape:
+//
+//	switch:  uvarint(1) uvarint(0) uvarint(site+1) uvarint(outcome)
+//
+// The escape is self-contained, and a run marker after it repeats the
+// switch event exactly as it would a branch event. Streams containing
+// only conditional branches are byte-identical to the original format.
 type Writer struct {
 	w      *bufio.Writer
 	last   uint64
@@ -145,6 +158,38 @@ func (w *Writer) flushRun() {
 		w.putUvarint(w.run)
 		w.run = 0
 	}
+}
+
+// swKey is the synthetic RLE key for a switch event. Bit 63 keeps it
+// disjoint from every branch event code, whose site field caps the code
+// below 2^33.
+func swKey(site, outcome int32) uint64 {
+	return 1<<63 | uint64(uint32(site))<<32 | uint64(uint32(outcome))
+}
+
+// RecordSwitch implements SwitchCollector, emitting the switch escape.
+func (w *Writer) RecordSwitch(site, outcome int32) {
+	w.RecordSwitchRun(site, outcome, 1)
+}
+
+// RecordSwitchRun implements SwitchRunCollector on the wire encoder.
+func (w *Writer) RecordSwitchRun(site, outcome int32, n uint64) {
+	if n == 0 {
+		return
+	}
+	key := swKey(site, outcome)
+	w.total += n
+	if key == w.last {
+		w.run += n
+		return
+	}
+	w.flushRun()
+	w.putUvarint(1)
+	w.putUvarint(0)
+	w.putUvarint(uint64(site) + 1)
+	w.putUvarint(uint64(outcome))
+	w.last = key
+	w.run = n - 1
 }
 
 // Close flushes pending runs and the footer. The Writer must not be used
@@ -256,16 +301,44 @@ func (r *Reader) Next() (Event, error) {
 			return Event{}, fmt.Errorf("trace: footer count %d != decoded %d", total, r.count)
 		}
 		return Event{}, io.EOF
-	case 1: // run-length repeat of the previous event
-		if !r.valid {
-			return Event{}, errors.New("trace: run marker before any event")
-		}
+	case 1: // run-length repeat of the previous event, or a switch escape
 		n, err := binary.ReadUvarint(r.r)
 		if err != nil {
 			return Event{}, fmt.Errorf("trace: truncated run: %w", err)
 		}
 		if n == 0 {
-			return Event{}, errors.New("trace: zero-length run")
+			// Switch escape: uvarint(site+1) uvarint(outcome).
+			sc, err := binary.ReadUvarint(r.r)
+			if err != nil {
+				return Event{}, fmt.Errorf("trace: truncated switch event: %w", err)
+			}
+			if sc == 0 {
+				return Event{}, errors.New("trace: switch event with zero site code")
+			}
+			if sc-1 > math.MaxInt32 {
+				return Event{}, fmt.Errorf("trace: switch site %d overflows int32", sc-1)
+			}
+			oc, err := binary.ReadUvarint(r.r)
+			if err != nil {
+				return Event{}, fmt.Errorf("trace: truncated switch outcome: %w", err)
+			}
+			if oc > math.MaxInt32 {
+				return Event{}, fmt.Errorf("trace: switch outcome %d overflows int32", oc)
+			}
+			ev := Event{Site: int32(sc - 1), Switch: true, Outcome: int32(oc)}
+			if r.lim.MaxSites > 0 && ev.Site >= r.lim.MaxSites {
+				return Event{}, fmt.Errorf("trace: site %d exceeds the %d-site cap: %w", ev.Site, r.lim.MaxSites, ErrTooLarge)
+			}
+			r.last = ev
+			r.valid = true
+			r.count++
+			if err := r.checkEvents(); err != nil {
+				return Event{}, err
+			}
+			return ev, nil
+		}
+		if !r.valid {
+			return Event{}, errors.New("trace: run marker before any event")
 		}
 		r.run = n - 1
 		r.count++
@@ -326,7 +399,16 @@ func ReadAll(r io.Reader) ([]Event, error) {
 func Replay(events []Event, c Collector) {
 	// One Term per site is enough: collectors read only Site.
 	terms := map[int32]*ir.Term{}
+	sw, _ := c.(SwitchCollector)
 	for _, ev := range events {
+		if ev.Switch {
+			// Switch events reach collectors that understand them; the
+			// rest see only the conditional-branch stream.
+			if sw != nil {
+				sw.RecordSwitch(ev.Site, ev.Outcome)
+			}
+			continue
+		}
 		t := terms[ev.Site]
 		if t == nil {
 			t = &ir.Term{Op: ir.TermBr, Site: ev.Site, Orig: ev.Site}

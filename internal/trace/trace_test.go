@@ -20,7 +20,7 @@ func TestRoundTripSimple(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	events := []Event{{0, true}, {0, true}, {1, false}, {0, true}, {2, true}, {2, true}, {2, true}}
+	events := []Event{{Site: 0, Taken: true}, {Site: 0, Taken: true}, {Site: 1, Taken: false}, {Site: 0, Taken: true}, {Site: 2, Taken: true}, {Site: 2, Taken: true}, {Site: 2, Taken: true}}
 	for _, ev := range events {
 		w.Branch(term(ev.Site), ev.Taken)
 	}
@@ -235,7 +235,7 @@ func TestMultiFansOut(t *testing.T) {
 }
 
 func TestReplay(t *testing.T) {
-	events := []Event{{0, true}, {1, false}, {0, false}}
+	events := []Event{{Site: 0, Taken: true}, {Site: 1, Taken: false}, {Site: 0, Taken: false}}
 	c := NewCounts(2)
 	Replay(events, c)
 	if c.Taken[0] != 1 || c.NotTaken[0] != 1 || c.NotTaken[1] != 1 {

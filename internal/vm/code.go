@@ -106,6 +106,12 @@ const (
 	vJmp // pc = dst; a = target block ID for bookkeeping (-1 none); imm = weight
 	vRet // return regs[a] (a = -1: return 0); imm = weight
 
+	// N-way dispatch via sws[dst]: outcome = regs[a] when it indexes the
+	// target table, else the default. Charges weight, counts a branch,
+	// scores PredIdx, and records a switch trace event, exactly like the
+	// interpreter's TermSwitch path.
+	vSwitch
+
 	// Conditional branches share the branch tail (count, predict, record,
 	// hook, budget check, jump) via brs[dst].
 	vBr // taken = regs[a] != 0
@@ -146,6 +152,16 @@ type brInfo struct {
 	term             *ir.Term
 }
 
+// swInfo is the side table entry of one switch dispatch. pcs and blks are
+// indexed by outcome: entries 0..len-2 are the case targets, the last entry
+// is the default, mirroring ir.Term's Targets-then-Else successor order.
+type swInfo struct {
+	pcs    []int32
+	blks   []int32 // original block IDs for bookkeeping (-1 = edge block)
+	weight uint64
+	term   *ir.Term
+}
+
 // callInfo is the side table entry of one call site.
 type callInfo struct {
 	fn   *vmFunc
@@ -168,6 +184,7 @@ type vmFunc struct {
 	entryBlk int32
 	code     []instr
 	brs      []brInfo
+	sws      []swInfo
 	calls    []callInfo
 	spans    []span
 }

@@ -276,8 +276,13 @@ func compileFunc(f *ssa.Func, scalarIdx, arrIdx []int32) (*vmFunc, []int, error)
 		idx       int
 		then, els *ssa.Block
 	}
+	type swPatch struct {
+		idx     int
+		targets []*ssa.Block // cases then default, indexed by outcome
+	}
 	var jmps []jmpPatch
 	var brps []brPatch
+	var swps []swPatch
 	var callees []int
 	// touchesSlot reports whether emitted instruction in reads or writes
 	// frame slot d (the copy-coalescing interference check).
@@ -399,11 +404,23 @@ func compileFunc(f *ssa.Func, scalarIdx, arrIdx []int32) (*vmFunc, []int, error)
 			fn.code = append(fn.code, instr{
 				op: mb.termOp, dst: int16(bi), a: slot(mb.condA), b: slot(mb.condB), imm: mb.termImm,
 			})
+		case ir.TermSwitch:
+			if b.Term.Src == nil {
+				return nil, nil, fmt.Errorf("%s: switch without source terminator", b)
+			}
+			si := len(fn.sws)
+			fn.sws = append(fn.sws, swInfo{weight: b.Weight, term: b.Term.Src})
+			targets := make([]*ssa.Block, 0, len(b.Term.Targets)+1)
+			targets = append(targets, b.Term.Targets...)
+			targets = append(targets, b.Term.Else)
+			swps = append(swps, swPatch{si, targets})
+			fn.code = append(fn.code, instr{op: vSwitch, dst: int16(si), a: slot(mb.condA)})
 		default:
 			return nil, nil, fmt.Errorf("%s: missing terminator", b)
 		}
 	}
-	if len(fn.code) > math.MaxInt16 || len(fn.brs) > math.MaxInt16 || len(f.Ir.Blocks) > math.MaxInt16 {
+	if len(fn.code) > math.MaxInt16 || len(fn.brs) > math.MaxInt16 ||
+		len(fn.sws) > math.MaxInt16 || len(f.Ir.Blocks) > math.MaxInt16 {
 		return nil, nil, fmt.Errorf("function too large for int16 bytecode fields (%d instrs, %d branches)",
 			len(fn.code), len(fn.brs))
 	}
@@ -429,6 +446,22 @@ func compileFunc(f *ssa.Func, scalarIdx, arrIdx []int32) (*vmFunc, []int, error)
 		}
 		if in := &fn.code[br.elsePC]; in.op == vJmp && in.imm == 0 {
 			br.elseBlk, br.elsePC = int32(in.a), int32(in.dst)
+		}
+	}
+	for _, sp := range swps {
+		sw := &fn.sws[sp.idx]
+		sw.pcs = make([]int32, len(sp.targets))
+		sw.blks = make([]int32, len(sp.targets))
+		for oi, t := range sp.targets {
+			sw.pcs[oi] = blockPC[t]
+			sw.blks[oi] = -1
+			if t.Orig != nil {
+				sw.blks[oi] = int32(t.Orig.ID)
+			}
+			// Route through coalesced-away edge blocks, like branch edges.
+			if in := &fn.code[sw.pcs[oi]]; in.op == vJmp && in.imm == 0 {
+				sw.blks[oi], sw.pcs[oi] = int32(in.a), int32(in.dst)
+			}
 		}
 	}
 	// Fuse a phi copy that ends in a weightless edge-block jump into one
@@ -557,6 +590,9 @@ func lowerTerm(mb *mBlock, fused map[*ssa.Value]bool) error {
 	case ir.TermRet:
 		mb.termOp = vRet
 		mb.retVal = b.Term.Val
+	case ir.TermSwitch:
+		mb.termOp = vSwitch
+		mb.condA = b.Term.Cond
 	case ir.TermBr:
 		c := b.Term.Cond
 		if !fused[c] {
@@ -729,14 +765,19 @@ func allocate(f *ssa.Func, blocks []*mBlock, blockIdx map[*ssa.Block]int, uses m
 			for w := range out {
 				out[w] = 0
 			}
-			for _, s := range []*ssa.Block{mb.b.Term.Then, mb.b.Term.Else} {
+			flow := func(s *ssa.Block) {
 				if s == nil {
-					continue
+					return
 				}
 				si := blockIdx[s]
 				for w := range out {
 					out[w] |= liveIn[si][w]
 				}
+			}
+			flow(mb.b.Term.Then)
+			flow(mb.b.Term.Else)
+			for _, s := range mb.b.Term.Targets {
+				flow(s)
 			}
 			for w := 0; w < words; w++ {
 				nin := use[bi][w] | (out[w] &^ def[bi][w])

@@ -33,6 +33,7 @@ type Machine struct {
 	prog *Program
 
 	hook        func(t *ir.Term, taken bool)
+	swHook      func(t *ir.Term, outcome int32)
 	rec         *trace.Slab
 	maxSteps    uint64
 	maxBranches uint64
@@ -91,6 +92,11 @@ func (m *Machine) Reset() {
 
 // SetHook installs the per-branch observer (nil disables).
 func (m *Machine) SetHook(fn func(t *ir.Term, taken bool)) { m.hook = fn }
+
+// SetSwHook installs the per-switch observer (nil disables), mirroring
+// interp.Machine.SwHook: it fires for every executed switch dispatch and for
+// the taken edge of every clustering test branch.
+func (m *Machine) SetSwHook(fn func(t *ir.Term, outcome int32)) { m.swHook = fn }
 
 // SetRec directs branch events into a trace slab (nil disables). When both
 // a hook and a slab are set the slab records first, like the interpreter.
@@ -262,9 +268,10 @@ func (m *Machine) exec(fn *vmFunc, regs []int64, depth int) (int64, error) {
 	code := fn.code
 	code0 := unsafe.Pointer(&code[0])
 	brs := fn.brs
+	sws := fn.sws
 	calls := fn.calls
 	scalars, arrays := m.scalars, m.arrays
-	rec, hook := m.rec, m.hook
+	rec, hook, swHook := m.rec, m.hook, m.swHook
 	steps, branches := m.steps, m.branches
 	predicted, mispredicted := m.predicted, m.mispredicted
 	maxSteps, maxBranches := m.maxSteps, m.maxBranches
@@ -602,6 +609,47 @@ dispatch:
 				return regs[in.a], nil
 			}
 			return 0, nil
+		case vSwitch:
+			// Mirrors the interpreter's TermSwitch path statement for
+			// statement: weight, outcome, branch count, PredIdx scoring,
+			// switch trace event, hook, budget check, dispatch.
+			si := &sws[in.dst]
+			steps += si.weight
+			if steps >= maxSteps {
+				m.flushCounters(steps, branches, predicted, mispredicted)
+				return 0, interp.ErrLimit
+			}
+			t := si.term
+			v := regs[in.a]
+			outcome := int32(len(t.Targets))
+			if v >= 0 && v < int64(len(t.Targets)) {
+				outcome = int32(v)
+			}
+			branches++
+			if t.Pred != ir.PredNone {
+				predicted++
+				if t.PredIdx != outcome {
+					mispredicted++
+				}
+			}
+			if rec != nil {
+				rec.RecordSwitch(t.Site, outcome)
+			}
+			if swHook != nil {
+				swHook(t, outcome)
+			}
+			if branches >= maxBranches {
+				m.flushCounters(steps, branches, predicted, mispredicted)
+				return 0, interp.ErrLimit
+			}
+			pc = si.pcs[outcome]
+			if m.slow {
+				if err := m.enterBlock(fn, si.blks[outcome]); err != nil {
+					m.flushCounters(steps, branches, predicted, mispredicted)
+					return 0, err
+				}
+			}
+			continue dispatch
 		case vBr:
 			taken = regs[in.a] != 0
 		case vBrEqI:
@@ -660,11 +708,25 @@ dispatch:
 				mispredicted++
 			}
 		}
-		if rec != nil {
-			rec.Record(t.Site, taken)
-		}
-		if hook != nil {
-			hook(t, taken)
+		if t.SwTest {
+			// A clustering test is trace-invisible except that its taken
+			// edge emits the governed switch's event, keeping clustered
+			// traces byte-identical to their originals.
+			if taken {
+				if rec != nil {
+					rec.RecordSwitch(t.Site, t.SwOutcome)
+				}
+				if swHook != nil {
+					swHook(t, t.SwOutcome)
+				}
+			}
+		} else {
+			if rec != nil {
+				rec.Record(t.Site, taken)
+			}
+			if hook != nil {
+				hook(t, taken)
+			}
 		}
 		if branches >= maxBranches {
 			m.flushCounters(steps, branches, predicted, mispredicted)

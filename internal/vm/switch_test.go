@@ -1,0 +1,154 @@
+package vm_test
+
+import (
+	"testing"
+
+	"repro/internal/interp"
+	"repro/internal/ir"
+	"repro/internal/vm"
+)
+
+// The switch differential suite pins the compiled backend's TermSwitch path
+// to the interpreter's: hand-written BL dispatch shapes through runBoth
+// (return value, counters, trace bytes, block counts) plus direct checks of
+// the SwHook event stream.
+
+const dispatchLoopSrc = `
+var acc int;
+func step(op int, x int) int {
+	switch op {
+	case 0:
+		return x + 1;
+	case 1:
+		return x * 2;
+	case 2:
+		return x - 3;
+	case 5:
+		return 0 - x;
+	default:
+		return x;
+	}
+	return x;
+}
+func main() int {
+	for var i int = 0; i < 500; i = i + 1 {
+		acc = step(i % 7, acc);
+	}
+	print(acc);
+	return acc;
+}`
+
+func TestBackendEquivalenceSwitch(t *testing.T) {
+	cases := []struct {
+		name string
+		src  string
+	}{
+		{"dispatchLoop", dispatchLoopSrc},
+		{"noDefaultJoin", `
+func main() int {
+	var s int = 0;
+	for var i int = 0; i < 100; i = i + 1 {
+		switch i % 5 {
+		case 0:
+			s = s + 1;
+		case 3:
+			s = s + 10;
+		}
+		s = s + 100;
+	}
+	return s;
+}`},
+		{"nestedInLoop", `
+var acc int;
+func main() int {
+	for var i int = 0; i < 60; i = i + 1 {
+		switch i % 4 {
+		case 0:
+			if i > 30 {
+				acc = acc + 2;
+			} else {
+				acc = acc + 1;
+			}
+		case 1:
+			switch i % 3 {
+			case 0:
+				acc = acc + 5;
+			default:
+				acc = acc - 1;
+			}
+		default:
+			acc = acc + i;
+		}
+	}
+	return acc;
+}`},
+		{"negativeTag", `
+func main() int {
+	var s int = 0;
+	for var i int = 0 - 5; i < 5; i = i + 1 {
+		switch i {
+		case 0:
+			s = s + 100;
+		case 2:
+			s = s + 10;
+		default:
+			s = s + 1;
+		}
+	}
+	return s;
+}`},
+	}
+	for _, tc := range cases {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			prog := compileSrc(t, tc.src)
+			runBoth(t, prog, 0, 5_000_000)
+			runBoth(t, prog, 100, 5_000_000) // truncated by the branch budget
+			runBoth(t, prog, 0, 3_000)       // truncated by the step budget
+		})
+	}
+}
+
+// TestSwitchHookStream checks that the VM's SwHook sees the same (site,
+// outcome) sequence the interpreter's does, on the same terminators.
+func TestSwitchHookStream(t *testing.T) {
+	prog := compileSrc(t, dispatchLoopSrc)
+
+	type ev struct {
+		site    int32
+		outcome int32
+	}
+	var ivm, iin []ev
+
+	im := interp.New(prog)
+	im.SwHook = func(tm *ir.Term, outcome int32) {
+		iin = append(iin, ev{tm.Site, outcome})
+	}
+	if _, err := im.Run(); err != nil {
+		t.Fatal(err)
+	}
+
+	vp, err := vm.Compile(prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	vmach := vp.NewMachine()
+	vmach.SetSwHook(func(tm *ir.Term, outcome int32) {
+		ivm = append(ivm, ev{tm.Site, outcome})
+	})
+	if _, err := vmach.Run(); err != nil {
+		t.Fatal(err)
+	}
+
+	if len(iin) == 0 {
+		t.Fatal("interpreter recorded no switch events")
+	}
+	if len(iin) != len(ivm) {
+		t.Fatalf("event count: interp=%d vm=%d", len(iin), len(ivm))
+	}
+	for i := range iin {
+		if iin[i] != ivm[i] {
+			t.Fatalf("event %d: interp=%+v vm=%+v", i, iin[i], ivm[i])
+		}
+	}
+}
